@@ -1,0 +1,6 @@
+-- COMDB2-INT-080 | Comdb2 | Berkdb | UB
+CREATE TABLE t0 (a INT, b INT);
+CREATE INDEX i4 ON t0 (b);
+ANALYZE t0;
+REVOKE ALL ON t0 FROM alice;
+SET search_path = public;

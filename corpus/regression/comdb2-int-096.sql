@@ -1,0 +1,5 @@
+-- COMDB2-INT-096 | Comdb2 | Sqlite | UB
+SET search_path = public;
+CREATE UNIQUE INDEX i6 ON t0 (a);
+ROLLBACK;
+SELECT * FROM t0 WHERE (a > 0);

@@ -1,0 +1,4 @@
+-- COMDB2-INT-097 | Comdb2 | Sqlite | UB
+ALTER TABLE t0 RENAME COLUMN b TO c19;
+COMMIT;
+SET @@SESSION.sql_mode = strict;

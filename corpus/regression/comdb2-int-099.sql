@@ -1,0 +1,5 @@
+-- COMDB2-INT-099 | Comdb2 | Sqlite | UB
+PUT counter0 ON;
+SELECT MAX(a), 1 AS a7 FROM t0 WHERE (a || (TRUE > 'x')) LIMIT 1;
+CREATE INDEX i1 ON t0 (a);
+EXPLAIN SELECT b AS a7 FROM t0 WHERE (b LIKE 'x');

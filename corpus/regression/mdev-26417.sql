@@ -1,0 +1,3 @@
+-- MDEV-26417 | MariaDB | Item | SEGV
+RESET search_path;
+DROP INDEX IF EXISTS i8;

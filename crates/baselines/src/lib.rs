@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+
+//! Re-implementations of the baseline fuzzers' *generation policies*
+//! (paper § V): SQLancer (rule-based templates, SELECT-centric probes),
+//! SQLsmith (grammar-random single SELECT statements against an existing
+//! schema), and SQUIRREL (coverage-guided structure/data mutation that never
+//! changes the SQL Type Sequence). All run under the same campaign harness
+//! as LEGO, so the comparison isolates exactly the input-space policy.
+
+pub mod sqlancer;
+pub mod sqlsmith;
+pub mod squirrel;
+
+pub use sqlancer::SqlancerFuzzer;
+pub use sqlsmith::SqlsmithFuzzer;
+pub use squirrel::SquirrelFuzzer;
+
+use lego::campaign::FuzzEngine;
+use lego::fuzzer::{Config, LegoFuzzer};
+use lego_sqlast::Dialect;
+
+/// Construct any evaluated engine by name (used by the experiment binaries).
+///
+/// Names: `LEGO`, `LEGO-`, `SQUIRREL`, `SQLancer`, `SQLsmith`.
+pub fn engine_by_name(name: &str, dialect: Dialect, rng_seed: u64) -> Box<dyn FuzzEngine> {
+    let mut cfg = Config::default();
+    cfg.rng_seed = rng_seed;
+    match name {
+        "LEGO" => Box::new(LegoFuzzer::new(dialect, cfg)),
+        "LEGO-" => Box::new(LegoFuzzer::lego_minus(dialect, cfg)),
+        "SQUIRREL" => Box::new(SquirrelFuzzer::new(dialect, rng_seed)),
+        "SQLancer" => Box::new(SqlancerFuzzer::new(dialect, rng_seed)),
+        "SQLsmith" => Box::new(SqlsmithFuzzer::new(dialect, rng_seed)),
+        other => panic!("unknown fuzzer {other}"),
+    }
+}

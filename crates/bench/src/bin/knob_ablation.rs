@@ -1,0 +1,63 @@
+//! Design-knob ablation (DESIGN.md § 7): how LEGO's scheduling parameters
+//! trade off against each other on MariaDB — instantiations per synthesized
+//! sequence, synthesis cap per affinity, and conventional mutants per seed.
+
+use lego_bench::*;
+use lego::campaign::{run_campaign, Budget};
+use lego::fuzzer::{Config, LegoFuzzer};
+use lego_sqlast::Dialect;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    knob: String,
+    value: usize,
+    branches: usize,
+    affinities: usize,
+    bugs: usize,
+}
+
+fn run_with(mutate: impl Fn(&mut Config), units: usize) -> (usize, usize, usize) {
+    let mut cfg = Config::default();
+    cfg.rng_seed = DEFAULT_SEED;
+    mutate(&mut cfg);
+    let mut fz = LegoFuzzer::new(Dialect::MariaDb, cfg);
+    let stats = run_campaign(&mut fz, Dialect::MariaDb, Budget::units(units));
+    (stats.branches, stats.corpus_affinities, stats.bugs.len())
+}
+
+fn main() {
+    let units: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DAY_BUDGET_UNITS / 2);
+    println!("Design-knob ablation on MariaDB ({units} units per cell)\n");
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for v in [1usize, 2, 4] {
+        let (b, a, g) = run_with(|c| c.instantiations_per_seq = v, units);
+        rows.push(vec!["instantiations_per_seq".into(), v.to_string(), b.to_string(), a.to_string(), g.to_string()]);
+        out.push(Row { knob: "instantiations_per_seq".into(), value: v, branches: b, affinities: a, bugs: g });
+    }
+    for v in [12usize, 48, 128] {
+        let (b, a, g) = run_with(|c| c.synth_limit_per_affinity = v, units);
+        rows.push(vec!["synth_limit_per_affinity".into(), v.to_string(), b.to_string(), a.to_string(), g.to_string()]);
+        out.push(Row { knob: "synth_limit_per_affinity".into(), value: v, branches: b, affinities: a, bugs: g });
+    }
+    for v in [2usize, 6, 12] {
+        let (b, a, g) = run_with(|c| c.conventional_per_seed = v, units);
+        rows.push(vec!["conventional_per_seed".into(), v.to_string(), b.to_string(), a.to_string(), g.to_string()]);
+        out.push(Row { knob: "conventional_per_seed".into(), value: v, branches: b, affinities: a, bugs: g });
+    }
+    for (name, f) in [
+        ("baseline", Box::new(|_c: &mut Config| {}) as Box<dyn Fn(&mut Config)>),
+        ("no_split_long_seeds", Box::new(|c: &mut Config| c.split_long_seeds = false)),
+        ("nonadjacent_affinities", Box::new(|c: &mut Config| c.nonadjacent_affinities = true)),
+    ] {
+        let (b, a, g) = run_with(|c| f(c), units);
+        rows.push(vec![name.into(), "-".into(), b.to_string(), a.to_string(), g.to_string()]);
+        out.push(Row { knob: name.into(), value: 0, branches: b, affinities: a, bugs: g });
+    }
+    print_table(&["knob", "value", "branches", "affinities", "bugs"], &rows);
+    save_json("knob_ablation", &out);
+}

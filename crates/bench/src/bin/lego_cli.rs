@@ -1,0 +1,228 @@
+//! `lego-cli` — drive the fuzzer from the command line.
+//!
+//! ```text
+//! lego_cli fuzz <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S]
+//!               [--out DIR] [--corpus DIR]   # --corpus: resume from saved seeds
+//! lego_cli replay <pg|mysql|maria|comdb2> <script.sql>
+//! lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>
+//! lego_cli bugs  [pg|mysql|maria|comdb2]
+//! ```
+//!
+//! A `fuzz --out DIR` run writes `campaign.json`, one reduced reproducer per
+//! bug, and the retained seed corpus under `DIR/corpus/`; a later run with
+//! `--corpus DIR/corpus` resumes from it (the paper's continuous-fuzzing
+//! workflow).
+
+use lego::campaign::{run_campaign, Budget, FuzzEngine};
+use lego::corpus_io::{load_corpus, save_corpus};
+use lego::fuzzer::{Config, LegoFuzzer};
+use lego::reduce::reduce_case;
+use lego_baselines::engine_by_name;
+use lego_dbms::{bugs, Dbms};
+use lego_sqlast::Dialect;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn dialect_of(arg: &str) -> Option<Dialect> {
+    match arg {
+        "pg" | "postgres" | "postgresql" => Some(Dialect::Postgres),
+        "mysql" => Some(Dialect::MySql),
+        "maria" | "mariadb" => Some(Dialect::MariaDb),
+        "comdb2" => Some(Dialect::Comdb2),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("reduce") => cmd_reduce(&args[1..]),
+        Some("bugs") => cmd_bugs(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let Some(dialect) = args.first().and_then(|a| dialect_of(a)) else {
+        return usage();
+    };
+    let mut fuzzer = "LEGO".to_string();
+    let mut units = 400_000usize;
+    let mut seed = 0x1e60u64;
+    let mut out: Option<PathBuf> = None;
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut i = 1;
+    while i + 1 < args.len() + 1 {
+        match args.get(i).map(String::as_str) {
+            Some("--fuzzer") => {
+                fuzzer = args.get(i + 1).cloned().unwrap_or(fuzzer);
+                i += 2;
+            }
+            Some("--units") => {
+                units = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(units);
+                i += 2;
+            }
+            Some("--seed") => {
+                seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(seed);
+                i += 2;
+            }
+            Some("--out") => {
+                out = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--corpus") => {
+                corpus_dir = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some(other) => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+            None => break,
+        }
+    }
+    println!("fuzzing {} with {fuzzer} for {units} units (seed {seed})…", dialect.name());
+    let mut engine: Box<dyn FuzzEngine> = match &corpus_dir {
+        Some(dir) if fuzzer == "LEGO" => {
+            let (corpus, skipped) = load_corpus(dir).expect("load corpus");
+            if !skipped.is_empty() {
+                eprintln!("skipped {} unparseable corpus files", skipped.len());
+            }
+            println!("resuming from {} seeds in {}", corpus.len(), dir.display());
+            let mut cfg = Config::default();
+            cfg.rng_seed = seed;
+            Box::new(LegoFuzzer::with_corpus(dialect, cfg, corpus))
+        }
+        Some(_) => {
+            eprintln!("--corpus is only supported for the LEGO engine");
+            return ExitCode::from(2);
+        }
+        None => engine_by_name(&fuzzer, dialect, seed),
+    };
+    let stats = run_campaign(engine.as_mut(), dialect, Budget::units(units));
+    println!(
+        "executed {} cases | {} branches | {} affinities | {} retained seeds | {} bugs",
+        stats.execs, stats.branches, stats.corpus_affinities, stats.corpus_size, stats.bugs.len()
+    );
+    for bug in &stats.bugs {
+        println!(
+            "  [{}] {} in {} at exec #{}",
+            bug.crash.identifier,
+            bug.crash.bug_type.name(),
+            bug.crash.component.name(),
+            bug.first_exec
+        );
+    }
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).expect("create out dir");
+        let report = serde_json::to_string_pretty(&stats).expect("serialize");
+        std::fs::write(dir.join("campaign.json"), report).expect("write campaign.json");
+        for bug in &stats.bugs {
+            let name = bug
+                .crash
+                .identifier
+                .replace([' ', '#', '/'], "_")
+                .to_ascii_lowercase();
+            std::fs::write(dir.join(format!("{name}.sql")), &bug.reduced_sql)
+                .expect("write reproducer");
+        }
+        let n = save_corpus(&dir.join("corpus"), &engine.corpus()).expect("save corpus");
+        println!("reports + {n}-seed corpus written to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let (Some(dialect), Some(path)) = (args.first().and_then(|a| dialect_of(a)), args.get(1))
+    else {
+        return usage();
+    };
+    let sql = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut db = Dbms::new(dialect);
+    let report = db.execute_script(&sql);
+    println!(
+        "executed {} statements, {} errors, {} branches",
+        report.statements_executed,
+        report.errors.len(),
+        report.coverage.edge_count()
+    );
+    for e in &report.errors {
+        println!("  error: {e}");
+    }
+    match report.crash() {
+        Some(crash) => {
+            println!("CRASH: [{}] {} in {}", crash.identifier, crash.bug_type.name(), crash.component.name());
+            for frame in &crash.stack {
+                println!("  at {frame}");
+            }
+            ExitCode::FAILURE
+        }
+        None => ExitCode::SUCCESS,
+    }
+}
+
+fn cmd_reduce(args: &[String]) -> ExitCode {
+    let (Some(dialect), Some(path)) = (args.first().and_then(|a| dialect_of(a)), args.get(1))
+    else {
+        return usage();
+    };
+    let sql = std::fs::read_to_string(path).expect("read script");
+    let case = match lego_sqlparser::parse_script(&sql) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let crash = match Dbms::new(dialect).execute_case(&case).crash().cloned() {
+        Some(c) => c,
+        None => {
+            eprintln!("script does not crash {}", dialect.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    let (reduced, execs) = reduce_case(&case, dialect, &crash);
+    eprintln!(
+        "reduced {} -> {} statements in {execs} executions ({}):",
+        case.len(),
+        reduced.len(),
+        crash.identifier
+    );
+    print!("{}", reduced.to_sql());
+    ExitCode::SUCCESS
+}
+
+fn cmd_bugs(args: &[String]) -> ExitCode {
+    let filter = args.first().and_then(|a| dialect_of(a));
+    for bug in bugs::manifest() {
+        if let Some(d) = filter {
+            if bug.dialect != d {
+                continue;
+            }
+        }
+        println!(
+            "{:<22} {:<10} {:<9} {:<9} {:?}",
+            bug.identifier,
+            bug.dialect.name(),
+            bug.component.name(),
+            bug.bug_type.name(),
+            bug.pattern.iter().map(|k| k.name()).collect::<Vec<_>>()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,59 @@
+//! The § VI sequence-length experiment: LEGO on MariaDB with `LEN` set to
+//! 3, 5, and 8.
+//!
+//! Paper: 30 / 35 / 27 bugs — cutting the length misses some bugs, while
+//! increasing it also loses bugs to performance degradation. Expected shape:
+//! a peak at LEN = 5.
+
+use lego_bench::*;
+use lego::campaign::{run_campaign, Budget};
+use lego::fuzzer::{Config, LegoFuzzer};
+use lego_sqlast::Dialect;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    len: usize,
+    bugs: usize,
+    branches: usize,
+    execs: usize,
+}
+
+fn main() {
+    let units: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CONTINUOUS_BUDGET_UNITS);
+    let seeds: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    println!("§ VI length ablation — LEGO on MariaDB, LEN ∈ {{3, 5, 8}} ({seeds} x {units} units)\n");
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for len in [3usize, 5, 8] {
+        let mut ids = std::collections::BTreeSet::new();
+        let mut branches = 0;
+        let mut execs = 0;
+        for s in 0..seeds {
+            let mut cfg = Config::default();
+            cfg.max_seq_len = len;
+            // The paper couples the seed-length budget to LEN.
+            cfg.max_case_len = len * 2;
+            cfg.rng_seed = DEFAULT_SEED + s as u64 * 7717;
+            let mut fz = LegoFuzzer::new(Dialect::MariaDb, cfg);
+            let stats = run_campaign(&mut fz, Dialect::MariaDb, Budget::units(units));
+            for b in &stats.bugs {
+                ids.insert(b.crash.identifier.clone());
+            }
+            branches = branches.max(stats.branches);
+            execs += stats.execs;
+        }
+        rows.push(vec![
+            len.to_string(),
+            ids.len().to_string(),
+            branches.to_string(),
+            execs.to_string(),
+        ]);
+        out.push(Row { len, bugs: ids.len(), branches, execs });
+    }
+    print_table(&["LEN", "Bugs", "Branches(max)", "Execs"], &rows);
+    save_json("len_ablation", &out);
+}

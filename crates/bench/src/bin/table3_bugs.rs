@@ -1,0 +1,59 @@
+//! Table III: number of (deduplicated) bugs triggered by each fuzzer within
+//! one budgeted campaign.
+//!
+//! Paper: SQLancer 0, SQLsmith 0, SQUIRREL 11 (3 MySQL + 8 MariaDB), LEGO 52
+//! (2 / 11 / 32 / 7). Expected shape: LEGO ≫ SQUIRREL > SQLancer = SQLsmith
+//! = 0, with SQUIRREL's finds confined to MySQL/MariaDB.
+
+use lego_bench::*;
+use lego_sqlast::Dialect;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    dialect: String,
+    fuzzer: String,
+    bugs: usize,
+    identifiers: Vec<String>,
+}
+
+fn main() {
+    let units: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DAY_BUDGET_UNITS);
+    println!("Table III — bugs triggered in one budgeted campaign ({units} units)\n");
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    let mut totals = std::collections::BTreeMap::new();
+    for dialect in Dialect::ALL {
+        let mut row = vec![dialect.name().to_string()];
+        for fuzzer in ["SQLancer", "SQLsmith", "SQUIRREL", "LEGO"] {
+            if fuzzer == "SQLsmith" && dialect != Dialect::Postgres {
+                row.push("-".into());
+                continue;
+            }
+            let stats = campaign(fuzzer, dialect, units, DEFAULT_SEED);
+            let ids: Vec<String> =
+                stats.bugs.iter().map(|b| b.crash.identifier.clone()).collect();
+            row.push(stats.bugs.len().to_string());
+            *totals.entry(fuzzer.to_string()).or_insert(0usize) += stats.bugs.len();
+            cells.push(Cell {
+                dialect: dialect.name().to_string(),
+                fuzzer: fuzzer.to_string(),
+                bugs: stats.bugs.len(),
+                identifiers: ids,
+            });
+        }
+        rows.push(row);
+    }
+    rows.push(vec![
+        "Total".into(),
+        totals.get("SQLancer").copied().unwrap_or(0).to_string(),
+        totals.get("SQLsmith").copied().unwrap_or(0).to_string(),
+        totals.get("SQUIRREL").copied().unwrap_or(0).to_string(),
+        totals.get("LEGO").copied().unwrap_or(0).to_string(),
+    ]);
+    print_table(&["DBMS", "SQLancer", "SQLsmith", "SQUIRREL", "LEGO"], &rows);
+    save_json("table3_bugs", &cells);
+}

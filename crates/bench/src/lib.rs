@@ -1,0 +1,112 @@
+#![forbid(unsafe_code)]
+
+//! Shared experiment plumbing for the table/figure reproduction binaries.
+//!
+//! Every binary prints a human-readable table mirroring the paper's artifact
+//! and writes a machine-readable JSON report under `results/`.
+
+use lego::campaign::{run_campaign, Budget, CampaignStats};
+use lego_baselines::engine_by_name;
+use lego_sqlast::Dialect;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// The standard "24-hour" campaign budget, in statement-execution units.
+/// Chosen so a full fuzzer×DBMS grid runs in minutes on a laptop while the
+/// coverage curves are already well past their knees.
+pub const DAY_BUDGET_UNITS: usize = 400_000;
+
+/// The "continuous fuzzing" budget for the Table I bug hunt (per RNG seed).
+pub const CONTINUOUS_BUDGET_UNITS: usize = 1_500_000;
+
+/// Default RNG seed for single-run experiments.
+pub const DEFAULT_SEED: u64 = 0x1e60;
+
+/// Fuzzers evaluated on a dialect (paper § V-A: SQLsmith officially supports
+/// only PostgreSQL syntax, so it is compared there alone).
+pub fn fuzzer_names(dialect: Dialect) -> Vec<&'static str> {
+    match dialect {
+        Dialect::Postgres => vec!["LEGO", "SQUIRREL", "SQLancer", "SQLsmith"],
+        _ => vec!["LEGO", "SQUIRREL", "SQLancer"],
+    }
+}
+
+/// Run one fuzzer×dialect campaign with the standard seed.
+pub fn campaign(fuzzer: &str, dialect: Dialect, units: usize, seed: u64) -> CampaignStats {
+    let mut engine = engine_by_name(fuzzer, dialect, seed);
+    run_campaign(engine.as_mut(), dialect, Budget::units(units))
+}
+
+/// Where experiment outputs land.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root").join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persist a JSON report next to the printed table.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize report");
+    std::fs::write(&path, json).expect("write report");
+    println!("\n[report written to {}]", path.display());
+}
+
+/// Percentage by which `a` exceeds `b`.
+pub fn pct_more(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        return 0.0;
+    }
+    (a as f64 - b as f64) / b as f64 * 100.0
+}
+
+/// Render a simple aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqlsmith_only_on_postgres() {
+        assert!(fuzzer_names(Dialect::Postgres).contains(&"SQLsmith"));
+        assert!(!fuzzer_names(Dialect::MySql).contains(&"SQLsmith"));
+    }
+
+    #[test]
+    fn pct_more_basics() {
+        assert_eq!(pct_more(150, 100), 50.0);
+        assert_eq!(pct_more(100, 0), 0.0);
+    }
+
+    #[test]
+    fn tiny_campaign_runs_for_every_pair() {
+        for d in Dialect::ALL {
+            for f in fuzzer_names(d) {
+                let stats = campaign(f, d, 3_000, 1);
+                assert!(stats.branches > 0, "{f} on {d:?}");
+            }
+        }
+    }
+}

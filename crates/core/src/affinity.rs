@@ -1,0 +1,155 @@
+//! Type-affinity analysis — Algorithm 2 of the paper.
+//!
+//! A *type-affinity* `(t1, t2)` is a chronological relation between the
+//! types of two adjacent statements: `t1` can meaningfully be followed by
+//! `t2`. The map is learned only from test cases that covered new branches,
+//! which is what keeps it meaningful (§ III-A).
+
+use lego_sqlast::{StmtKind, TestCase};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `T: type -> set of types that may follow it` (the paper's `Map<type,
+/// Set<type>>`), plus bookkeeping for progressive synthesis.
+#[derive(Clone, Debug, Default)]
+pub struct AffinityMap {
+    map: BTreeMap<StmtKind, BTreeSet<StmtKind>>,
+    len: usize,
+}
+
+impl AffinityMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one affinity; returns `true` if it is new.
+    pub fn insert(&mut self, t1: StmtKind, t2: StmtKind) -> bool {
+        let added = self.map.entry(t1).or_default().insert(t2);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    pub fn contains(&self, t1: StmtKind, t2: StmtKind) -> bool {
+        self.map.get(&t1).map_or(false, |s| s.contains(&t2))
+    }
+
+    /// Successors of a type (drives `listSeq` in Algorithm 3).
+    pub fn successors(&self, t: StmtKind) -> impl Iterator<Item = StmtKind> + '_ {
+        self.map.get(&t).into_iter().flatten().copied()
+    }
+
+    /// Total number of `(t1, t2)` pairs — the paper's Table II metric.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (StmtKind, StmtKind)> + '_ {
+        self.map.iter().flat_map(|(t1, set)| set.iter().map(move |t2| (*t1, *t2)))
+    }
+
+    /// Algorithm 2: extract all affinities from a test case, adding them to
+    /// the map. Returns the affinities that were *new*.
+    pub fn analyze(&mut self, case: &TestCase) -> Vec<(StmtKind, StmtKind)> {
+        let mut new = Vec::new();
+        let mut last: Option<StmtKind> = None;
+        for stmt in &case.statements {
+            let current = stmt.kind();
+            if let Some(prev) = last {
+                // Same-type adjacency contributes nothing to abundance
+                // (Algorithm 2, lines 5-7).
+                if prev != current && self.insert(prev, current) {
+                    new.push((prev, current));
+                }
+            }
+            last = Some(current);
+        }
+        new
+    }
+}
+
+/// Count affinities across a whole corpus into a fresh map (used to produce
+/// the Table II numbers for each fuzzer's output corpus).
+pub fn corpus_affinities(corpus: &[TestCase]) -> AffinityMap {
+    let mut map = AffinityMap::new();
+    for case in corpus {
+        map.analyze(case);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_sqlparser::parse_script;
+
+    fn case(sql: &str) -> TestCase {
+        parse_script(sql).unwrap()
+    }
+
+    #[test]
+    fn figure_5_substitution_affinities() {
+        // CREATE TABLE -> INSERT -> INSERT -> DELETE -> SELECT yields
+        // (CREATE TABLE, INSERT), (INSERT, DELETE), (DELETE, SELECT) — the
+        // repeated INSERT contributes nothing.
+        let mut m = AffinityMap::new();
+        let new = m.analyze(&case(
+            "CREATE TABLE t1 (v1 INT);\n\
+             INSERT INTO t1 VALUES (1);\n\
+             INSERT INTO t1 VALUES (2);\n\
+             DELETE FROM t1 WHERE v1 = 1;\n\
+             SELECT * FROM t1;",
+        ));
+        assert_eq!(new.len(), 3);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn repeated_types_are_skipped() {
+        let mut m = AffinityMap::new();
+        m.analyze(&case("INSERT INTO t VALUES (1); INSERT INTO t VALUES (2);"));
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn reanalysis_reports_only_new_pairs() {
+        let mut m = AffinityMap::new();
+        let sql = "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;";
+        assert_eq!(m.analyze(&case(sql)).len(), 2);
+        assert_eq!(m.analyze(&case(sql)).len(), 0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn successors_reflect_insertions() {
+        let mut m = AffinityMap::new();
+        m.analyze(&case("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;"));
+        let create = case("CREATE TABLE x (a INT);").statements[0].kind();
+        let succ: Vec<_> = m.successors(create).collect();
+        assert_eq!(succ.len(), 1);
+    }
+
+    #[test]
+    fn corpus_affinities_accumulate_across_cases() {
+        let corpus = vec![
+            case("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"),
+            case("INSERT INTO t VALUES (1); SELECT * FROM t;"),
+        ];
+        let m = corpus_affinities(&corpus);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn ordered_pairs_are_directional() {
+        let mut m = AffinityMap::new();
+        m.analyze(&case("INSERT INTO t VALUES (1); SELECT * FROM t;"));
+        let ins = case("INSERT INTO t VALUES (1);").statements[0].kind();
+        let sel = case("SELECT 1;").statements[0].kind();
+        assert!(m.contains(ins, sel));
+        assert!(!m.contains(sel, ins));
+    }
+}

@@ -1,0 +1,75 @@
+//! Corpus persistence: save retained seeds as `.sql` files and load a seed
+//! directory back into a fuzzer (continuous-fuzzing workflows re-start from
+//! the previous corpus, as the paper's two-week campaigns do).
+
+use lego_sqlast::TestCase;
+use std::io;
+use std::path::Path;
+
+/// Write every test case as `seed_NNNN.sql` under `dir` (created if needed).
+pub fn save_corpus(dir: &Path, corpus: &[TestCase]) -> io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    for (i, case) in corpus.iter().enumerate() {
+        std::fs::write(dir.join(format!("seed_{i:04}.sql")), case.to_sql())?;
+    }
+    Ok(corpus.len())
+}
+
+/// Load every parseable `.sql` file under `dir`, in file-name order.
+/// Unparseable files are skipped and reported in the second tuple element.
+pub fn load_corpus(dir: &Path) -> io::Result<(Vec<TestCase>, Vec<String>)> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().map_or(false, |e| e == "sql"))
+        .collect();
+    entries.sort();
+    let mut corpus = Vec::new();
+    let mut skipped = Vec::new();
+    for path in entries {
+        let sql = std::fs::read_to_string(&path)?;
+        match lego_sqlparser::parse_script(&sql) {
+            Ok(case) if !case.is_empty() => corpus.push(case),
+            _ => skipped.push(path.display().to_string()),
+        }
+    }
+    Ok((corpus, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_sqlparser::parse_script;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lego_corpus_io_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_corpus() {
+        let dir = tmpdir("rt");
+        let corpus = vec![
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);").unwrap(),
+            parse_script("SELECT 1;").unwrap(),
+        ];
+        assert_eq!(save_corpus(&dir, &corpus).unwrap(), 2);
+        let (loaded, skipped) = load_corpus(&dir).unwrap();
+        assert!(skipped.is_empty());
+        assert_eq!(loaded, corpus);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unparseable_files_are_skipped_not_fatal() {
+        let dir = tmpdir("skip");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.sql"), "FROBNICATE;").unwrap();
+        std::fs::write(dir.join("good.sql"), "SELECT 1;").unwrap();
+        let (loaded, skipped) = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(skipped.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

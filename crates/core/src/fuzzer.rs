@@ -1,0 +1,522 @@
+//! The LEGO fuzzer — Figure 4 of the paper.
+//!
+//! Each iteration: (1) *proactive affinity analysis* — pick a seed, apply
+//! sequence-oriented mutations (Algorithm 1: substitution, insertion,
+//! deletion), analyze the affinities of mutants that covered new branches
+//! (Algorithm 2); (2) *progressive sequence synthesis* — for every newly
+//! discovered affinity, synthesize all new sequences containing it
+//! (Algorithm 3) and instantiate them into executable test cases.
+//! Conventional syntax-preserving mutations run alongside, as in the
+//! implementation section (§ IV).
+
+use crate::affinity::AffinityMap;
+use crate::campaign::FuzzEngine;
+use crate::gen::{gen_statement, SchemaModel};
+use crate::instantiate::{fix_case, instantiate, AstLibrary};
+use crate::mutation::conventional_mutate_stacked;
+use crate::pool::SeedPool;
+use crate::seeds::initial_corpus;
+use crate::synthesis::SequenceStore;
+use lego_dbms::ExecReport;
+use lego_sqlast::{Dialect, StmtKind, TestCase};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Tuning knobs. Defaults follow the paper where it gives numbers
+/// (`LEN = 5`; the length-ablation experiment uses 3/5/8).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum synthesized sequence length (the paper's `LEN`).
+    pub max_seq_len: usize,
+    /// How many test cases to instantiate per synthesized sequence.
+    pub instantiations_per_seq: usize,
+    /// Cap on sequences synthesized per new affinity (engineering guard).
+    pub synth_limit_per_affinity: usize,
+    /// Conventional mutants generated per scheduled seed.
+    pub conventional_per_seed: usize,
+    /// Max stacked within-statement mutations per conventional mutant.
+    pub mutation_stack: usize,
+    /// Algorithm 1 (sequence-oriented mutation: substitution / insertion /
+    /// deletion). LEGO and LEGO- have it; SQUIRREL-style engines do not.
+    pub seq_mutation: bool,
+    /// Algorithms 2+3 (affinity analysis + progressive synthesis); `false`
+    /// gives the paper's LEGO- ablation.
+    pub sequence_oriented: bool,
+    /// Hard cap on test-case length for insertion mutants — the paper's
+    /// length limit (§ VI: unbounded seeds "may degrade the performance of
+    /// fuzzer or even cause fuzzer to be stuck", cf. the 945-statement seed
+    /// that hung SQUIRREL for 23 minutes).
+    pub max_case_len: usize,
+    /// § VI future work: "to detect bugs triggered by long sequences, we
+    /// plan to split long sequences into several equivalent short
+    /// sequences." When a retained seed exceeds `max_case_len`, keep two
+    /// overlapping halves as additional seeds.
+    pub split_long_seeds: bool,
+    /// § VI future work: "importing the model of non-adjacent combinations
+    /// between types" — also record gap-1 (one-apart) type pairs as
+    /// affinities during analysis.
+    pub nonadjacent_affinities: bool,
+    /// Pending-case queue bound; overflow is dropped and counted.
+    pub queue_cap: usize,
+    /// RNG seed for the whole campaign.
+    pub rng_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_seq_len: 5,
+            instantiations_per_seq: 2,
+            synth_limit_per_affinity: 48,
+            conventional_per_seed: 6,
+            mutation_stack: 1,
+            seq_mutation: true,
+            sequence_oriented: true,
+            max_case_len: 10,
+            split_long_seeds: true,
+            nonadjacent_affinities: false,
+            queue_cap: 20_000,
+            rng_seed: 0x1e60,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Origin {
+    Seed,
+    SeqMutation,
+    Synthesized,
+    Conventional,
+}
+
+struct Pending {
+    case: TestCase,
+    origin: Origin,
+}
+
+/// The LEGO fuzzing engine (and, with `sequence_oriented = false`, LEGO-).
+pub struct LegoFuzzer {
+    dialect: Dialect,
+    cfg: Config,
+    rng: SmallRng,
+    pool: SeedPool,
+    affinities: AffinityMap,
+    store: SequenceStore,
+    library: AstLibrary,
+    /// Seed + mutation-derived cases.
+    queue: VecDeque<Pending>,
+    /// Synthesized (Algorithm 3) cases, drained at a fixed share of the
+    /// schedule so synthesis bursts cannot starve mutation.
+    synth_queue: VecDeque<Pending>,
+    /// Scheduling counter between the two queues.
+    schedule_tick: usize,
+    /// Kinds available for substitution/insertion.
+    kinds: Vec<StmtKind>,
+    /// Ordered type 2-grams and 3-grams already observed in executed cases;
+    /// synthesized sequences offering no new n-gram are not re-instantiated.
+    executed_ngrams: std::collections::HashSet<Vec<StmtKind>>,
+    pending_origin: Origin,
+    pub stats: LegoStats,
+}
+
+/// Internal counters surfaced for the ablation tables.
+#[derive(Clone, Debug, Default)]
+pub struct LegoStats {
+    pub affinities_found: usize,
+    pub sequences_synthesized: usize,
+    pub cases_instantiated: usize,
+    /// Synthesized sequences skipped because every adjacent pair had already
+    /// been executed (scheduling optimization, reported not silent).
+    pub sequences_skipped_covered: usize,
+    pub queue_dropped: usize,
+    pub seq_mutants: usize,
+    pub conventional_mutants: usize,
+}
+
+impl LegoFuzzer {
+    pub fn new(dialect: Dialect, cfg: Config) -> Self {
+        let starters: Vec<StmtKind> = dialect
+            .supported_kinds()
+            .into_iter()
+            .filter(|k| k.is_sequence_starter())
+            .collect();
+        let mut fz = Self {
+            dialect,
+            rng: SmallRng::seed_from_u64(cfg.rng_seed),
+            pool: SeedPool::new(),
+            affinities: AffinityMap::new(),
+            store: SequenceStore::new(cfg.max_seq_len, &starters),
+            library: AstLibrary::new(),
+            queue: VecDeque::new(),
+            synth_queue: VecDeque::new(),
+            schedule_tick: 0,
+            kinds: dialect.supported_kinds(),
+            executed_ngrams: std::collections::HashSet::new(),
+            pending_origin: Origin::Seed,
+            stats: LegoStats::default(),
+            cfg,
+        };
+        for case in initial_corpus(dialect) {
+            fz.queue.push_back(Pending { case, origin: Origin::Seed });
+        }
+        fz
+    }
+
+    /// Convenience constructor for the LEGO- ablation (§ V-D).
+    pub fn lego_minus(dialect: Dialect, mut cfg: Config) -> Self {
+        cfg.sequence_oriented = false;
+        Self::new(dialect, cfg)
+    }
+
+    /// Start from a caller-supplied seed corpus instead of the built-in one
+    /// (e.g. a corpus reloaded via [`crate::corpus_io::load_corpus`]).
+    pub fn with_corpus(dialect: Dialect, cfg: Config, corpus: Vec<TestCase>) -> Self {
+        let mut fz = Self::new(dialect, cfg);
+        fz.queue.clear();
+        for case in corpus {
+            fz.queue.push_back(Pending { case, origin: Origin::Seed });
+        }
+        fz
+    }
+
+    pub fn affinity_count(&self) -> usize {
+        self.affinities.len()
+    }
+
+    fn push(&mut self, case: TestCase, origin: Origin) {
+        let q = if origin == Origin::Synthesized { &mut self.synth_queue } else { &mut self.queue };
+        if q.len() >= self.cfg.queue_cap {
+            self.stats.queue_dropped += 1;
+            return;
+        }
+        q.push_back(Pending { case, origin });
+    }
+
+    fn random_kind(&mut self, not: Option<StmtKind>) -> StmtKind {
+        loop {
+            // Proactive exploration: when the affinity machinery is on, half
+            // of the draws steer toward statement types whose affinities are
+            // still unexplored (fewest known successors), so the type space
+            // is swept systematically rather than by uniform luck.
+            let k = if self.cfg.sequence_oriented && self.rng.gen_bool(0.5) {
+                let mut best = self.kinds[self.rng.gen_range(0..self.kinds.len())];
+                let mut best_deg = self.affinities.successors(best).count();
+                for _ in 0..3 {
+                    let cand = self.kinds[self.rng.gen_range(0..self.kinds.len())];
+                    let deg = self.affinities.successors(cand).count();
+                    if deg < best_deg {
+                        best = cand;
+                        best_deg = deg;
+                    }
+                }
+                best
+            } else {
+                self.kinds[self.rng.gen_range(0..self.kinds.len())]
+            };
+            if Some(k) != not {
+                return k;
+            }
+        }
+    }
+
+    /// Algorithm 1 over one seed: for each statement, build the
+    /// substitution / insertion / deletion mutants. (They are *executed*
+    /// later by the campaign loop; affinity analysis happens in `feedback`
+    /// for the ones that hit new branches.)
+    fn sequence_mutants(&mut self, seed: &TestCase) -> Vec<TestCase> {
+        let mut out = Vec::new();
+        let n = seed.statements.len().min(12);
+        for i in 0..n {
+            let schema = SchemaModel::of_statements(&seed.statements[..i]);
+            // Substitution.
+            {
+                let current = seed.statements[i].kind();
+                let kind = self.random_kind(Some(current));
+                let stmt = gen_statement(kind, &schema, self.dialect, &mut self.rng);
+                let mut q1 = seed.clone();
+                q1.statements[i] = stmt;
+                fix_case(&mut q1, &mut self.rng);
+                out.push(q1);
+            }
+            // Insertion after (unless the seed is already at the length
+            // cap). Insertion *extends* sequences — composition — so it
+            // belongs to the sequence-synthesis half of LEGO and is disabled
+            // in the LEGO- ablation along with Algorithms 2-3; LEGO- keeps
+            // substitution and deletion (type exploration over existing
+            // sequence shapes).
+            if self.cfg.sequence_oriented && seed.statements.len() < self.cfg.max_case_len {
+                let kind = self.random_kind(None);
+                let stmt = gen_statement(kind, &schema, self.dialect, &mut self.rng);
+                let mut q2 = seed.clone();
+                q2.statements.insert(i + 1, stmt);
+                fix_case(&mut q2, &mut self.rng);
+                out.push(q2);
+            }
+            // Deletion.
+            if seed.statements.len() > 1 {
+                let mut q3 = seed.clone();
+                q3.statements.remove(i);
+                fix_case(&mut q3, &mut self.rng);
+                out.push(q3);
+            }
+        }
+        self.stats.seq_mutants += out.len();
+        out
+    }
+
+    /// Schedule one fuzzing iteration's worth of pending cases.
+    fn schedule_iteration(&mut self) {
+        let seed_case = match self.pool.pick(&mut self.rng) {
+            Some(s) => s.case.clone(),
+            None => {
+                // Pool still empty (feedback not yet processed): re-inject a
+                // built-in seed.
+                initial_corpus(self.dialect)[0].clone()
+            }
+        };
+        if self.cfg.seq_mutation {
+            for mutant in self.sequence_mutants(&seed_case) {
+                self.push(mutant, Origin::SeqMutation);
+            }
+        }
+        for _ in 0..self.cfg.conventional_per_seed {
+            let mutant =
+                conventional_mutate_stacked(&seed_case, &mut self.rng, self.cfg.mutation_stack);
+            self.stats.conventional_mutants += 1;
+            self.push(mutant, Origin::Conventional);
+        }
+    }
+
+    /// Progressive synthesis for freshly discovered affinities.
+    fn synthesize_for(&mut self, new_affinities: &[(StmtKind, StmtKind)]) {
+        for &(t1, t2) in new_affinities {
+            let seqs = self.store.on_new_affinity(
+                t1,
+                t2,
+                &self.affinities,
+                self.cfg.synth_limit_per_affinity,
+            );
+            self.stats.sequences_synthesized += seqs.len();
+            for seq in seqs {
+                // Instantiate only sequences that would execute at least one
+                // type 2-gram or 3-gram never executed before; the rest
+                // re-cover known interactions and are skipped to keep seeds
+                // cheap (§ II C3).
+                let has_new_pair = seq.windows(2).any(|w| !self.executed_ngrams.contains(w));
+                let has_new_ngram = has_new_pair
+                    || seq.windows(3).any(|w| !self.executed_ngrams.contains(w));
+                if !has_new_ngram {
+                    self.stats.sequences_skipped_covered += 1;
+                    continue;
+                }
+                // New pairs justify multiple structural variations; new
+                // triples over known pairs get one shot.
+                let n_inst = if has_new_pair { self.cfg.instantiations_per_seq } else { 1 };
+                for _ in 0..n_inst {
+                    let case = instantiate(&seq, &self.library, self.dialect, &mut self.rng);
+                    self.stats.cases_instantiated += 1;
+                    self.push(case, Origin::Synthesized);
+                }
+            }
+        }
+    }
+}
+
+impl FuzzEngine for LegoFuzzer {
+    fn name(&self) -> &'static str {
+        if self.cfg.sequence_oriented {
+            "LEGO"
+        } else {
+            "LEGO-"
+        }
+    }
+
+    fn next_case(&mut self) -> TestCase {
+        loop {
+            self.schedule_tick = self.schedule_tick.wrapping_add(1);
+            // One synthesized case per two mutation-derived cases.
+            if self.schedule_tick % 3 == 0 {
+                if let Some(p) = self.synth_queue.pop_front() {
+                    self.pending_origin = p.origin;
+                    return p.case;
+                }
+            }
+            // Mutation arm: generate work on demand so synthesis bursts can
+            // never take more than half the execution budget.
+            if self.queue.is_empty() {
+                self.schedule_iteration();
+            }
+            if let Some(p) = self.queue.pop_front() {
+                self.pending_origin = p.origin;
+                return p.case;
+            }
+        }
+    }
+
+    fn feedback(&mut self, case: &TestCase, report: &ExecReport, new_coverage: bool) {
+        if self.cfg.sequence_oriented {
+            let seq = case.type_sequence();
+            for n in 2..=3 {
+                for w in seq.windows(n) {
+                    self.executed_ngrams.insert(w.to_vec());
+                }
+            }
+        }
+        if !new_coverage {
+            return;
+        }
+        // Retain the seed and harvest its AST structures.
+        self.pool.add(case.clone(), report.statements_executed.max(1));
+        self.library.add_case(case);
+        // § VI: over-long seeds are additionally kept as two overlapping
+        // halves, so their subsequences stay cheap to mutate.
+        if self.cfg.split_long_seeds && case.len() > self.cfg.max_case_len {
+            let mid = case.len() / 2;
+            let overlap = 2.min(mid);
+            let first = TestCase::new(case.statements[..(mid + overlap)].to_vec());
+            let mut second = TestCase::new(case.statements[(mid - overlap)..].to_vec());
+            fix_case(&mut second, &mut self.rng);
+            self.pool.add(first, mid + overlap);
+            self.pool.add(second, case.len() - mid + overlap);
+        }
+        if self.cfg.sequence_oriented {
+            // Algorithm 2 on the interesting case, then Algorithm 3 for the
+            // new affinities it produced.
+            let mut new_affs = self.affinities.analyze(case);
+            if self.cfg.nonadjacent_affinities {
+                // Future-work §VI model: types one statement apart are also
+                // chronologically related.
+                let seq = case.type_sequence();
+                for w in seq.windows(3) {
+                    if w[0] != w[2] && self.affinities.insert(w[0], w[2]) {
+                        new_affs.push((w[0], w[2]));
+                    }
+                }
+            }
+            self.stats.affinities_found = self.affinities.len();
+            if !new_affs.is_empty() {
+                self.synthesize_for(&new_affs);
+            }
+        }
+    }
+
+    fn corpus(&self) -> Vec<TestCase> {
+        self.pool.cases().cloned().collect()
+    }
+}
+
+// The trait needs somewhere to stash the origin between next_case/feedback;
+// kept as a plain field.
+impl LegoFuzzer {
+    #[allow(dead_code)]
+    fn origin_of_last(&self) -> Origin {
+        self.pending_origin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lego_produces_cases_immediately() {
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, Config::default());
+        let case = fz.next_case();
+        assert!(!case.is_empty());
+    }
+
+    #[test]
+    fn feedback_with_new_coverage_grows_pool_and_affinities() {
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, Config::default());
+        let case = fz.next_case();
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let report = db.execute_case(&case);
+        fz.feedback(&case, &report, true);
+        assert_eq!(fz.corpus().len(), 1);
+        assert!(fz.affinity_count() > 0);
+    }
+
+    #[test]
+    fn lego_minus_never_analyzes_affinities() {
+        let mut fz = LegoFuzzer::lego_minus(Dialect::Postgres, Config::default());
+        assert_eq!(fz.name(), "LEGO-");
+        let case = fz.next_case();
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let report = db.execute_case(&case);
+        fz.feedback(&case, &report, true);
+        assert_eq!(fz.affinity_count(), 0);
+        assert_eq!(fz.stats.sequences_synthesized, 0);
+    }
+
+    #[test]
+    fn sequence_mutants_change_the_type_sequence() {
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, Config::default());
+        let seed = initial_corpus(Dialect::Postgres)[0].clone();
+        let mutants = fz.sequence_mutants(&seed);
+        assert!(!mutants.is_empty());
+        let changed = mutants
+            .iter()
+            .filter(|m| m.type_sequence() != seed.type_sequence())
+            .count();
+        assert!(changed * 10 >= mutants.len() * 9, "{changed}/{}", mutants.len());
+    }
+
+    #[test]
+    fn long_seeds_are_split_into_overlapping_halves() {
+        let mut cfg = Config::default();
+        cfg.max_case_len = 4;
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, cfg);
+        let case = lego_sqlparser::parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;              UPDATE t SET a = 2; DELETE FROM t; SELECT 1;",
+        )
+        .unwrap();
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let report = db.execute_case(&case);
+        fz.feedback(&case, &report, true);
+        // Original + two halves.
+        assert_eq!(fz.corpus().len(), 3);
+        assert!(fz.corpus().iter().skip(1).all(|c| c.len() < case.len()));
+    }
+
+    #[test]
+    fn nonadjacent_affinities_extension_records_gap_pairs() {
+        let mut cfg = Config::default();
+        cfg.nonadjacent_affinities = true;
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, cfg);
+        let case = lego_sqlparser::parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let report = db.execute_case(&case);
+        fz.feedback(&case, &report, true);
+        // Adjacent pairs (CT,INS), (INS,SEL) plus the gap pair (CT,SEL).
+        assert_eq!(fz.affinity_count(), 3);
+    }
+
+    #[test]
+    fn synthesis_is_triggered_by_new_affinities() {
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, Config::default());
+        // Feed it an interesting case with a novel pair.
+        let case = lego_sqlparser::parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let report = db.execute_case(&case);
+        fz.feedback(&case, &report, true);
+        assert!(fz.stats.sequences_synthesized > 0);
+        // The discovering case itself covered its own n-grams, so direct
+        // re-instantiations are filtered; a second case with different pairs
+        // unlocks *combination* sequences, which must be instantiated.
+        let case2 = lego_sqlparser::parse_script(
+            "CREATE TABLE u (b INT); SELECT * FROM u; INSERT INTO u VALUES (2); DELETE FROM u;",
+        )
+        .unwrap();
+        let mut db2 = lego_dbms::Dbms::new(Dialect::Postgres);
+        let report2 = db2.execute_case(&case2);
+        fz.feedback(&case2, &report2, true);
+        assert!(fz.stats.cases_instantiated > 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Instantiation: turning SQL Type Sequences into executable test cases
+//! (paper § III-B, the three-step AST synthesis / concatenation / validation
+//! pipeline).
+
+use crate::gen::{gen_literal, gen_statement, SchemaModel};
+use lego_sqlast::ast::{Insert, InsertSource, Statement};
+use lego_sqlast::expr::{DataType, Expr};
+use lego_sqlast::skeleton::{rebind, structure_key};
+use lego_sqlast::{Dialect, StmtKind, TestCase};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// The global AST-structure library: type-matched statement skeletons
+/// harvested from every retained seed ("LEGO parses each of its statements to
+/// extract AST structures and saves them into the global library").
+#[derive(Clone, Debug, Default)]
+pub struct AstLibrary {
+    by_kind: HashMap<StmtKind, Vec<Statement>>,
+    keys: HashSet<u64>,
+    per_kind_cap: usize,
+}
+
+impl AstLibrary {
+    pub fn new() -> Self {
+        Self { by_kind: HashMap::new(), keys: HashSet::new(), per_kind_cap: 32 }
+    }
+
+    /// Harvest the structures of a retained test case. Structural duplicates
+    /// (same skeleton) are ignored so the library stays non-repetitive.
+    pub fn add_case(&mut self, case: &TestCase) {
+        for stmt in &case.statements {
+            let key = structure_key(stmt);
+            if !self.keys.insert(key) {
+                continue;
+            }
+            let bucket = self.by_kind.entry(stmt.kind()).or_default();
+            if bucket.len() < self.per_kind_cap {
+                bucket.push(stmt.clone());
+            }
+        }
+    }
+
+    /// Pick a random type-matched structure.
+    pub fn pick(&self, kind: StmtKind, rng: &mut SmallRng) -> Option<Statement> {
+        self.by_kind.get(&kind).and_then(|v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v[rng.gen_range(0..v.len())].clone())
+            }
+        })
+    }
+
+    pub fn kinds(&self) -> usize {
+        self.by_kind.len()
+    }
+
+    pub fn structures(&self) -> usize {
+        self.by_kind.values().map(Vec::len).sum()
+    }
+}
+
+/// Semantic validation and data refill (paper: "the dependencies between
+/// different data are analyzed, and the AST will be filled with concrete
+/// values that satisfy all dependencies").
+///
+/// Walks the case front to back maintaining a [`SchemaModel`]:
+/// * creation targets colliding with existing relations get fresh names,
+/// * references to unknown tables are rebound to existing ones,
+/// * column references are rebound to columns of the referenced tables,
+/// * INSERT row widths are fixed up against the target table,
+/// * literals are occasionally re-randomized (data refill).
+pub fn fix_case(case: &mut TestCase, rng: &mut SmallRng) {
+    let mut schema = SchemaModel::new();
+    for stmt in &mut case.statements {
+        fix_statement(stmt, &schema, rng);
+        schema.observe(stmt);
+    }
+}
+
+fn fix_statement(stmt: &mut Statement, schema: &SchemaModel, rng: &mut SmallRng) {
+    // 1. Creation targets must not collide.
+    match stmt {
+        Statement::CreateTable(c) => {
+            if schema.has_table(&c.name) {
+                c.name = schema.fresh_table_name(rng);
+            }
+            // Self/FK references to unknown tables point back at an existing
+            // table (or the table itself).
+            let own = c.name.clone();
+            for col in &mut c.columns {
+                for con in &mut col.constraints {
+                    if let lego_sqlast::ast::ColumnConstraint::References { table, .. } = con {
+                        if !schema.has_table(table) {
+                            *table = schema
+                                .random_table(rng)
+                                .map(|t| t.name.clone())
+                                .unwrap_or_else(|| own.clone());
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        Statement::CreateTableAs { name, query } => {
+            if schema.has_table(name) {
+                *name = schema.fresh_table_name(rng);
+            }
+            let mut q = Statement::Select(lego_sqlast::ast::SelectStmt {
+                query: query.clone(),
+                variant: lego_sqlast::ast::SelectVariant::Plain,
+            });
+            fix_statement(&mut q, schema, rng);
+            if let Statement::Select(s) = q {
+                *query = s.query;
+            }
+            return;
+        }
+        Statement::CreateView(v) => {
+            if schema.has_table(&v.name) {
+                v.name = schema.fresh_table_name(rng);
+            }
+        }
+        _ => {}
+    }
+
+    // 2. Rebind unknown table references.
+    rebind(
+        stmt,
+        |t| {
+            if !schema.has_table(t) {
+                if let Some(existing) = schema.random_table(rng) {
+                    *t = existing.name.clone();
+                }
+            }
+        },
+        |_c| {},
+        |_l| {},
+    );
+
+    // 3. Rebind column references to columns of the tables now referenced.
+    let tables = lego_sqlast::visit::table_names(stmt);
+    let mut cols: Vec<(String, DataType)> = Vec::new();
+    for t in &tables {
+        if let Some(tm) = schema.table(t) {
+            cols.extend(tm.columns.iter().cloned());
+        }
+    }
+    if !cols.is_empty() {
+        let known: HashSet<String> =
+            cols.iter().map(|(n, _)| n.to_ascii_lowercase()).collect();
+        rebind(
+            stmt,
+            |_t| {},
+            |c| {
+                if !known.contains(&c.to_ascii_lowercase()) && !c.starts_with('$') {
+                    *c = cols[rng.gen_range(0..cols.len())].0.clone();
+                }
+            },
+            |_l| {},
+        );
+    }
+
+    // 4. Data refill: re-randomize a fraction of literals.
+    rebind(
+        stmt,
+        |_t| {},
+        |_c| {},
+        |l| {
+            if rng.gen_bool(0.3) {
+                let ty = match l {
+                    Expr::Integer(_) | Expr::Float(_) => DataType::Int,
+                    Expr::Str(_) => DataType::Text,
+                    Expr::Bool(_) => DataType::Bool,
+                    _ => return,
+                };
+                *l = gen_literal(ty, rng);
+            }
+        },
+    );
+
+    // 5. INSERT shape fix-up: row width must match the target table.
+    if let Statement::Insert(Insert { table, columns, source: InsertSource::Values(rows), .. }) =
+        stmt
+    {
+        if let Some(tm) = schema.table(table) {
+            let width = if columns.is_empty() {
+                // Unknown column lists were rebound above; drop any stale list.
+                tm.columns.len()
+            } else {
+                columns.retain(|c| tm.columns.iter().any(|(n, _)| n.eq_ignore_ascii_case(c)));
+                if columns.is_empty() {
+                    tm.columns.len()
+                } else {
+                    columns.len()
+                }
+            };
+            for row in rows {
+                while row.len() > width {
+                    row.pop();
+                }
+                while row.len() < width {
+                    let ty = tm.columns.get(row.len()).map(|(_, t)| *t).unwrap_or(DataType::Int);
+                    row.push(gen_literal(ty, rng));
+                }
+            }
+        }
+    }
+}
+
+/// Instantiate a SQL Type Sequence into an executable test case: pick a
+/// type-matched structure from the library for each entry (falling back to
+/// the generator), concatenate, and run the validation/refill pass.
+pub fn instantiate(
+    seq: &[StmtKind],
+    lib: &AstLibrary,
+    dialect: Dialect,
+    rng: &mut SmallRng,
+) -> TestCase {
+    let mut statements = Vec::with_capacity(seq.len() + 1);
+    let mut schema = SchemaModel::new();
+    // Dependency analysis: almost every statement needs a relation to act
+    // on; when the sequence itself creates none, prepend a CREATE TABLE so
+    // the instantiated case is semantically valid (paper § III-B: "the
+    // dependencies between statements are also analyzed and maintained").
+    let creates_table = seq.iter().any(|k| {
+        matches!(
+            k,
+            StmtKind::Ddl(lego_sqlast::kind::DdlVerb::Create, lego_sqlast::kind::ObjectKind::Table)
+        )
+    });
+    if !creates_table {
+        let ct = gen_statement(
+            StmtKind::Ddl(lego_sqlast::kind::DdlVerb::Create, lego_sqlast::kind::ObjectKind::Table),
+            &schema,
+            dialect,
+            rng,
+        );
+        schema.observe(&ct);
+        statements.push(ct);
+        // …and populate it, so data-dependent statements downstream are
+        // exercised on real rows rather than empty relations.
+        if !seq.contains(&StmtKind::Other(lego_sqlast::kind::StandaloneKind::Insert)) {
+            let ins = gen_statement(
+                StmtKind::Other(lego_sqlast::kind::StandaloneKind::Insert),
+                &schema,
+                dialect,
+                rng,
+            );
+            statements.push(ins);
+        }
+    }
+    for &kind in seq {
+        let stmt = match lib.pick(kind, rng) {
+            // "Because of the randomness in selecting structures, one SQL
+            // Type Sequence will be instantiated multiple times."
+            Some(s) if rng.gen_bool(0.8) => s,
+            _ => gen_statement(kind, &schema, dialect, rng),
+        };
+        schema.observe(&stmt);
+        statements.push(stmt);
+    }
+    let mut case = TestCase::new(statements);
+    fix_case(&mut case, rng);
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_sqlast::kind::{DdlVerb, ObjectKind, StandaloneKind};
+    use lego_sqlparser::parse_script;
+    use rand::SeedableRng;
+
+    const CT: StmtKind = StmtKind::Ddl(DdlVerb::Create, ObjectKind::Table);
+    const INS: StmtKind = StmtKind::Other(StandaloneKind::Insert);
+    const SEL: StmtKind = StmtKind::Other(StandaloneKind::Select);
+
+    #[test]
+    fn library_dedups_structures() {
+        let mut lib = AstLibrary::new();
+        let case = parse_script("INSERT INTO a VALUES (1); INSERT INTO b VALUES (999);").unwrap();
+        lib.add_case(&case);
+        // Same skeleton -> one structure.
+        assert_eq!(lib.structures(), 1);
+        let case2 = parse_script("INSERT INTO a (x) VALUES (1);").unwrap();
+        lib.add_case(&case2);
+        assert_eq!(lib.structures(), 2);
+    }
+
+    #[test]
+    fn instantiated_sequence_has_requested_types() {
+        let lib = AstLibrary::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let seq = [CT, INS, SEL];
+        let case = instantiate(&seq, &lib, Dialect::Postgres, &mut rng);
+        assert_eq!(case.type_sequence(), seq.to_vec());
+    }
+
+    #[test]
+    fn instantiated_cases_execute_mostly_clean() {
+        // The paper's instantiation example: PRAGMA -> CREATE TABLE ->
+        // INSERT, where the INSERT initially references a missing table and
+        // the validator repairs it.
+        let lib = AstLibrary::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let seq = [CT, INS, SEL];
+        let mut clean = 0;
+        for _ in 0..30 {
+            let case = instantiate(&seq, &lib, Dialect::Postgres, &mut rng);
+            let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+            let r = db.execute_case(&case);
+            if r.errors.is_empty() {
+                clean += 1;
+            }
+        }
+        // Validation should make the clear majority semantically valid.
+        assert!(clean >= 20, "only {clean}/30 instantiations were clean");
+    }
+
+    #[test]
+    fn fixer_repairs_unknown_references() {
+        let mut case = parse_script(
+            "CREATE TABLE v0 (x INT PRIMARY KEY, y INT);\n\
+             INSERT INTO v2 (v1) VALUES (100);",
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        fix_case(&mut case, &mut rng);
+        let sql = case.to_sql();
+        assert!(sql.contains("INSERT INTO v0"), "{sql}");
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let r = db.execute_case(&case);
+        assert!(r.errors.is_empty(), "{:?}\n{}", r.errors, sql);
+    }
+
+    #[test]
+    fn fixer_renames_colliding_creations() {
+        let mut case = parse_script(
+            "CREATE TABLE t (a INT);\n\
+             CREATE TABLE t (b INT);",
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        fix_case(&mut case, &mut rng);
+        let seq = lego_sqlast::visit::table_names(&case.statements[1]);
+        assert_ne!(seq[0], "t");
+    }
+
+    #[test]
+    fn fixer_pads_insert_rows() {
+        let mut case = parse_script(
+            "CREATE TABLE t (a INT, b INT, c INT);\n\
+             INSERT INTO t VALUES (1);",
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        fix_case(&mut case, &mut rng);
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let r = db.execute_case(&case);
+        assert!(r.errors.is_empty(), "{:?}\n{}", r.errors, case.to_sql());
+    }
+
+    #[test]
+    fn pick_returns_none_for_unknown_kind() {
+        let lib = AstLibrary::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(lib.pick(CT, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,53 @@
+#![forbid(unsafe_code)]
+
+//! `lego` — the sequence-oriented DBMS fuzzer of *Sequence-Oriented DBMS
+//! Fuzzing* (ICDE 2023), reproduced in Rust.
+//!
+//! The pipeline (paper Figure 4):
+//!
+//! 1. **Proactive affinity analysis** — pick a seed from the pool, apply
+//!    [sequence-oriented mutations](fuzzer) (Algorithm 1: substitution,
+//!    insertion, deletion), and for every mutant that covers new branches,
+//!    extract its [type-affinities](affinity) (Algorithm 2).
+//! 2. **Progressive sequence synthesis** — for every *new* affinity,
+//!    [synthesize](synthesis) all new SQL Type Sequences containing it up to
+//!    length `LEN` (Algorithm 3, via the Prefix Sequence index), and
+//!    [instantiate](instantiate/index.html) each sequence into executable test cases
+//!    from the AST-structure library with dependency fixing and data refill.
+//!
+//! The [campaign] module provides the engine-agnostic harness used to
+//! compare LEGO with the baseline fuzzers on identical terms.
+//!
+//! ```
+//! use lego::prelude::*;
+//!
+//! let mut fuzzer = LegoFuzzer::new(Dialect::Postgres, Config::default());
+//! let stats = run_campaign(&mut fuzzer, Dialect::Postgres, Budget::execs(200));
+//! assert!(stats.branches > 0);
+//! ```
+
+pub mod affinity;
+pub mod campaign;
+pub mod corpus_io;
+pub mod fuzzer;
+pub mod gen;
+pub mod instantiate;
+pub mod mutation;
+pub mod pool;
+pub mod reduce;
+pub mod seeds;
+pub mod synthesis;
+
+pub use affinity::AffinityMap;
+pub use campaign::{run_campaign, Budget, CampaignStats, FuzzEngine};
+pub use fuzzer::{Config, LegoFuzzer};
+pub use reduce::reduce_case;
+pub use synthesis::SequenceStore;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::affinity::AffinityMap;
+    pub use crate::campaign::{run_campaign, Budget, CampaignStats, FuzzEngine};
+    pub use crate::fuzzer::{Config, LegoFuzzer};
+    pub use lego_sqlast::{Dialect, StmtKind, TestCase};
+}

@@ -1,0 +1,294 @@
+//! Conventional (syntax-preserving, within-statement) mutations — the
+//! structure/data mutations all coverage-guided DBMS fuzzers share
+//! (SQUIRREL-style), deliberately *unable* to change the SQL Type Sequence.
+
+use crate::gen::{gen_expr, gen_literal, SchemaModel};
+use crate::instantiate::fix_case;
+use lego_sqlast::ast::*;
+use lego_sqlast::expr::*;
+use lego_sqlast::skeleton::rebind;
+use lego_sqlast::TestCase;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Apply one random within-statement mutation to a random statement of the
+/// case; the result keeps the exact same SQL Type Sequence.
+pub fn conventional_mutate(case: &TestCase, rng: &mut SmallRng) -> TestCase {
+    conventional_mutate_stacked(case, rng, 1)
+}
+
+/// Apply up to `stack` within-statement mutations (SQUIRREL stacks several
+/// structure/data edits per generated input).
+pub fn conventional_mutate_stacked(case: &TestCase, rng: &mut SmallRng, stack: usize) -> TestCase {
+    let mut out = case.clone();
+    if out.statements.is_empty() {
+        return out;
+    }
+    let n = rng.gen_range(1..=stack.max(1));
+    for _ in 0..n {
+        let idx = rng.gen_range(0..out.statements.len());
+        let schema = SchemaModel::of_statements(&out.statements[..idx]);
+        let cols = schema
+            .random_table(rng)
+            .map(|t| t.columns.clone())
+            .unwrap_or_default();
+        let before = out.statements[idx].kind();
+        mutate_statement(&mut out.statements[idx], &cols, rng);
+        debug_assert_eq!(out.statements[idx].kind(), before, "conventional mutation changed the type");
+    }
+    fix_case(&mut out, rng);
+    out
+}
+
+fn mutate_statement(stmt: &mut Statement, cols: &[(String, DataType)], rng: &mut SmallRng) {
+    // Try a structure mutation specific to the statement shape; fall back to
+    // literal tweaking, which applies to anything with data.
+    let done = match stmt {
+        Statement::Select(s) => mutate_query(&mut s.query, cols, rng),
+        Statement::Update(u) => {
+            match rng.gen_range(0..3) {
+                0 => {
+                    u.where_ = if u.where_.is_some() && rng.gen_bool(0.5) {
+                        None
+                    } else {
+                        Some(gen_expr(cols, rng, 2))
+                    };
+                }
+                1 => {
+                    if let Some((_, e)) = u.assignments.first_mut() {
+                        *e = gen_expr(cols, rng, 1);
+                    }
+                }
+                _ => {
+                    if !cols.is_empty() {
+                        let c = cols[rng.gen_range(0..cols.len())].clone();
+                        u.assignments.push((c.0, gen_literal(c.1, rng)));
+                    }
+                }
+            }
+            true
+        }
+        Statement::Delete(d) => {
+            d.where_ = if d.where_.is_some() && rng.gen_bool(0.4) {
+                None
+            } else {
+                Some(gen_expr(cols, rng, 2))
+            };
+            true
+        }
+        Statement::Insert(i) => {
+            match (&mut i.source, rng.gen_range(0..3)) {
+                (InsertSource::Values(rows), 0) => {
+                    // Add a row shaped like the first.
+                    if let Some(first) = rows.first().cloned() {
+                        rows.push(
+                            first
+                                .iter()
+                                .map(|_| gen_literal(DataType::Int, rng))
+                                .collect(),
+                        );
+                    }
+                    true
+                }
+                (InsertSource::Values(rows), 1) => {
+                    if rows.len() > 1 {
+                        let k = rng.gen_range(0..rows.len());
+                        rows.remove(k);
+                    }
+                    true
+                }
+                _ => {
+                    // Toggling IGNORE is a structure change, not a type change.
+                    i.ignore = !i.ignore;
+                    true
+                }
+            }
+        }
+        Statement::CreateIndex(ci) => {
+            ci.unique = !ci.unique;
+            true
+        }
+        Statement::CreateView(v) => mutate_query(&mut v.query, cols, rng),
+        Statement::With(w) => match &mut *w.body {
+            Statement::Select(s) => mutate_query(&mut s.query, cols, rng),
+            Statement::Delete(d) => {
+                d.where_ = Some(gen_expr(cols, rng, 1));
+                true
+            }
+            _ => false,
+        },
+        _ => false,
+    };
+    if !done {
+        // Data mutation: perturb literals in place.
+        rebind(
+            stmt,
+            |_t| {},
+            |_c| {},
+            |l| {
+                if rng.gen_bool(0.5) {
+                    match l {
+                        Expr::Integer(v) => {
+                            *v = v
+                                .wrapping_add(rng.gen_range(-10i64..100))
+                                .wrapping_mul(if rng.gen_bool(0.1) { -1 } else { 1 })
+                        }
+                        Expr::Float(v) => *v *= 2.5,
+                        Expr::Str(s) => s.push('x'),
+                        Expr::Bool(b) => *b = !*b,
+                        _ => {}
+                    }
+                }
+            },
+        );
+    }
+}
+
+/// Structure mutations over a query (the grey "mutation areas" of Fig. 1).
+fn mutate_query(q: &mut Query, cols: &[(String, DataType)], rng: &mut SmallRng) -> bool {
+    match rng.gen_range(0..6) {
+        0 => {
+            // WHERE add/replace/remove — the paper's running example turns
+            // `WHERE v1=1` into `ORDER BY v1`.
+            if let SetExpr::Select(sel) = &mut q.body {
+                sel.where_ = if sel.where_.is_some() && rng.gen_bool(0.4) {
+                    None
+                } else {
+                    Some(gen_expr(cols, rng, 2))
+                };
+                return true;
+            }
+            false
+        }
+        1 => {
+            if q.order_by.is_empty() && !cols.is_empty() {
+                q.order_by.push(OrderItem {
+                    expr: Expr::col(cols[rng.gen_range(0..cols.len())].0.clone()),
+                    desc: rng.gen_bool(0.5),
+                });
+            } else if !q.order_by.is_empty() {
+                if rng.gen_bool(0.5) {
+                    q.order_by[0].desc = !q.order_by[0].desc;
+                } else {
+                    q.order_by.clear();
+                }
+            }
+            true
+        }
+        2 => {
+            if let SetExpr::Select(sel) = &mut q.body {
+                sel.distinct = !sel.distinct;
+                return true;
+            }
+            false
+        }
+        3 => {
+            q.limit = match q.limit {
+                Some(_) if rng.gen_bool(0.4) => None,
+                _ => Some(Expr::Integer(rng.gen_range(0..100))),
+            };
+            true
+        }
+        4 => {
+            if let SetExpr::Select(sel) = &mut q.body {
+                if sel.group_by.is_empty() && !cols.is_empty() {
+                    let key = cols[rng.gen_range(0..cols.len())].0.clone();
+                    sel.group_by = vec![Expr::col(key.clone())];
+                    sel.projection = vec![
+                        SelectItem::Expr { expr: Expr::col(key), alias: None },
+                        SelectItem::Expr { expr: Expr::Func(FuncCall::star("COUNT")), alias: None },
+                    ];
+                } else {
+                    sel.group_by.clear();
+                }
+                return true;
+            }
+            false
+        }
+        _ => {
+            if let SetExpr::Select(sel) = &mut q.body {
+                if !cols.is_empty() && rng.gen_bool(0.35) {
+                    // Window-function projection (structure-level mutation).
+                    let wf = ["ROW_NUMBER", "RANK", "LEAD"][rng.gen_range(0..3)];
+                    let args = if wf == "LEAD" { vec![gen_expr(cols, rng, 0)] } else { vec![] };
+                    sel.projection.push(SelectItem::Expr {
+                        expr: Expr::Window {
+                            func: FuncCall::new(wf, args),
+                            spec: WindowSpec {
+                                partition_by: vec![],
+                                order_by: vec![OrderItem {
+                                    expr: Expr::col(cols[rng.gen_range(0..cols.len())].0.clone()),
+                                    desc: false,
+                                }],
+                                frame: None,
+                            },
+                        },
+                        alias: None,
+                    });
+                } else {
+                    sel.projection = vec![if rng.gen_bool(0.5) {
+                        SelectItem::Star
+                    } else {
+                        SelectItem::Expr { expr: gen_expr(cols, rng, 1), alias: None }
+                    }];
+                }
+                return true;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_sqlparser::parse_script;
+    use rand::SeedableRng;
+
+    fn fig1_seed() -> TestCase {
+        parse_script(
+            "CREATE TABLE t1 (v1 INT, v2 INT);\n\
+             INSERT INTO t1 VALUES (1, 1);\n\
+             INSERT INTO t1 VALUES (2, 1);\n\
+             SELECT v2 FROM t1 WHERE v1 = 1;",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conventional_mutation_preserves_type_sequence() {
+        let seed = fig1_seed();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let mutant = conventional_mutate(&seed, &mut rng);
+            assert_eq!(mutant.type_sequence(), seed.type_sequence());
+        }
+    }
+
+    #[test]
+    fn conventional_mutation_changes_something() {
+        let seed = fig1_seed();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let changed = (0..50)
+            .map(|_| conventional_mutate(&seed, &mut rng))
+            .filter(|m| *m != seed)
+            .count();
+        assert!(changed > 30, "mutations were mostly no-ops: {changed}/50");
+    }
+
+    #[test]
+    fn mutants_remain_executable() {
+        let seed = fig1_seed();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut clean = 0;
+        for _ in 0..50 {
+            let mutant = conventional_mutate(&seed, &mut rng);
+            let mut db = lego_dbms::Dbms::new(lego_sqlast::Dialect::Postgres);
+            let r = db.execute_case(&mutant);
+            if r.errors.is_empty() {
+                clean += 1;
+            }
+        }
+        assert!(clean >= 35, "only {clean}/50 mutants executed cleanly");
+    }
+}

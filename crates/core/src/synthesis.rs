@@ -1,0 +1,235 @@
+//! Progressive sequence synthesis — Algorithm 3 of the paper.
+//!
+//! The *Prefix Sequence* index `PS` maps `(ending type τ, length λ)` to the
+//! indexes of already-generated sequences in `S`, so that when a new affinity
+//! `t1 → t2` is discovered, only the sequences containing that new affinity
+//! are synthesized (Figure 6), never the whole space again.
+
+use crate::affinity::AffinityMap;
+use lego_sqlast::StmtKind;
+use std::collections::HashMap;
+
+/// The synthesized-sequence store: `S`, `PS`, and the length limit `LEN`.
+#[derive(Clone, Debug)]
+pub struct SequenceStore {
+    seqs: Vec<Vec<StmtKind>>,
+    ps: HashMap<(StmtKind, usize), Vec<usize>>,
+    max_len: usize,
+    /// Global cap on stored sequences (state-explosion guard, § II C1).
+    cap: usize,
+    /// How many sequences were dropped due to caps (reported, never silent).
+    pub truncated: usize,
+}
+
+impl SequenceStore {
+    /// `max_len` is the paper's `LEN` (default 5 in [`crate::Config`]);
+    /// `starters` seed the store with length-1 prefixes ("beginning from
+    /// specific starting statement types, e.g. CREATE TABLE").
+    pub fn new(max_len: usize, starters: &[StmtKind]) -> Self {
+        assert!(max_len >= 2, "LEN must allow at least one affinity");
+        let mut store = Self {
+            seqs: Vec::new(),
+            ps: HashMap::new(),
+            max_len,
+            cap: 200_000,
+            truncated: 0,
+        };
+        for &s in starters {
+            store.record(vec![s]);
+        }
+        store
+    }
+
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    pub fn sequences(&self) -> &[Vec<StmtKind>] {
+        &self.seqs
+    }
+
+    fn record(&mut self, seq: Vec<StmtKind>) -> Option<usize> {
+        if self.seqs.len() >= self.cap {
+            self.truncated += 1;
+            return None;
+        }
+        let idx = self.seqs.len();
+        let key = (*seq.last().expect("sequences are non-empty"), seq.len());
+        self.ps.entry(key).or_default().push(idx);
+        self.seqs.push(seq);
+        Some(idx)
+    }
+
+    /// Algorithm 3: when affinity `t1 → t2` is newly discovered, synthesize
+    /// every new sequence (≤ `LEN`) containing it, up to `limit` sequences
+    /// per call (an engineering guard; overflow is counted in `truncated`).
+    pub fn on_new_affinity(
+        &mut self,
+        t1: StmtKind,
+        t2: StmtKind,
+        map: &AffinityMap,
+        limit: usize,
+    ) -> Vec<Vec<StmtKind>> {
+        let mut out: Vec<Vec<StmtKind>> = Vec::new();
+        for level in 1..self.max_len {
+            let prefix_idx: Vec<usize> = match self.ps.get(&(t1, level)) {
+                None => continue,
+                Some(v) => v.clone(),
+            };
+            for seq_index in prefix_idx {
+                if out.len() >= limit {
+                    self.truncated += 1;
+                    return out;
+                }
+                let mut seq = self.seqs[seq_index].clone();
+                seq.push(t2);
+                if self.record(seq.clone()).is_some() {
+                    out.push(seq.clone());
+                }
+                self.list_seq(level + 1, t2, &mut seq, map, limit, &mut out);
+            }
+        }
+        out
+    }
+
+    /// The recursive `listSeq` of Algorithm 3: extend `seq` with every
+    /// affinity-compatible next type until `LEN`.
+    fn list_seq(
+        &mut self,
+        level: usize,
+        node_type: StmtKind,
+        seq: &mut Vec<StmtKind>,
+        map: &AffinityMap,
+        limit: usize,
+        out: &mut Vec<Vec<StmtKind>>,
+    ) {
+        if level >= self.max_len {
+            return;
+        }
+        let succ: Vec<StmtKind> = map.successors(node_type).collect();
+        for next in succ {
+            if out.len() >= limit {
+                self.truncated += 1;
+                return;
+            }
+            seq.push(next);
+            self.list_seq(level + 1, next, seq, map, limit, out);
+            if out.len() >= limit {
+                self.truncated += 1;
+                seq.pop();
+                return;
+            }
+            if self.record(seq.clone()).is_some() {
+                out.push(seq.clone());
+            }
+            seq.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_sqlast::kind::{DdlVerb, ObjectKind, StandaloneKind, StmtKind};
+
+    const CT: StmtKind = StmtKind::Ddl(DdlVerb::Create, ObjectKind::Table);
+    const INS: StmtKind = StmtKind::Other(StandaloneKind::Insert);
+    const SEL: StmtKind = StmtKind::Other(StandaloneKind::Select);
+    const UPD: StmtKind = StmtKind::Other(StandaloneKind::Update);
+
+    #[test]
+    fn paper_example_length_two() {
+        // "suppose the length of target sequence is 2, current sequence is
+        // CREATE TABLE, type-affinity is CREATE TABLE -> [INSERT, SELECT]:
+        // we get CREATE TABLE, INSERT and CREATE TABLE, SELECT."
+        let mut map = AffinityMap::new();
+        let mut store = SequenceStore::new(2, &[CT]);
+        map.insert(CT, INS);
+        let got = store.on_new_affinity(CT, INS, &map, 1000);
+        assert_eq!(got, vec![vec![CT, INS]]);
+        map.insert(CT, SEL);
+        let got = store.on_new_affinity(CT, SEL, &map, 1000);
+        assert_eq!(got, vec![vec![CT, SEL]]);
+    }
+
+    #[test]
+    fn new_affinity_extends_existing_prefixes() {
+        let mut map = AffinityMap::new();
+        let mut store = SequenceStore::new(3, &[CT]);
+        map.insert(CT, INS);
+        store.on_new_affinity(CT, INS, &map, 1000);
+        map.insert(INS, SEL);
+        let got = store.on_new_affinity(INS, SEL, &map, 1000);
+        // Extends [CT, INS] -> [CT, INS, SEL]; no prefix ends with INS at
+        // level 1 (INS is not a starter).
+        assert!(got.contains(&vec![CT, INS, SEL]));
+    }
+
+    #[test]
+    fn forward_closure_via_list_seq() {
+        // Affinities arriving out of order still produce the full chain:
+        // (INS, SEL) first (useless), then (CT, INS) triggers listSeq which
+        // walks INS -> SEL.
+        let mut map = AffinityMap::new();
+        let mut store = SequenceStore::new(3, &[CT]);
+        map.insert(INS, SEL);
+        let got = store.on_new_affinity(INS, SEL, &map, 1000);
+        assert!(got.is_empty());
+        map.insert(CT, INS);
+        let got = store.on_new_affinity(CT, INS, &map, 1000);
+        assert!(got.contains(&vec![CT, INS]));
+        assert!(got.contains(&vec![CT, INS, SEL]));
+    }
+
+    #[test]
+    fn sequences_never_exceed_len() {
+        let mut map = AffinityMap::new();
+        let mut store = SequenceStore::new(4, &[CT]);
+        for (a, b) in [(CT, INS), (INS, SEL), (SEL, UPD), (UPD, INS)] {
+            map.insert(a, b);
+            store.on_new_affinity(a, b, &map, 10_000);
+        }
+        assert!(store.sequences().iter().all(|s| s.len() <= 4));
+        assert!(store.sequences().iter().any(|s| s.len() == 4));
+    }
+
+    #[test]
+    fn per_call_limit_counts_truncation() {
+        let mut map = AffinityMap::new();
+        let mut store = SequenceStore::new(5, &[CT]);
+        // A dense affinity graph explodes; the limit must hold.
+        let kinds = [CT, INS, SEL, UPD];
+        for &a in &kinds {
+            for &b in &kinds {
+                if a != b {
+                    map.insert(a, b);
+                }
+            }
+        }
+        let got = store.on_new_affinity(CT, INS, &map, 16);
+        assert!(got.len() <= 16);
+        assert!(store.truncated > 0);
+    }
+
+    #[test]
+    fn duplicate_cycles_are_bounded_by_len() {
+        // A <-> B ping-pong must terminate at LEN.
+        let a = CT;
+        let b = INS;
+        let mut map = AffinityMap::new();
+        map.insert(a, b);
+        map.insert(b, a);
+        let mut store = SequenceStore::new(5, &[a]);
+        store.on_new_affinity(a, b, &map, 100_000);
+        store.on_new_affinity(b, a, &map, 100_000);
+        assert!(store.sequences().iter().all(|s| s.len() <= 5));
+    }
+}

@@ -1,0 +1,177 @@
+//! The per-execution coverage map.
+
+/// Size of the edge map. AFL++ defaults to 64 KiB; we keep the same size so
+/// collision behaviour is comparable.
+pub const MAP_SIZE: usize = 1 << 16;
+
+/// One execution's edge-hit counts, indexed by `edge_hash % MAP_SIZE`.
+#[derive(Clone)]
+pub struct CovMap {
+    counts: Box<[u8]>,
+    /// Indices with nonzero counts, kept sorted & deduped on demand. SQL test
+    /// cases touch a few hundred edges out of 65536, so sparse iteration is
+    /// the hot path for merging.
+    touched: Vec<u32>,
+    dirty: bool,
+}
+
+impl Default for CovMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CovMap {
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0u8; MAP_SIZE].into_boxed_slice(),
+            touched: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    #[inline]
+    pub fn bump(&mut self, index: usize) {
+        let i = index & (MAP_SIZE - 1);
+        let c = &mut self.counts[i];
+        if *c == 0 {
+            self.touched.push(i as u32);
+        } else {
+            self.dirty = true; // duplicates may appear only when revisiting
+        }
+        *c = c.saturating_add(1);
+    }
+
+    fn normalize(&mut self) {
+        if self.dirty {
+            self.touched.sort_unstable();
+            self.touched.dedup();
+            self.dirty = false;
+        }
+    }
+
+    /// Iterate `(index, &count)` over nonzero entries.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, &u8)> + '_ {
+        // `touched` may contain duplicates only transiently; bump() pushes an
+        // index at most once (guarded by count==0), so no normalize needed for
+        // reads. normalize() retained for future mutation APIs.
+        self.touched.iter().map(move |&i| (i as usize, &self.counts[i as usize]))
+    }
+
+    /// Number of distinct edges hit in this run.
+    pub fn edge_count(&self) -> usize {
+        self.touched.len()
+    }
+
+    pub fn get(&self, index: usize) -> u8 {
+        self.counts[index & (MAP_SIZE - 1)]
+    }
+
+    /// Reset in place, keeping the allocation (AFL's per-run memset, but
+    /// sparse).
+    pub fn clear(&mut self) {
+        self.normalize();
+        for &i in &self.touched {
+            self.counts[i as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// A stable 64-bit digest of the bucketed map — used to group executions
+    /// with identical coverage signatures (crash dedup secondary key).
+    pub fn digest(&self) -> u64 {
+        let mut idx: Vec<u32> = self.touched.clone();
+        idx.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in idx {
+            let b = super::bucket(self.counts[i as usize]);
+            h ^= (i as u64) << 8 | b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// AFL++ hit-count bucketing: collapse raw counts into 8 classes so loops
+/// don't generate endless "novelty".
+#[inline]
+pub fn bucket(count: u8) -> u8 {
+    match count {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => 4,
+        4..=7 => 8,
+        8..=15 => 16,
+        16..=31 => 32,
+        32..=127 => 64,
+        _ => 128,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut m = CovMap::new();
+        m.bump(42);
+        m.bump(42);
+        assert_eq!(m.get(42), 2);
+        assert_eq!(m.edge_count(), 1);
+    }
+
+    #[test]
+    fn index_wraps_to_map_size() {
+        let mut m = CovMap::new();
+        m.bump(MAP_SIZE + 5);
+        assert_eq!(m.get(5), 1);
+    }
+
+    #[test]
+    fn counts_saturate() {
+        let mut m = CovMap::new();
+        for _ in 0..300 {
+            m.bump(1);
+        }
+        assert_eq!(m.get(1), 255);
+    }
+
+    #[test]
+    fn clear_keeps_reuse_correct() {
+        let mut m = CovMap::new();
+        m.bump(3);
+        m.clear();
+        assert_eq!(m.edge_count(), 0);
+        assert_eq!(m.get(3), 0);
+        m.bump(4);
+        assert_eq!(m.edge_count(), 1);
+    }
+
+    #[test]
+    fn bucket_classes_match_afl() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 4);
+        assert_eq!(bucket(5), 8);
+        assert_eq!(bucket(9), 16);
+        assert_eq!(bucket(20), 32);
+        assert_eq!(bucket(100), 64);
+        assert_eq!(bucket(200), 128);
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_but_content_sensitive() {
+        let mut a = CovMap::new();
+        a.bump(1);
+        a.bump(9);
+        let mut b = CovMap::new();
+        b.bump(9);
+        b.bump(1);
+        assert_eq!(a.digest(), b.digest());
+        b.bump(2);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,84 @@
+//! Per-script execution context: coverage recorder, type trace, crash slot.
+
+use crate::bugs::CrashReport;
+use lego_coverage::{CovRecorder, SiteId};
+use lego_sqlast::StmtKind;
+
+/// Carried through one test-case execution. The edge chain is *not* reset
+/// between statements: as in AFL++'s whole-process execution, edges spanning
+/// statement boundaries exist, which is precisely what makes coverage
+/// sensitive to SQL Type Sequences.
+pub struct ExecCtx {
+    pub cov: CovRecorder,
+    /// Statement kinds executed so far (the observed SQL Type Sequence).
+    pub trace: Vec<StmtKind>,
+    /// Trigger/rule recursion depth guard.
+    pub depth: usize,
+    /// Set when the bug oracle fires; aborts the script.
+    pub crash: Option<CrashReport>,
+    /// Rows produced by the last query statement.
+    pub last_row_count: usize,
+}
+
+impl ExecCtx {
+    pub fn new() -> Self {
+        Self {
+            cov: CovRecorder::new(),
+            trace: Vec::new(),
+            depth: 0,
+            crash: None,
+            last_row_count: 0,
+        }
+    }
+
+    /// Context for unit tests that only need coverage plumbing.
+    pub fn new_detached() -> Self {
+        Self::new()
+    }
+
+    #[inline]
+    pub fn hit(&mut self, id: SiteId) {
+        self.cov.hit(id);
+    }
+
+    /// Hit a site derived from a base location and a dynamic index (e.g. one
+    /// per statement kind at a dispatch point).
+    #[inline]
+    pub fn hit_idx(&mut self, id: SiteId, idx: u64) {
+        self.cov.hit(id.with_index(idx));
+    }
+
+    pub fn crashed(&self) -> bool {
+        self.crash.is_some()
+    }
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_coverage::site_id;
+
+    #[test]
+    fn hits_accumulate_across_statements() {
+        let mut ctx = ExecCtx::new();
+        ctx.hit(site_id!());
+        ctx.hit(site_id!());
+        assert!(ctx.cov.map().edge_count() >= 2);
+    }
+
+    #[test]
+    fn hit_idx_distinguishes_indices() {
+        let mut a = ExecCtx::new();
+        let mut b = ExecCtx::new();
+        let base = site_id!();
+        a.hit_idx(base, 1);
+        b.hit_idx(base, 2);
+        assert_ne!(a.cov.map().digest(), b.cov.map().digest());
+    }
+}

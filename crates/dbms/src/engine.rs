@@ -1,0 +1,388 @@
+//! The DBMS façade the fuzzers talk to: execute a test case, get back an
+//! outcome plus an AFL-style coverage map.
+
+use crate::bugs::{CrashReport, OracleState};
+use crate::ctx::ExecCtx;
+use crate::exec::Session;
+use crate::profile::Profile;
+use lego_coverage::map::CovMap;
+use lego_coverage::site_id;
+use lego_sqlast::{Dialect, TestCase};
+
+/// Final outcome of executing one test case.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// All statements were attempted (individual semantic errors are
+    /// recorded in [`ExecReport::errors`], as real fuzzing harnesses do).
+    Ok,
+    /// The script did not parse at all.
+    ParseError(String),
+    /// A planted memory-safety bug fired; the "server" died here.
+    Crash(CrashReport),
+}
+
+/// Everything observed while executing one test case.
+pub struct ExecReport {
+    pub outcome: Outcome,
+    pub coverage: CovMap,
+    pub statements_executed: usize,
+    pub errors: Vec<String>,
+    /// Rows returned by the last query statement.
+    pub last_rows: usize,
+}
+
+impl ExecReport {
+    pub fn crash(&self) -> Option<&CrashReport> {
+        match &self.outcome {
+            Outcome::Crash(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn is_parse_error(&self) -> bool {
+        matches!(self.outcome, Outcome::ParseError(_))
+    }
+}
+
+/// One simulated DBMS instance (fresh database + session).
+///
+/// Fuzzers create a fresh instance per test case, mirroring AFL++'s
+/// forkserver reset; the instance stays poisoned once it crashes.
+pub struct Dbms {
+    session: Session,
+    poisoned: Option<CrashReport>,
+}
+
+impl Dbms {
+    pub fn new(dialect: Dialect) -> Self {
+        Self { session: Session::new(Profile::for_dialect(dialect)), poisoned: None }
+    }
+
+    pub fn dialect(&self) -> Dialect {
+        self.session.prof.dialect
+    }
+
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    fn oracle_state(&self) -> OracleState {
+        OracleState {
+            any_trigger: !self.session.cat.triggers.is_empty(),
+            any_rule: !self.session.cat.rules.is_empty(),
+            in_txn: self.session.in_txn(),
+            any_nonempty_table: self.session.cat.total_rows() > 0,
+            any_index: !self.session.cat.indexes.is_empty(),
+            any_view: !self.session.cat.views.is_empty(),
+        }
+    }
+
+    /// Execute an already-parsed test case.
+    pub fn execute_case(&mut self, case: &TestCase) -> ExecReport {
+        let mut ctx = ExecCtx::new();
+        if let Some(crash) = &self.poisoned {
+            return ExecReport {
+                outcome: Outcome::Crash(crash.clone()),
+                coverage: ctx.cov.into_map(),
+                statements_executed: 0,
+                errors: vec!["server is down".into()],
+                last_rows: 0,
+            };
+        }
+        let mut errors = Vec::new();
+        let mut executed = 0usize;
+        for stmt in &case.statements {
+            // Every statement re-enters through the same command dispatcher,
+            // so the AFL edge chain re-synchronizes at the statement
+            // boundary; cross-statement effects flow through session state
+            // and the explicit interaction sites instead of hash noise.
+            ctx.cov.reset_edge_chain();
+            let kind = stmt.kind();
+            ctx.trace.push(kind);
+            match self.session.exec_statement(&mut ctx, stmt) {
+                Ok(_) => {}
+                Err(e) => errors.push(e),
+            }
+            executed += 1;
+            if ctx.crash.is_none() {
+                // Pattern-based oracle check on the observed type sequence.
+                let st = self.oracle_state();
+                if let Some(crash) = self.session.oracle.check(&ctx.trace, stmt, &st) {
+                    ctx.crash = Some(crash);
+                }
+            }
+            if let Some(crash) = ctx.crash.clone() {
+                self.poisoned = Some(crash.clone());
+                return ExecReport {
+                    outcome: Outcome::Crash(crash),
+                    last_rows: ctx.last_row_count,
+                    coverage: ctx.cov.into_map(),
+                    statements_executed: executed,
+                    errors,
+                };
+            }
+        }
+        ExecReport {
+            outcome: Outcome::Ok,
+            last_rows: ctx.last_row_count,
+            coverage: ctx.cov.into_map(),
+            statements_executed: executed,
+            errors,
+        }
+    }
+
+    /// Parse and execute a SQL script.
+    pub fn execute_script(&mut self, sql: &str) -> ExecReport {
+        match lego_sqlparser::parse_script(sql) {
+            Ok(case) => self.execute_case(&case),
+            Err(e) => {
+                // Parse failures still exercise parser branches: one site per
+                // error-message bucket, so fuzzers get parser coverage too.
+                let mut ctx = ExecCtx::new();
+                let mut h: u64 = 0;
+                for b in e.message.bytes().take(24) {
+                    h = h.wrapping_mul(31).wrapping_add(b as u64);
+                }
+                ctx.hit_idx(site_id!(), h % 64);
+                ExecReport {
+                    outcome: Outcome::ParseError(e.to_string()),
+                    coverage: ctx.cov.into_map(),
+                    statements_executed: 0,
+                    errors: vec![e.to_string()],
+                    last_rows: 0,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(d: Dialect) -> Dbms {
+        Dbms::new(d)
+    }
+
+    #[test]
+    fn figure_1_script_executes_cleanly() {
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script(
+            "CREATE TABLE t1(v1 INT, v2 INT);\n\
+             INSERT INTO t1 VALUES(1, 1);\n\
+             INSERT INTO t1 VALUES(2, 1);\n\
+             SELECT * FROM t1 ORDER BY v1;\n\
+             SELECT v2 FROM t1 WHERE v1=1;",
+        );
+        assert!(matches!(r.outcome, Outcome::Ok), "{:?}", r.errors);
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        assert_eq!(r.statements_executed, 5);
+        assert_eq!(r.last_rows, 1);
+        assert!(r.coverage.edge_count() > 12);
+    }
+
+    #[test]
+    fn figure_2_order_sensitivity() {
+        // Q1: insert before select -> sorted data; Q2: select before insert
+        // -> empty result. Coverage must differ (the whole premise of the
+        // paper).
+        let q1 = "CREATE TABLE t1 (a INT, b VARCHAR(100));\n\
+                  INSERT INTO t1 VALUES(1,'name1');\n\
+                  INSERT INTO t1 VALUES(3,'name1');\n\
+                  SELECT * FROM t1 ORDER BY a DESC;";
+        let q2 = "CREATE TABLE t1 (a INT, b VARCHAR(100));\n\
+                  SELECT * FROM t1 ORDER BY a DESC;\n\
+                  INSERT INTO t1 VALUES(1,'name1');\n\
+                  INSERT INTO t1 VALUES(3,'name1');";
+        let r1 = fresh(Dialect::Postgres).execute_script(q1);
+        let r2 = fresh(Dialect::Postgres).execute_script(q2);
+        assert!(matches!(r1.outcome, Outcome::Ok));
+        assert!(matches!(r2.outcome, Outcome::Ok));
+        assert_ne!(r1.coverage.digest(), r2.coverage.digest());
+    }
+
+    #[test]
+    fn case_study_script_crashes_postgres() {
+        // Figure 7 verbatim.
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script(
+            "CREATE TABLE v0( v4 INT, v3 INT UNIQUE, v2 INT , v1 INT UNIQUE ) ;\n\
+             CREATE OR REPLACE RULE v1 AS ON INSERT TO v0 DO INSTEAD NOTIFY COMPRESSION;\n\
+             COPY ( SELECT 32 EXCEPT SELECT v3 + 16 FROM v0 ) TO STDOUT CSV HEADER ;\n\
+             WITH v2 AS (INSERT INTO v0 VALUES (0)) DELETE FROM v0 WHERE v3 = - - - 48;",
+        );
+        let crash = r.crash().expect("the case-study sequence must crash");
+        assert_eq!(crash.identifier, "BUG #17097");
+        assert!(crash.stack.iter().any(|f| f.contains("replace_empty_jointree")));
+    }
+
+    #[test]
+    fn case_study_without_the_rule_does_not_crash() {
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script(
+            "CREATE TABLE v0( v4 INT, v3 INT UNIQUE, v2 INT , v1 INT UNIQUE ) ;\n\
+             COPY ( SELECT 32 EXCEPT SELECT v3 + 16 FROM v0 ) TO STDOUT CSV HEADER ;\n\
+             WITH v2 AS (INSERT INTO v0 VALUES (0)) DELETE FROM v0 WHERE v3 = - - - 48;",
+        );
+        assert!(r.crash().is_none());
+    }
+
+    #[test]
+    fn cve_2021_35643_sequence_crashes_mysql() {
+        let mut db = fresh(Dialect::MySql);
+        let r = db.execute_script(
+            "CREATE TABLE v0 (v1 YEAR);\n\
+             INSERT IGNORE INTO v0 VALUES (NULL), (22471185.0), (2021);\n\
+             CREATE TRIGGER tg AFTER UPDATE ON v0 FOR EACH ROW INSERT INTO v0;\n\
+             SELECT LEAD (v1) OVER (ORDER BY v1) AS v1 FROM v0;",
+        );
+        let crash = r.crash().expect("CVE-2021-35643 sequence must crash");
+        assert_eq!(crash.identifier, "CVE-2021-35643");
+    }
+
+    #[test]
+    fn crashed_server_stays_down() {
+        let mut db = fresh(Dialect::MySql);
+        db.execute_script(
+            "CREATE TABLE v0 (v1 INT);\n\
+             CREATE TRIGGER tg AFTER UPDATE ON v0 FOR EACH ROW INSERT INTO v0;\n\
+             SELECT RANK() OVER (ORDER BY v1) FROM v0;",
+        );
+        let r = db.execute_script("SELECT 1;");
+        assert!(r.crash().is_some());
+        assert_eq!(r.statements_executed, 0);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script("FROBNICATE;");
+        assert!(r.is_parse_error());
+        assert!(r.coverage.edge_count() >= 1);
+        // The instance is still usable.
+        let r2 = db.execute_script("SELECT 1;");
+        assert!(matches!(r2.outcome, Outcome::Ok));
+    }
+
+    #[test]
+    fn semantic_errors_do_not_stop_the_script() {
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script(
+            "SELECT * FROM missing;\n\
+             CREATE TABLE t (a INT);\n\
+             INSERT INTO t VALUES (1);",
+        );
+        assert!(matches!(r.outcome, Outcome::Ok));
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.statements_executed, 3);
+        assert_eq!(db.session().cat.total_rows(), 1);
+    }
+
+    #[test]
+    fn unsupported_statements_error_per_dialect() {
+        let mut db = fresh(Dialect::MySql);
+        let r = db.execute_script("NOTIFY ch;");
+        // MySQL has no NOTIFY: it parses (union grammar) but errors.
+        assert!(matches!(r.outcome, Outcome::Ok));
+        assert_eq!(r.errors.len(), 1);
+        assert!(r.errors[0].contains("not supported"));
+    }
+
+    #[test]
+    fn transactions_roll_back() {
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script(
+            "CREATE TABLE t (a INT);\n\
+             BEGIN;\n\
+             INSERT INTO t VALUES (1);\n\
+             ROLLBACK;",
+        );
+        assert!(matches!(r.outcome, Outcome::Ok), "{:?}", r.errors);
+        assert!(r.errors.is_empty());
+        assert_eq!(db.session().cat.total_rows(), 0);
+    }
+
+    #[test]
+    fn savepoints_partial_rollback() {
+        let mut db = fresh(Dialect::Postgres);
+        db.execute_script(
+            "CREATE TABLE t (a INT);\n\
+             BEGIN;\n\
+             INSERT INTO t VALUES (1);\n\
+             SAVEPOINT s1;\n\
+             INSERT INTO t VALUES (2);\n\
+             ROLLBACK TO SAVEPOINT s1;\n\
+             COMMIT;",
+        );
+        assert_eq!(db.session().cat.total_rows(), 1);
+    }
+
+    #[test]
+    fn triggers_fire_and_cascade() {
+        let mut db = fresh(Dialect::MariaDb);
+        let r = db.execute_script(
+            "CREATE TABLE a (x INT);\n\
+             CREATE TABLE b (y INT);\n\
+             CREATE TRIGGER tg AFTER INSERT ON a FOR EACH ROW INSERT INTO b VALUES (1);\n\
+             INSERT INTO a VALUES (10), (20);",
+        );
+        assert!(matches!(r.outcome, Outcome::Ok), "{:?}", r.errors);
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        assert_eq!(db.session().cat.table("b").unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn generic_ddl_is_order_sensitive() {
+        // ALTER before CREATE errors; after CREATE succeeds — and covers
+        // differently, which is what affinity analysis latches onto.
+        let r1 = fresh(Dialect::Postgres).execute_script("ALTER SEQUENCE s1;");
+        let r2 = fresh(Dialect::Postgres).execute_script("CREATE SEQUENCE s1; ALTER SEQUENCE s1;");
+        assert_eq!(r1.errors.len(), 1);
+        assert!(r2.errors.is_empty());
+        assert_ne!(r1.coverage.digest(), r2.coverage.digest());
+    }
+
+    #[test]
+    fn views_expand_on_read() {
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script(
+            "CREATE TABLE t (a INT);\n\
+             INSERT INTO t VALUES (1), (2);\n\
+             CREATE VIEW w AS SELECT a FROM t WHERE a > 1;\n\
+             SELECT * FROM w;",
+        );
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        assert_eq!(r.last_rows, 1);
+    }
+
+    #[test]
+    fn grant_then_set_role_then_select_is_a_meaningful_sequence() {
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script(
+            "CREATE TABLE t (a INT);\n\
+             GRANT SELECT ON t TO alice;\n\
+             SET ROLE alice;\n\
+             SELECT * FROM t;",
+        );
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        // Without the GRANT the SELECT fails.
+        let mut db2 = fresh(Dialect::Postgres);
+        let r2 = db2.execute_script(
+            "CREATE TABLE t (a INT);\n\
+             SET ROLE alice;\n\
+             SELECT * FROM t;",
+        );
+        assert_eq!(r2.errors.len(), 1);
+    }
+
+    #[test]
+    fn comdb2_rejects_windows_and_triggers() {
+        let mut db = fresh(Dialect::Comdb2);
+        let r = db.execute_script(
+            "CREATE TABLE t (a INT);\n\
+             INSERT INTO t VALUES (1);\n\
+             SELECT RANK() OVER (ORDER BY a) FROM t;",
+        );
+        assert_eq!(r.errors.len(), 1);
+    }
+}

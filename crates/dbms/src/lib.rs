@@ -1,0 +1,60 @@
+#![forbid(unsafe_code)]
+
+//! `lego-dbms` — the simulated DBMS substrate for the LEGO reproduction.
+//!
+//! A real (small) relational engine — parser (via `lego-sqlparser`), binder,
+//! rewriter (views / PostgreSQL rules / triggers), a planner-shaped read
+//! path, a volcano-style executor, in-memory storage with indexes and
+//! constraints, transactions with savepoints, access control, and the long
+//! tail of session statements — compiled into four dialect profiles
+//! (PostgreSQL, MySQL, MariaDB, Comdb2).
+//!
+//! Two properties make it a faithful stand-in for the paper's targets:
+//!
+//! 1. **Order-sensitive coverage.** Every component self-instruments with
+//!    AFL-style edge coverage ([`lego_coverage`]), and a large share of
+//!    branches only execute when earlier statements set up state (triggers,
+//!    rules, views, grants, transactions, cursors, prepared statements…).
+//!    SQL Type Sequences therefore genuinely matter to coverage, which is
+//!    the signal LEGO exploits.
+//! 2. **A planted-bug oracle** ([`bugs`]) with one synthetic memory-safety
+//!    bug per Table I entry of the paper (102 bugs, 22 CVE identifiers),
+//!    each triggered by a type-sequence pattern plus optional structural and
+//!    state predicates.
+
+//! ```
+//! use lego_dbms::{Dbms, Outcome};
+//! use lego_sqlast::Dialect;
+//!
+//! let mut db = Dbms::new(Dialect::Postgres);
+//! let report = db.execute_script(
+//!     "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT * FROM t;",
+//! );
+//! assert!(matches!(report.outcome, Outcome::Ok));
+//! assert_eq!(report.last_rows, 2);
+//! assert!(report.coverage.edge_count() > 0);
+//! ```
+
+pub mod bugs;
+pub mod catalog;
+pub mod ctx;
+pub mod engine;
+pub mod eval;
+pub mod exec;
+pub mod profile;
+pub mod query;
+pub mod value;
+
+pub use bugs::{BugSpec, BugType, CrashReport};
+pub use engine::{Dbms, ExecReport, Outcome};
+pub use profile::{Component, Profile};
+pub use value::{Row, Value};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::bugs::{BugType, CrashReport};
+    pub use crate::engine::{Dbms, ExecReport, Outcome};
+    pub use crate::profile::Component;
+    pub use crate::value::Value;
+    pub use lego_sqlast::Dialect;
+}

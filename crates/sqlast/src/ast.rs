@@ -1,0 +1,1183 @@
+//! Statements, queries, and their SQL rendering.
+
+use crate::expr::{DataType, Expr, OrderItem};
+use crate::kind::{DdlVerb, ObjectKind, StandaloneKind, StmtKind};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+/// A full query: set-expression body plus ordering/limits.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query {
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<Expr>,
+    pub offset: Option<Expr>,
+}
+
+impl Query {
+    pub fn select(select: Select) -> Self {
+        Query {
+            body: SetExpr::Select(Box::new(select)),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        }
+    }
+
+    /// `SELECT * FROM <table>`.
+    pub fn star_from(table: impl Into<String>) -> Self {
+        Query::select(Select {
+            distinct: false,
+            projection: vec![SelectItem::Star],
+            from: vec![TableRef::named(table)],
+            where_: None,
+            group_by: vec![],
+            having: None,
+        })
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
+    Values(Vec<Vec<Expr>>),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SetOp {
+    Union,
+    Except,
+    Intersect,
+}
+
+impl SetOp {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SetOp::Union => "UNION",
+            SetOp::Except => "EXCEPT",
+            SetOp::Intersect => "INTERSECT",
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct Select {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum SelectItem {
+    Star,
+    QualifiedStar(String),
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum TableRef {
+    Named {
+        name: String,
+        alias: Option<String>,
+    },
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
+    Subquery {
+        query: Box<Query>,
+        alias: String,
+    },
+}
+
+impl TableRef {
+    pub fn named(name: impl Into<String>) -> Self {
+        TableRef::Named { name: name.into(), alias: None }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Right,
+    Cross,
+}
+
+impl JoinKind {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            JoinKind::Inner => "JOIN",
+            JoinKind::Left => "LEFT JOIN",
+            JoinKind::Right => "RIGHT JOIN",
+            JoinKind::Cross => "CROSS JOIN",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DDL payloads
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+    pub constraints: Vec<ColumnConstraint>,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Self { name: name.into(), ty, constraints: vec![] }
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum ColumnConstraint {
+    PrimaryKey,
+    Unique,
+    NotNull,
+    Default(Expr),
+    Check(Expr),
+    References { table: String, column: Option<String> },
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum TableConstraint {
+    PrimaryKey(Vec<String>),
+    Unique(Vec<String>),
+    Check(Expr),
+    ForeignKey {
+        columns: Vec<String>,
+        ref_table: String,
+        ref_columns: Vec<String>,
+    },
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct CreateTable {
+    pub name: String,
+    pub temporary: bool,
+    pub if_not_exists: bool,
+    pub columns: Vec<ColumnDef>,
+    pub constraints: Vec<TableConstraint>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct CreateView {
+    pub name: String,
+    pub or_replace: bool,
+    pub materialized: bool,
+    pub query: Box<Query>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct CreateIndex {
+    pub name: String,
+    pub unique: bool,
+    pub table: String,
+    pub columns: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TriggerTiming {
+    Before,
+    After,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DmlEvent {
+    Insert,
+    Update,
+    Delete,
+}
+
+impl DmlEvent {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DmlEvent::Insert => "INSERT",
+            DmlEvent::Update => "UPDATE",
+            DmlEvent::Delete => "DELETE",
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct CreateTrigger {
+    pub name: String,
+    pub timing: TriggerTiming,
+    pub event: DmlEvent,
+    pub table: String,
+    pub for_each_row: bool,
+    pub action: Box<Statement>,
+}
+
+/// PostgreSQL `CREATE RULE ... AS ON <event> TO <table> DO [INSTEAD] <action>`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CreateRule {
+    pub name: String,
+    pub or_replace: bool,
+    pub table: String,
+    pub event: DmlEvent,
+    pub instead: bool,
+    /// `None` renders as `DO INSTEAD NOTHING`.
+    pub action: Option<Box<Statement>>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct DropStmt {
+    pub object: ObjectKind,
+    pub if_exists: bool,
+    pub name: String,
+    /// `DROP TRIGGER name ON table` / `DROP RULE name ON table`.
+    pub on_table: Option<String>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum AlterTableAction {
+    AddColumn(ColumnDef),
+    DropColumn(String),
+    RenameColumn { old: String, new: String },
+    RenameTo(String),
+    AlterColumnType { name: String, ty: DataType },
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct AlterTable {
+    pub name: String,
+    pub action: AlterTableAction,
+}
+
+/// Exotic DDL handled generically: `<VERB> <OBJECT> name [arg...]`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GenericDdl {
+    pub verb: DdlVerb,
+    pub object: ObjectKind,
+    pub name: String,
+    pub arg: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// DML payloads
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Query(Box<Query>),
+    DefaultValues,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct Insert {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub source: InsertSource,
+    /// `INSERT IGNORE` (MySQL family) / `INSERT OR IGNORE`.
+    pub ignore: bool,
+    /// Renders as `REPLACE INTO` (MySQL family); changes the statement type.
+    pub replace: bool,
+    /// `LOW_PRIORITY` noise flag, kept for fidelity with the paper's examples.
+    pub low_priority: bool,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub where_: Option<Expr>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct Delete {
+    pub table: String,
+    pub where_: Option<Expr>,
+}
+
+/// A common-table-expression binding in a `WITH` statement. PostgreSQL allows
+/// data-modifying CTEs — the case-study bug needs them.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CteBody {
+    Query(Box<Query>),
+    Dml(Box<Statement>),
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct Cte {
+    pub name: String,
+    pub body: CteBody,
+}
+
+/// `WITH <ctes> <stmt>` — a distinct statement type (the paper treats WITH as
+/// its own type, e.g. the "CREATE RULE→NOTIFY→COPY→WITH" sequence).
+#[derive(Clone, PartialEq, Debug)]
+pub struct WithStmt {
+    pub ctes: Vec<Cte>,
+    pub body: Box<Statement>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CopyDirection {
+    To,
+    From,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum CopySource {
+    Table { name: String, columns: Vec<String> },
+    Query(Box<Query>),
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct CopyStmt {
+    pub source: CopySource,
+    pub direction: CopyDirection,
+    /// `STDOUT`, `STDIN`, or a filename.
+    pub target: String,
+    pub options: Vec<String>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct GrantStmt {
+    pub privilege: String,
+    pub object: String,
+    pub grantee: String,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct SetStmt {
+    /// e.g. `@@SESSION.`, `SESSION`, `GLOBAL`, `LOCAL`.
+    pub scope: Option<String>,
+    pub name: String,
+    pub value: String,
+}
+
+/// A select statement's flavour; `SELECTV` (Comdb2) and `SELECT INTO` are
+/// distinct statement types in the inventory.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SelectVariant {
+    Plain,
+    SelectV,
+    Into(String),
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub struct SelectStmt {
+    pub query: Box<Query>,
+    pub variant: SelectVariant,
+}
+
+/// Any statement type without a dedicated payload: `<NAME> [arg]`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MiscStmt {
+    pub kind: StandaloneKind,
+    pub arg: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Statement
+// ---------------------------------------------------------------------------
+
+/// One SQL statement — the smallest execution unit fed to a DBMS (paper § II).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Statement {
+    CreateTable(CreateTable),
+    CreateView(CreateView),
+    CreateIndex(CreateIndex),
+    CreateTrigger(CreateTrigger),
+    CreateRule(CreateRule),
+    CreateTableAs { name: String, query: Box<Query> },
+    AlterTable(AlterTable),
+    Drop(DropStmt),
+    GenericDdl(GenericDdl),
+    Select(SelectStmt),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    With(WithStmt),
+    Values(Vec<Vec<Expr>>),
+    Truncate { table: String },
+    Copy(CopyStmt),
+    Grant(GrantStmt),
+    Revoke(GrantStmt),
+    Begin,
+    StartTransaction,
+    Commit,
+    End,
+    Rollback,
+    Abort,
+    Savepoint(String),
+    ReleaseSavepoint(String),
+    RollbackToSavepoint(String),
+    Set(SetStmt),
+    Reset(String),
+    Show(String),
+    Pragma { name: String, value: Option<String> },
+    Analyze(Option<String>),
+    Vacuum { table: Option<String>, full: bool },
+    Explain(Box<Statement>),
+    Reindex(Option<String>),
+    Checkpoint,
+    Cluster(Option<String>),
+    Discard(String),
+    Listen(String),
+    Notify { channel: String, payload: Option<String> },
+    Unlisten(String),
+    LockTable { table: String, mode: Option<String> },
+    Comment { object: ObjectKind, name: String, text: String },
+    Call { name: String, args: Vec<Expr> },
+    RefreshMatView(String),
+    Misc(MiscStmt),
+}
+
+impl Statement {
+    /// The statement's type — the unit of the SQL Type Sequence.
+    pub fn kind(&self) -> StmtKind {
+        use StandaloneKind as K;
+        match self {
+            Statement::CreateTable(_) => StmtKind::Ddl(DdlVerb::Create, ObjectKind::Table),
+            Statement::CreateView(v) if v.materialized => {
+                StmtKind::Ddl(DdlVerb::Create, ObjectKind::MaterializedView)
+            }
+            Statement::CreateView(_) => StmtKind::Ddl(DdlVerb::Create, ObjectKind::View),
+            Statement::CreateIndex(_) => StmtKind::Ddl(DdlVerb::Create, ObjectKind::Index),
+            Statement::CreateTrigger(_) => StmtKind::Ddl(DdlVerb::Create, ObjectKind::Trigger),
+            Statement::CreateRule(_) => StmtKind::Ddl(DdlVerb::Create, ObjectKind::Rule),
+            Statement::CreateTableAs { .. } => StmtKind::Other(K::CreateTableAs),
+            Statement::AlterTable(_) => StmtKind::Ddl(DdlVerb::Alter, ObjectKind::Table),
+            Statement::Drop(d) => StmtKind::Ddl(DdlVerb::Drop, d.object),
+            Statement::GenericDdl(g) => StmtKind::Ddl(g.verb, g.object),
+            Statement::Select(s) => match &s.variant {
+                SelectVariant::Plain => StmtKind::Other(K::Select),
+                SelectVariant::SelectV => StmtKind::Other(K::SelectV),
+                SelectVariant::Into(_) => StmtKind::Other(K::SelectInto),
+            },
+            Statement::Insert(i) if i.replace => StmtKind::Other(K::Replace),
+            Statement::Insert(_) => StmtKind::Other(K::Insert),
+            Statement::Update(_) => StmtKind::Other(K::Update),
+            Statement::Delete(_) => StmtKind::Other(K::Delete),
+            Statement::With(_) => StmtKind::Other(K::With),
+            Statement::Values(_) => StmtKind::Other(K::Values),
+            Statement::Truncate { .. } => StmtKind::Other(K::Truncate),
+            Statement::Copy(_) => StmtKind::Other(K::Copy),
+            Statement::Grant(_) => StmtKind::Other(K::Grant),
+            Statement::Revoke(_) => StmtKind::Other(K::Revoke),
+            Statement::Begin => StmtKind::Other(K::Begin),
+            Statement::StartTransaction => StmtKind::Other(K::StartTransaction),
+            Statement::Commit => StmtKind::Other(K::Commit),
+            Statement::End => StmtKind::Other(K::End),
+            Statement::Rollback => StmtKind::Other(K::Rollback),
+            Statement::Abort => StmtKind::Other(K::Abort),
+            Statement::Savepoint(_) => StmtKind::Other(K::Savepoint),
+            Statement::ReleaseSavepoint(_) => StmtKind::Other(K::ReleaseSavepoint),
+            Statement::RollbackToSavepoint(_) => StmtKind::Other(K::RollbackToSavepoint),
+            Statement::Set(_) => StmtKind::Other(K::Set),
+            Statement::Reset(_) => StmtKind::Other(K::Reset),
+            Statement::Show(_) => StmtKind::Other(K::Show),
+            Statement::Pragma { .. } => StmtKind::Other(K::Pragma),
+            Statement::Analyze(_) => StmtKind::Other(K::Analyze),
+            Statement::Vacuum { .. } => StmtKind::Other(K::Vacuum),
+            Statement::Explain(_) => StmtKind::Other(K::Explain),
+            Statement::Reindex(_) => StmtKind::Other(K::Reindex),
+            Statement::Checkpoint => StmtKind::Other(K::Checkpoint),
+            Statement::Cluster(_) => StmtKind::Other(K::Cluster),
+            Statement::Discard(_) => StmtKind::Other(K::Discard),
+            Statement::Listen(_) => StmtKind::Other(K::Listen),
+            Statement::Notify { .. } => StmtKind::Other(K::Notify),
+            Statement::Unlisten(_) => StmtKind::Other(K::Unlisten),
+            Statement::LockTable { .. } => StmtKind::Other(K::LockTable),
+            Statement::Comment { .. } => StmtKind::Other(K::Comment),
+            Statement::Call { .. } => StmtKind::Other(K::Call),
+            Statement::RefreshMatView(_) => StmtKind::Other(K::RefreshMaterializedView),
+            Statement::Misc(m) => StmtKind::Other(m.kind),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn comma_sep<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{}", it)?;
+    }
+    Ok(())
+}
+
+fn comma_sep_str(f: &mut fmt::Formatter<'_>, items: &[String]) -> fmt::Result {
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        f.write_str(it)?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            comma_sep(f, &self.order_by)?;
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " LIMIT {}", l)?;
+        }
+        if let Some(o) = &self.offset {
+            write!(f, " OFFSET {}", o)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{}", s),
+            SetExpr::SetOp { op, all, left, right } => {
+                write!(f, "{} {}{} {}", left, op.keyword(), if *all { " ALL" } else { "" }, right)
+            }
+            SetExpr::Values(rows) => {
+                f.write_str("VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("(")?;
+                    comma_sep(f, row)?;
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        comma_sep(f, &self.projection)?;
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            comma_sep(f, &self.from)?;
+        }
+        if let Some(w) = &self.where_ {
+            write!(f, " WHERE {}", w)?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            comma_sep(f, &self.group_by)?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {}", h)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => f.write_str("*"),
+            SelectItem::QualifiedStar(t) => write!(f, "{}.*", t),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{}", expr)?;
+                if let Some(a) = alias {
+                    write!(f, " AS {}", a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias } => {
+                f.write_str(name)?;
+                if let Some(a) = alias {
+                    write!(f, " AS {}", a)?;
+                }
+                Ok(())
+            }
+            TableRef::Join { left, right, kind, on } => {
+                write!(f, "{} {} {}", left, kind.keyword(), right)?;
+                if let Some(on) = on {
+                    write!(f, " ON {}", on)?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { query, alias } => write!(f, "({}) AS {}", query, alias),
+        }
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.ty)?;
+        for c in &self.constraints {
+            write!(f, " {}", c)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColumnConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnConstraint::PrimaryKey => f.write_str("PRIMARY KEY"),
+            ColumnConstraint::Unique => f.write_str("UNIQUE"),
+            ColumnConstraint::NotNull => f.write_str("NOT NULL"),
+            ColumnConstraint::Default(e) => write!(f, "DEFAULT {}", e),
+            ColumnConstraint::Check(e) => write!(f, "CHECK ({})", e),
+            ColumnConstraint::References { table, column } => {
+                write!(f, "REFERENCES {}", table)?;
+                if let Some(c) = column {
+                    write!(f, "({})", c)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableConstraint::PrimaryKey(cols) => {
+                f.write_str("PRIMARY KEY (")?;
+                comma_sep_str(f, cols)?;
+                f.write_str(")")
+            }
+            TableConstraint::Unique(cols) => {
+                f.write_str("UNIQUE (")?;
+                comma_sep_str(f, cols)?;
+                f.write_str(")")
+            }
+            TableConstraint::Check(e) => write!(f, "CHECK ({})", e),
+            TableConstraint::ForeignKey { columns, ref_table, ref_columns } => {
+                f.write_str("FOREIGN KEY (")?;
+                comma_sep_str(f, columns)?;
+                write!(f, ") REFERENCES {}", ref_table)?;
+                if !ref_columns.is_empty() {
+                    f.write_str(" (")?;
+                    comma_sep_str(f, ref_columns)?;
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable(c) => {
+                f.write_str("CREATE ")?;
+                if c.temporary {
+                    f.write_str("TEMPORARY ")?;
+                }
+                f.write_str("TABLE ")?;
+                if c.if_not_exists {
+                    f.write_str("IF NOT EXISTS ")?;
+                }
+                write!(f, "{} (", c.name)?;
+                for (i, col) in c.columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", col)?;
+                }
+                for tc in &c.constraints {
+                    f.write_str(", ")?;
+                    write!(f, "{}", tc)?;
+                }
+                f.write_str(")")
+            }
+            Statement::CreateView(v) => {
+                f.write_str("CREATE ")?;
+                if v.or_replace {
+                    f.write_str("OR REPLACE ")?;
+                }
+                if v.materialized {
+                    f.write_str("MATERIALIZED ")?;
+                }
+                write!(f, "VIEW {} AS {}", v.name, v.query)
+            }
+            Statement::CreateIndex(i) => {
+                f.write_str("CREATE ")?;
+                if i.unique {
+                    f.write_str("UNIQUE ")?;
+                }
+                write!(f, "INDEX {} ON {} (", i.name, i.table)?;
+                comma_sep_str(f, &i.columns)?;
+                f.write_str(")")
+            }
+            Statement::CreateTrigger(t) => {
+                let timing = match t.timing {
+                    TriggerTiming::Before => "BEFORE",
+                    TriggerTiming::After => "AFTER",
+                };
+                write!(f, "CREATE TRIGGER {} {} {} ON {}", t.name, timing, t.event.keyword(), t.table)?;
+                if t.for_each_row {
+                    f.write_str(" FOR EACH ROW")?;
+                }
+                write!(f, " {}", t.action)
+            }
+            Statement::CreateRule(r) => {
+                f.write_str("CREATE ")?;
+                if r.or_replace {
+                    f.write_str("OR REPLACE ")?;
+                }
+                write!(f, "RULE {} AS ON {} TO {} DO", r.name, r.event.keyword(), r.table)?;
+                if r.instead {
+                    f.write_str(" INSTEAD")?;
+                }
+                match &r.action {
+                    Some(a) => write!(f, " {}", a),
+                    None => f.write_str(" NOTHING"),
+                }
+            }
+            Statement::CreateTableAs { name, query } => {
+                write!(f, "CREATE TABLE {} AS {}", name, query)
+            }
+            Statement::AlterTable(a) => {
+                write!(f, "ALTER TABLE {} ", a.name)?;
+                match &a.action {
+                    AlterTableAction::AddColumn(c) => write!(f, "ADD COLUMN {}", c),
+                    AlterTableAction::DropColumn(c) => write!(f, "DROP COLUMN {}", c),
+                    AlterTableAction::RenameColumn { old, new } => {
+                        write!(f, "RENAME COLUMN {} TO {}", old, new)
+                    }
+                    AlterTableAction::RenameTo(n) => write!(f, "RENAME TO {}", n),
+                    AlterTableAction::AlterColumnType { name, ty } => {
+                        write!(f, "ALTER COLUMN {} TYPE {}", name, ty)
+                    }
+                }
+            }
+            Statement::Drop(d) => {
+                write!(f, "DROP {} ", d.object.keyword())?;
+                if d.if_exists {
+                    f.write_str("IF EXISTS ")?;
+                }
+                f.write_str(&d.name)?;
+                if let Some(t) = &d.on_table {
+                    write!(f, " ON {}", t)?;
+                }
+                Ok(())
+            }
+            Statement::GenericDdl(g) => {
+                write!(f, "{} {} {}", g.verb.keyword(), g.object.keyword(), g.name)?;
+                if let Some(a) = &g.arg {
+                    write!(f, " {}", a)?;
+                }
+                Ok(())
+            }
+            Statement::Select(s) => match &s.variant {
+                SelectVariant::Plain => write!(f, "{}", s.query),
+                SelectVariant::SelectV => {
+                    // Render the leading SELECT as SELECTV.
+                    let text = s.query.to_string();
+                    f.write_str(&text.replacen("SELECT", "SELECTV", 1))
+                }
+                SelectVariant::Into(target) => {
+                    // `SELECT <proj> INTO <t> FROM ...`: splice INTO after the
+                    // projection list for PostgreSQL-style rendering.
+                    let text = s.query.to_string();
+                    if let Some(pos) = text.find(" FROM ") {
+                        write!(f, "{} INTO {}{}", &text[..pos], target, &text[pos..])
+                    } else {
+                        write!(f, "{} INTO {}", text, target)
+                    }
+                }
+            },
+            Statement::Insert(i) => {
+                if i.replace {
+                    f.write_str("REPLACE ")?;
+                } else {
+                    f.write_str("INSERT ")?;
+                    if i.low_priority {
+                        f.write_str("LOW_PRIORITY ")?;
+                    }
+                    if i.ignore {
+                        f.write_str("IGNORE ")?;
+                    }
+                }
+                write!(f, "INTO {}", i.table)?;
+                if !i.columns.is_empty() {
+                    f.write_str(" (")?;
+                    comma_sep_str(f, &i.columns)?;
+                    f.write_str(")")?;
+                }
+                match &i.source {
+                    InsertSource::Values(rows) => {
+                        f.write_str(" VALUES ")?;
+                        for (j, row) in rows.iter().enumerate() {
+                            if j > 0 {
+                                f.write_str(", ")?;
+                            }
+                            f.write_str("(")?;
+                            comma_sep(f, row)?;
+                            f.write_str(")")?;
+                        }
+                        Ok(())
+                    }
+                    InsertSource::Query(q) => write!(f, " {}", q),
+                    InsertSource::DefaultValues => f.write_str(" DEFAULT VALUES"),
+                }
+            }
+            Statement::Update(u) => {
+                write!(f, "UPDATE {} SET ", u.table)?;
+                for (i, (c, e)) in u.assignments.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} = {}", c, e)?;
+                }
+                if let Some(w) = &u.where_ {
+                    write!(f, " WHERE {}", w)?;
+                }
+                Ok(())
+            }
+            Statement::Delete(d) => {
+                write!(f, "DELETE FROM {}", d.table)?;
+                if let Some(w) = &d.where_ {
+                    write!(f, " WHERE {}", w)?;
+                }
+                Ok(())
+            }
+            Statement::With(w) => {
+                f.write_str("WITH ")?;
+                for (i, cte) in w.ctes.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    match &cte.body {
+                        CteBody::Query(q) => write!(f, "{} AS ({})", cte.name, q)?,
+                        CteBody::Dml(s) => write!(f, "{} AS ({})", cte.name, s)?,
+                    }
+                }
+                write!(f, " {}", w.body)
+            }
+            Statement::Values(rows) => {
+                f.write_str("VALUES ")?;
+                for (j, row) in rows.iter().enumerate() {
+                    if j > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("(")?;
+                    comma_sep(f, row)?;
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Statement::Truncate { table } => write!(f, "TRUNCATE TABLE {}", table),
+            Statement::Copy(c) => {
+                f.write_str("COPY ")?;
+                match &c.source {
+                    CopySource::Table { name, columns } => {
+                        f.write_str(name)?;
+                        if !columns.is_empty() {
+                            f.write_str(" (")?;
+                            comma_sep_str(f, columns)?;
+                            f.write_str(")")?;
+                        }
+                    }
+                    CopySource::Query(q) => write!(f, "({})", q)?,
+                }
+                let dir = match c.direction {
+                    CopyDirection::To => "TO",
+                    CopyDirection::From => "FROM",
+                };
+                write!(f, " {} {}", dir, c.target)?;
+                for opt in &c.options {
+                    write!(f, " {}", opt)?;
+                }
+                Ok(())
+            }
+            Statement::Grant(g) => write!(f, "GRANT {} ON {} TO {}", g.privilege, g.object, g.grantee),
+            Statement::Revoke(g) => {
+                write!(f, "REVOKE {} ON {} FROM {}", g.privilege, g.object, g.grantee)
+            }
+            Statement::Begin => f.write_str("BEGIN"),
+            Statement::StartTransaction => f.write_str("START TRANSACTION"),
+            Statement::Commit => f.write_str("COMMIT"),
+            Statement::End => f.write_str("END"),
+            Statement::Rollback => f.write_str("ROLLBACK"),
+            Statement::Abort => f.write_str("ABORT"),
+            Statement::Savepoint(n) => write!(f, "SAVEPOINT {}", n),
+            Statement::ReleaseSavepoint(n) => write!(f, "RELEASE SAVEPOINT {}", n),
+            Statement::RollbackToSavepoint(n) => write!(f, "ROLLBACK TO SAVEPOINT {}", n),
+            Statement::Set(s) => {
+                f.write_str("SET ")?;
+                if let Some(scope) = &s.scope {
+                    if scope.starts_with("@@") {
+                        // `SET @@SESSION.name = value`
+                        return write!(f, "{}{} = {}", scope, s.name, s.value);
+                    }
+                    write!(f, "{} ", scope)?;
+                }
+                write!(f, "{} = {}", s.name, s.value)
+            }
+            Statement::Reset(n) => write!(f, "RESET {}", n),
+            Statement::Show(n) => write!(f, "SHOW {}", n),
+            Statement::Pragma { name, value } => {
+                write!(f, "PRAGMA {}", name)?;
+                if let Some(v) = value {
+                    write!(f, " = {}", v)?;
+                }
+                Ok(())
+            }
+            Statement::Analyze(t) => {
+                f.write_str("ANALYZE")?;
+                if let Some(t) = t {
+                    write!(f, " {}", t)?;
+                }
+                Ok(())
+            }
+            Statement::Vacuum { table, full } => {
+                f.write_str("VACUUM")?;
+                if *full {
+                    f.write_str(" FULL")?;
+                }
+                if let Some(t) = table {
+                    write!(f, " {}", t)?;
+                }
+                Ok(())
+            }
+            Statement::Explain(s) => write!(f, "EXPLAIN {}", s),
+            Statement::Reindex(t) => {
+                f.write_str("REINDEX")?;
+                if let Some(t) = t {
+                    write!(f, " TABLE {}", t)?;
+                }
+                Ok(())
+            }
+            Statement::Checkpoint => f.write_str("CHECKPOINT"),
+            Statement::Cluster(t) => {
+                f.write_str("CLUSTER")?;
+                if let Some(t) = t {
+                    write!(f, " {}", t)?;
+                }
+                Ok(())
+            }
+            Statement::Discard(what) => write!(f, "DISCARD {}", what),
+            Statement::Listen(c) => write!(f, "LISTEN {}", c),
+            Statement::Notify { channel, payload } => {
+                write!(f, "NOTIFY {}", channel)?;
+                if let Some(p) = payload {
+                    write!(f, ", '{}'", p)?;
+                }
+                Ok(())
+            }
+            Statement::Unlisten(c) => write!(f, "UNLISTEN {}", c),
+            Statement::LockTable { table, mode } => {
+                write!(f, "LOCK TABLE {}", table)?;
+                if let Some(m) = mode {
+                    write!(f, " IN {} MODE", m)?;
+                }
+                Ok(())
+            }
+            Statement::Comment { object, name, text } => {
+                write!(f, "COMMENT ON {} {} IS '{}'", object.keyword(), name, sql_escape(text))
+            }
+            Statement::Call { name, args } => {
+                write!(f, "CALL {}(", name)?;
+                comma_sep(f, args)?;
+                f.write_str(")")
+            }
+            Statement::RefreshMatView(n) => write!(f, "REFRESH MATERIALIZED VIEW {}", n),
+            Statement::Misc(m) => {
+                f.write_str(m.kind.name())?;
+                if let Some(a) = &m.arg {
+                    write!(f, " {}", a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn sql_escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn t1() -> CreateTable {
+        CreateTable {
+            name: "t1".into(),
+            temporary: false,
+            if_not_exists: false,
+            columns: vec![
+                ColumnDef::new("v1", DataType::Int),
+                ColumnDef::new("v2", DataType::Int),
+            ],
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn create_table_renders() {
+        assert_eq!(
+            Statement::CreateTable(t1()).to_string(),
+            "CREATE TABLE t1 (v1 INT, v2 INT)"
+        );
+    }
+
+    #[test]
+    fn insert_renders() {
+        let s = Statement::Insert(Insert {
+            table: "t1".into(),
+            columns: vec![],
+            source: InsertSource::Values(vec![vec![Expr::int(1), Expr::int(1)]]),
+            ignore: false,
+            replace: false,
+            low_priority: false,
+        });
+        assert_eq!(s.to_string(), "INSERT INTO t1 VALUES (1, 1)");
+    }
+
+    #[test]
+    fn replace_changes_kind() {
+        let mut i = Insert {
+            table: "t1".into(),
+            columns: vec![],
+            source: InsertSource::DefaultValues,
+            ignore: false,
+            replace: false,
+            low_priority: false,
+        };
+        assert_eq!(Statement::Insert(i.clone()).kind().name(), "INSERT");
+        i.replace = true;
+        assert_eq!(Statement::Insert(i).kind().name(), "REPLACE");
+    }
+
+    #[test]
+    fn select_star_renders() {
+        let q = Query::star_from("t1");
+        let s = Statement::Select(SelectStmt { query: Box::new(q), variant: SelectVariant::Plain });
+        assert_eq!(s.to_string(), "SELECT * FROM t1");
+        assert_eq!(s.kind().name(), "SELECT");
+    }
+
+    #[test]
+    fn selectv_renders_and_kinds() {
+        let q = Query::star_from("t1");
+        let s = Statement::Select(SelectStmt { query: Box::new(q), variant: SelectVariant::SelectV });
+        assert_eq!(s.to_string(), "SELECTV * FROM t1");
+        assert_eq!(s.kind().name(), "SELECTV");
+    }
+
+    #[test]
+    fn notify_and_rule_render_like_the_case_study() {
+        let rule = Statement::CreateRule(CreateRule {
+            name: "v1".into(),
+            or_replace: true,
+            table: "v0".into(),
+            event: DmlEvent::Insert,
+            instead: true,
+            action: Some(Box::new(Statement::Notify { channel: "COMPRESSION".into(), payload: None })),
+        });
+        assert_eq!(
+            rule.to_string(),
+            "CREATE OR REPLACE RULE v1 AS ON INSERT TO v0 DO INSTEAD NOTIFY COMPRESSION"
+        );
+    }
+
+    #[test]
+    fn with_dml_cte_renders() {
+        let w = Statement::With(WithStmt {
+            ctes: vec![Cte {
+                name: "v2".into(),
+                body: CteBody::Dml(Box::new(Statement::Insert(Insert {
+                    table: "v0".into(),
+                    columns: vec![],
+                    source: InsertSource::Values(vec![vec![Expr::int(0)]]),
+                    ignore: false,
+                    replace: false,
+                    low_priority: false,
+                }))),
+            }],
+            body: Box::new(Statement::Delete(Delete {
+                table: "v0".into(),
+                where_: Some(Expr::eq(Expr::col("v3"), Expr::int(-48))),
+            })),
+        });
+        assert_eq!(
+            w.to_string(),
+            "WITH v2 AS (INSERT INTO v0 VALUES (0)) DELETE FROM v0 WHERE (v3 = -48)"
+        );
+        assert_eq!(w.kind().name(), "WITH");
+    }
+
+    #[test]
+    fn drop_trigger_on_table() {
+        let d = Statement::Drop(DropStmt {
+            object: ObjectKind::Trigger,
+            if_exists: true,
+            name: "tr".into(),
+            on_table: Some("t1".into()),
+        });
+        assert_eq!(d.to_string(), "DROP TRIGGER IF EXISTS tr ON t1");
+        assert_eq!(d.kind(), StmtKind::Ddl(DdlVerb::Drop, ObjectKind::Trigger));
+    }
+
+    #[test]
+    fn generic_ddl_kind_roundtrip() {
+        let g = Statement::GenericDdl(GenericDdl {
+            verb: DdlVerb::Alter,
+            object: ObjectKind::Sequence,
+            name: "s1".into(),
+            arg: None,
+        });
+        assert_eq!(g.to_string(), "ALTER SEQUENCE s1");
+        assert_eq!(g.kind(), StmtKind::Ddl(DdlVerb::Alter, ObjectKind::Sequence));
+    }
+
+    #[test]
+    fn misc_statement_renders_kind_name() {
+        let m = Statement::Misc(MiscStmt {
+            kind: StandaloneKind::ShowTables,
+            arg: None,
+        });
+        assert_eq!(m.to_string(), "SHOW TABLES");
+    }
+
+    #[test]
+    fn set_session_var_renders_mysql_style() {
+        let s = Statement::Set(SetStmt {
+            scope: Some("@@SESSION.".into()),
+            name: "explicit_for_timestamp".into(),
+            value: "OFF".into(),
+        });
+        assert_eq!(s.to_string(), "SET @@SESSION.explicit_for_timestamp = OFF");
+    }
+}

@@ -1,0 +1,80 @@
+#![forbid(unsafe_code)]
+
+//! SQL abstract syntax for the LEGO reproduction.
+//!
+//! The paper's central abstraction is the *SQL Type Sequence*: the sequence of
+//! statement *types* (e.g. `CREATE TABLE → INSERT → SELECT`) of a test case.
+//! This crate provides:
+//!
+//! * [`StmtKind`] — the statement-type inventory (DDL verb × object kind plus
+//!   standalone kinds), with [`StmtCategory`] classification,
+//! * [`Dialect`] — the four evaluated DBMS profiles with statement-type
+//!   inventories sized like the paper's Table IV (188/158/160/24),
+//! * the AST itself ([`Statement`], [`Query`], [`Expr`], …) with SQL
+//!   rendering via `Display`,
+//! * structural utilities used by the fuzzer's instantiator
+//!   ([`skeleton`]): identifier rebinding and literal refilling.
+
+pub mod ast;
+pub mod dialect;
+pub mod expr;
+pub mod kind;
+pub mod skeleton;
+pub mod visit;
+
+pub use ast::*;
+pub use dialect::Dialect;
+pub use expr::*;
+pub use kind::{DdlVerb, ObjectKind, StmtCategory, StmtKind};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::ast::{Query, Statement};
+    pub use crate::dialect::Dialect;
+    pub use crate::expr::Expr;
+    pub use crate::kind::{StmtCategory, StmtKind};
+}
+
+/// A parsed test case: an ordered sequence of SQL statements.
+///
+/// The paper (Fig. 1): "a test case is an input for a DBMS, and it always
+/// consists of a sequence of SQL statements."
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TestCase {
+    pub statements: Vec<Statement>,
+}
+
+impl TestCase {
+    pub fn new(statements: Vec<Statement>) -> Self {
+        Self { statements }
+    }
+
+    /// The SQL Type Sequence of this test case (paper § II, Definition).
+    pub fn type_sequence(&self) -> Vec<StmtKind> {
+        self.statements.iter().map(|s| s.kind()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Render back to executable SQL text, one statement per line.
+    pub fn to_sql(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.statements {
+            let _ = writeln!(out, "{};", s);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TestCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_sql())
+    }
+}

@@ -1,0 +1,231 @@
+//! SQL lexer.
+
+use std::fmt;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+impl Tok {
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    pub fn is_sym(&self, s: &str) -> bool {
+        matches!(self, Tok::Sym(x) if *x == s)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => f.write_str(s),
+            Tok::Int(v) => write!(f, "{}", v),
+            Tok::Float(v) => write!(f, "{}", v),
+            Tok::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Tok::Sym(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A lexer error with byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const SYMBOLS2: &[&str] = &["||", "<>", "!=", "<=", ">=", "@@", "::"];
+const SYMBOLS1: &[&str] = &[
+    "(", ")", ",", ".", ";", "=", "<", ">", "+", "-", "*", "/", "%",
+];
+
+/// Tokenize a SQL script. Comments (`-- …` to end of line) are skipped.
+pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            // `--` directly followed by a digit/space is a comment in SQL;
+            // but the paper's example `- - - 48` uses spaced minuses, which
+            // lex as separate symbols, so plain `--` always starts a comment.
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(LexError { offset: start, message: "unterminated string".into() })
+                    }
+                    Some(b'\'') => {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Tok::Str(s));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).map_or(false, |b| (*b as char).is_ascii_digit()) {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &input[start..i];
+            if is_float {
+                let v: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("bad float literal {text}"),
+                })?;
+                out.push(Tok::Float(v));
+            } else {
+                match text.parse::<i64>() {
+                    Ok(v) => out.push(Tok::Int(v)),
+                    // Overflowing integers degrade to floats, like real DBMSs.
+                    Err(_) => out.push(Tok::Float(text.parse::<f64>().unwrap_or(f64::MAX))),
+                }
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Tok::Ident(input[start..i].to_string()));
+            continue;
+        }
+        if let Some(&sym) = SYMBOLS2.iter().find(|s| input[i..].starts_with(**s)) {
+            out.push(Tok::Sym(sym));
+            i += sym.len();
+            continue;
+        }
+        if let Some(&sym) = SYMBOLS1.iter().find(|s| input[i..].starts_with(**s)) {
+            out.push(Tok::Sym(sym));
+            i += sym.len();
+            continue;
+        }
+        return Err(LexError { offset: i, message: format!("unexpected character {c:?}") });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_statement() {
+        let toks = lex("SELECT * FROM t1 WHERE v1 = 1;").unwrap();
+        assert_eq!(toks.len(), 9);
+        assert!(toks[0].is_kw("select"));
+        assert!(toks[1].is_sym("*"));
+        assert_eq!(toks[7], Tok::Int(1));
+        assert!(toks[8].is_sym(";"));
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Tok::Str("it's".into())]);
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(lex("42").unwrap(), vec![Tok::Int(42)]);
+        assert_eq!(lex("4.5").unwrap(), vec![Tok::Float(4.5)]);
+        assert_eq!(lex("1e3").unwrap(), vec![Tok::Float(1000.0)]);
+        // Trailing dot is a symbol, not part of the number (so `t1.` works).
+        assert_eq!(lex("1.").unwrap(), vec![Tok::Int(1), Tok::Sym(".")]);
+    }
+
+    #[test]
+    fn lex_comments_are_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn lex_two_char_symbols() {
+        let toks = lex("a <> b || c @@x <= 1").unwrap();
+        assert!(toks[1].is_sym("<>"));
+        assert!(toks[3].is_sym("||"));
+        assert!(toks[5].is_sym("@@"));
+        assert!(toks[7].is_sym("<="));
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn lex_giant_int_degrades_to_float() {
+        let toks = lex("99999999999999999999999").unwrap();
+        assert!(matches!(toks[0], Tok::Float(_)));
+    }
+}

@@ -1,0 +1,107 @@
+//! Keyword-phrase tables driving generic parsing of the statement long tail.
+
+use crate::lexer::Tok;
+use lego_sqlast::kind::{ObjectKind, StandaloneKind};
+use std::sync::OnceLock;
+
+fn words_of(name: &'static str) -> Vec<&'static str> {
+    name.split(' ').collect()
+}
+
+/// Standalone kinds that have dedicated parsers and therefore must *not* be
+/// matched by the generic phrase table.
+fn is_dedicated(k: StandaloneKind) -> bool {
+    use StandaloneKind::*;
+    matches!(
+        k,
+        Select | SelectV | SelectInto | Values | Insert | Replace | Update | Delete | With
+            | Truncate | Copy | Grant | Revoke | Begin | StartTransaction | Commit | End
+            | Rollback | Abort | Savepoint | ReleaseSavepoint | RollbackToSavepoint | Set | Reset
+            | Show | Pragma | Analyze | Vacuum | Explain | Reindex | Checkpoint | Cluster
+            | Discard | Listen | Notify | Unlisten | LockTable | Comment | Call
+            | RefreshMaterializedView | CreateTableAs
+    )
+}
+
+fn misc_table() -> &'static Vec<(Vec<&'static str>, StandaloneKind)> {
+    static TABLE: OnceLock<Vec<(Vec<&'static str>, StandaloneKind)>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut v: Vec<_> = StandaloneKind::ALL
+            .iter()
+            .copied()
+            .filter(|&k| !is_dedicated(k))
+            .map(|k| (words_of(k.name()), k))
+            .collect();
+        // Longest phrase first so `SET TRANSACTION` beats `SET`, etc.
+        v.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        v
+    })
+}
+
+fn object_table() -> &'static Vec<(Vec<&'static str>, ObjectKind)> {
+    static TABLE: OnceLock<Vec<(Vec<&'static str>, ObjectKind)>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut v: Vec<_> = ObjectKind::ALL
+            .iter()
+            .copied()
+            .map(|k| (words_of(k.keyword()), k))
+            .collect();
+        v.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        v
+    })
+}
+
+fn starts_with_phrase(toks: &[Tok], phrase: &[&str]) -> bool {
+    phrase.len() <= toks.len() && phrase.iter().zip(toks).all(|(w, t)| t.is_kw(w))
+}
+
+/// Longest-prefix match of a generic (non-dedicated) statement kind at the
+/// head of `toks`. Returns the kind and the number of tokens consumed.
+pub fn match_misc(toks: &[Tok]) -> Option<(StandaloneKind, usize)> {
+    misc_table()
+        .iter()
+        .find(|(phrase, _)| starts_with_phrase(toks, phrase))
+        .map(|(phrase, k)| (*k, phrase.len()))
+}
+
+/// Longest-prefix match of an object-kind keyword at the head of `toks`.
+pub fn match_object(toks: &[Tok]) -> Option<(ObjectKind, usize)> {
+    object_table()
+        .iter()
+        .find(|(phrase, _)| starts_with_phrase(toks, phrase))
+        .map(|(phrase, k)| (*k, phrase.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn longest_misc_phrase_wins() {
+        let toks = lex("SET TRANSACTION ISOLATION").unwrap();
+        assert_eq!(match_misc(&toks), Some((StandaloneKind::SetTransaction, 2)));
+        let toks = lex("EXECUTE IMMEDIATE 'x'").unwrap();
+        assert_eq!(match_misc(&toks), Some((StandaloneKind::ExecuteImmediate, 2)));
+        let toks = lex("EXECUTE plan1").unwrap();
+        assert_eq!(match_misc(&toks), Some((StandaloneKind::ExecuteStmt, 1)));
+    }
+
+    #[test]
+    fn dedicated_kinds_do_not_match() {
+        let toks = lex("SELECT * FROM t").unwrap();
+        assert_eq!(match_misc(&toks), None);
+        let toks = lex("SET x = 1").unwrap();
+        assert_eq!(match_misc(&toks), None);
+    }
+
+    #[test]
+    fn multiword_objects_match() {
+        let toks = lex("TEXT SEARCH CONFIGURATION cfg").unwrap();
+        assert_eq!(match_object(&toks), Some((ObjectKind::TextSearchConfiguration, 3)));
+        let toks = lex("MATERIALIZED VIEW v").unwrap();
+        assert_eq!(match_object(&toks), Some((ObjectKind::MaterializedView, 2)));
+        let toks = lex("TABLE t").unwrap();
+        assert_eq!(match_object(&toks), Some((ObjectKind::Table, 1)));
+    }
+}

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+
+//! Facade crate for the `lego-fuzz` workspace: a Rust reproduction of
+//! *Sequence-Oriented DBMS Fuzzing* (LEGO, ICDE 2023).
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! ```
+//! use lego_fuzz::prelude::*;
+//! ```
+
+pub use lego as fuzzer;
+pub use lego_baselines as baselines;
+pub use lego_coverage as coverage;
+pub use lego_dbms as dbms;
+pub use lego_sqlast as sqlast;
+pub use lego_sqlparser as sqlparser;
+
+/// The items a typical user needs to run a fuzzing campaign.
+pub mod prelude {
+    pub use lego::prelude::*;
+    pub use lego_dbms::prelude::*;
+    pub use lego_sqlast::prelude::*;
+}

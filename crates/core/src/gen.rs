@@ -22,6 +22,28 @@ pub struct SchemaModel {
 pub struct TableModel {
     pub name: String,
     pub columns: Vec<(String, DataType)>,
+    /// Columns that must appear in an INSERT column list (NOT NULL or
+    /// PRIMARY KEY, without a DEFAULT to fall back on).
+    pub required: Vec<String>,
+    /// Columns that reject explicit NULL values (NOT NULL or PRIMARY KEY,
+    /// with or without a DEFAULT).
+    pub not_null: Vec<String>,
+    /// Columns that reject duplicate values (UNIQUE or PRIMARY KEY).
+    pub unique: Vec<String>,
+}
+
+impl TableModel {
+    pub fn requires(&self, column: &str) -> bool {
+        self.required.iter().any(|r| r.eq_ignore_ascii_case(column))
+    }
+
+    pub fn is_not_null(&self, column: &str) -> bool {
+        self.not_null.iter().any(|r| r.eq_ignore_ascii_case(column))
+    }
+
+    pub fn is_unique(&self, column: &str) -> bool {
+        self.unique.iter().any(|r| r.eq_ignore_ascii_case(column))
+    }
 }
 
 impl SchemaModel {
@@ -62,9 +84,37 @@ impl SchemaModel {
         match stmt {
             Statement::CreateTable(c) => {
                 if !self.has_table(&c.name) {
+                    use lego_sqlast::ast::ColumnConstraint as CC;
+                    let mut required = Vec::new();
+                    let mut not_null = Vec::new();
+                    let mut unique = Vec::new();
+                    for col in &c.columns {
+                        let nn = col
+                            .constraints
+                            .iter()
+                            .any(|k| matches!(k, CC::NotNull | CC::PrimaryKey));
+                        let has_default =
+                            col.constraints.iter().any(|k| matches!(k, CC::Default(_)));
+                        if nn {
+                            not_null.push(col.name.clone());
+                            if !has_default {
+                                required.push(col.name.clone());
+                            }
+                        }
+                        if col
+                            .constraints
+                            .iter()
+                            .any(|k| matches!(k, CC::Unique | CC::PrimaryKey))
+                        {
+                            unique.push(col.name.clone());
+                        }
+                    }
                     self.tables.push(TableModel {
                         name: c.name.clone(),
                         columns: c.columns.iter().map(|col| (col.name.clone(), col.ty)).collect(),
+                        required,
+                        not_null,
+                        unique,
                     });
                 }
             }
@@ -73,6 +123,9 @@ impl SchemaModel {
                     self.tables.push(TableModel {
                         name: name.clone(),
                         columns: vec![("column1".into(), DataType::Int)],
+                        required: Vec::new(),
+                        not_null: Vec::new(),
+                        unique: Vec::new(),
                     });
                 }
             }
@@ -84,7 +137,13 @@ impl SchemaModel {
                         .skip(1)
                         .find_map(|t| self.table(t).map(|t| t.columns.clone()))
                         .unwrap_or_else(|| vec![("column1".into(), DataType::Int)]);
-                    self.tables.push(TableModel { name: v.name.clone(), columns: cols });
+                    self.tables.push(TableModel {
+                        name: v.name.clone(),
+                        columns: cols,
+                        required: Vec::new(),
+                        not_null: Vec::new(),
+                        unique: Vec::new(),
+                    });
                 }
             }
             Statement::Drop(d) if matches!(d.object, ObjectKind::Table | ObjectKind::View) => {
@@ -96,13 +155,25 @@ impl SchemaModel {
                     match &a.action {
                         AlterTableAction::AddColumn(c) => t.columns.push((c.name.clone(), c.ty)),
                         AlterTableAction::DropColumn(c) => {
-                            t.columns.retain(|(n, _)| !n.eq_ignore_ascii_case(c))
+                            t.columns.retain(|(n, _)| !n.eq_ignore_ascii_case(c));
+                            t.required.retain(|n| !n.eq_ignore_ascii_case(c));
+                            t.not_null.retain(|n| !n.eq_ignore_ascii_case(c));
+                            t.unique.retain(|n| !n.eq_ignore_ascii_case(c));
                         }
                         AlterTableAction::RenameColumn { old, new } => {
                             if let Some(col) =
                                 t.columns.iter_mut().find(|(n, _)| n.eq_ignore_ascii_case(old))
                             {
                                 col.0 = new.clone();
+                            }
+                            for list in
+                                [&mut t.required, &mut t.not_null, &mut t.unique]
+                            {
+                                if let Some(r) =
+                                    list.iter_mut().find(|n| n.eq_ignore_ascii_case(old))
+                                {
+                                    *r = new.clone();
+                                }
                             }
                         }
                         AlterTableAction::RenameTo(new) => t.name = new.clone(),
@@ -135,6 +206,13 @@ pub fn gen_literal(ty: DataType, rng: &mut SmallRng) -> Expr {
     if rng.gen_bool(0.08) {
         return Expr::Null;
     }
+    gen_literal_not_null(ty, rng)
+}
+
+/// Random literal that is never NULL — for columns with NOT NULL / PRIMARY
+/// KEY constraints, where a NULL would make the whole case semantically
+/// invalid.
+pub fn gen_literal_not_null(ty: DataType, rng: &mut SmallRng) -> Expr {
     match ty {
         t if t.is_numeric() => {
             if rng.gen_bool(0.2) {

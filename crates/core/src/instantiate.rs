@@ -2,7 +2,7 @@
 //! (paper § III-B, the three-step AST synthesis / concatenation / validation
 //! pipeline).
 
-use crate::gen::{gen_literal, gen_statement, SchemaModel};
+use crate::gen::{gen_literal, gen_literal_not_null, gen_statement, SchemaModel};
 use lego_sqlast::ast::{Insert, InsertSource, Statement};
 use lego_sqlast::expr::{DataType, Expr};
 use lego_sqlast::skeleton::{rebind, structure_key};
@@ -162,6 +162,31 @@ fn fix_statement(stmt: &mut Statement, schema: &SchemaModel, rng: &mut SmallRng)
         );
     }
 
+    // 3b. Self-joins without aliases make every bare column reference
+    //     ambiguous; qualify them with the table name (qualified lookup
+    //     resolves to the first join side).
+    {
+        let mut lower: Vec<String> = tables.iter().map(|t| t.to_ascii_lowercase()).collect();
+        lower.sort();
+        let dup = lower.windows(2).find(|w| w[0] == w[1]).map(|w| w[0].clone());
+        if let Some(tm) = dup.and_then(|d| schema.table(&d)) {
+            struct Qualify<'a> {
+                table: &'a str,
+                cols: HashSet<String>,
+            }
+            impl lego_sqlast::visit::MutVisitor for Qualify<'_> {
+                fn column_ref(&mut self, c: &mut lego_sqlast::expr::ColumnRef) {
+                    if c.table.is_none() && self.cols.contains(&c.column.to_ascii_lowercase()) {
+                        c.table = Some(self.table.to_string());
+                    }
+                }
+            }
+            let cols = tm.columns.iter().map(|(n, _)| n.to_ascii_lowercase()).collect();
+            let mut q = Qualify { table: &tm.name, cols };
+            lego_sqlast::visit::walk_statement_mut(stmt, &mut q);
+        }
+    }
+
     // 4. Data refill: re-randomize a fraction of literals.
     rebind(
         stmt,
@@ -180,31 +205,119 @@ fn fix_statement(stmt: &mut Statement, schema: &SchemaModel, rng: &mut SmallRng)
         },
     );
 
-    // 5. INSERT shape fix-up: row width must match the target table.
+    // 5. INSERT shape fix-up: row width must match the target table, and
+    //    NOT NULL columns without a default must receive non-NULL values.
     if let Statement::Insert(Insert { table, columns, source: InsertSource::Values(rows), .. }) =
         stmt
     {
         if let Some(tm) = schema.table(table) {
-            let width = if columns.is_empty() {
-                // Unknown column lists were rebound above; drop any stale list.
-                tm.columns.len()
-            } else {
+            if !columns.is_empty() {
                 columns.retain(|c| tm.columns.iter().any(|(n, _)| n.eq_ignore_ascii_case(c)));
-                if columns.is_empty() {
-                    tm.columns.len()
-                } else {
-                    columns.len()
-                }
-            };
-            for row in rows {
-                while row.len() > width {
-                    row.pop();
-                }
-                while row.len() < width {
-                    let ty = tm.columns.get(row.len()).map(|(_, t)| *t).unwrap_or(DataType::Int);
-                    row.push(gen_literal(ty, rng));
+                // An explicit column list must still cover every required
+                // column, or the implicit NULLs violate NOT NULL.
+                if !columns.is_empty() {
+                    for req in &tm.required {
+                        if !columns.iter().any(|c| c.eq_ignore_ascii_case(req)) {
+                            columns.push(req.clone());
+                        }
+                    }
                 }
             }
+            // Per-position metadata for the effective column list (explicit
+            // or the full table): type, NOT NULL (reject explicit NULLs),
+            // UNIQUE (reject duplicate literals across the VALUES rows).
+            struct Slot {
+                ty: DataType,
+                not_null: bool,
+                unique: bool,
+            }
+            let slot_of = |name: &str, ty: DataType| Slot {
+                ty,
+                not_null: tm.is_not_null(name),
+                unique: tm.is_unique(name),
+            };
+            let slots: Vec<Slot> = if columns.is_empty() {
+                tm.columns.iter().map(|(n, t)| slot_of(n, *t)).collect()
+            } else {
+                columns
+                    .iter()
+                    .map(|c| {
+                        let ty = tm
+                            .columns
+                            .iter()
+                            .find(|(n, _)| n.eq_ignore_ascii_case(c))
+                            .map(|(_, t)| *t)
+                            .unwrap_or(DataType::Int);
+                        slot_of(c, ty)
+                    })
+                    .collect()
+            };
+            // A literal's identity under the column's storage coercion:
+            // YEAR clamps into [1901, 2155], so distinct out-of-range
+            // literals still collide on a UNIQUE YEAR column.
+            fn stored_key(value: &Expr, ty: DataType) -> Expr {
+                let as_int = match value {
+                    Expr::Integer(v) => Some(*v),
+                    Expr::Float(v) => Some(*v as i64),
+                    _ => None,
+                };
+                match (ty, as_int) {
+                    (DataType::Year, Some(0)) => Expr::Integer(0),
+                    (DataType::Year, Some(v)) => Expr::Integer(v.clamp(1901, 2155)),
+                    _ => value.clone(),
+                }
+            }
+            fn fresh_unique(ty: DataType, rng: &mut SmallRng) -> Expr {
+                match ty {
+                    DataType::Year => Expr::Integer(rng.gen_range(1901i64..2156)),
+                    DataType::Bool => Expr::Bool(rng.gen_bool(0.5)),
+                    _ => gen_literal_not_null(ty, rng),
+                }
+            }
+            let mut seen: Vec<Vec<Expr>> = slots.iter().map(|_| Vec::new()).collect();
+            let mut kept = Vec::with_capacity(rows.len());
+            for mut row in rows.drain(..) {
+                while row.len() > slots.len() {
+                    row.pop();
+                }
+                while row.len() < slots.len() {
+                    let slot = &slots[row.len()];
+                    row.push(if slot.not_null {
+                        gen_literal_not_null(slot.ty, rng)
+                    } else {
+                        gen_literal(slot.ty, rng)
+                    });
+                }
+                let mut row_ok = true;
+                for (i, value) in row.iter_mut().enumerate() {
+                    let slot = &slots[i];
+                    if slot.not_null && matches!(value, Expr::Null) {
+                        *value = gen_literal_not_null(slot.ty, rng);
+                    }
+                    if slot.unique {
+                        // Re-roll repeats of an earlier row's stored value;
+                        // bounded, since narrow types may not have enough
+                        // distinct values — then the whole row is dropped.
+                        let mut key = stored_key(value, slot.ty);
+                        for _ in 0..4 {
+                            if !seen[i].contains(&key) {
+                                break;
+                            }
+                            *value = fresh_unique(slot.ty, rng);
+                            key = stored_key(value, slot.ty);
+                        }
+                        if seen[i].contains(&key) {
+                            row_ok = false;
+                            break;
+                        }
+                        seen[i].push(key);
+                    }
+                }
+                if row_ok || kept.is_empty() {
+                    kept.push(row);
+                }
+            }
+            *rows = kept;
         }
     }
 }

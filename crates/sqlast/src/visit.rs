@@ -16,6 +16,15 @@ pub trait MutVisitor {
     fn table_name(&mut self, _name: &mut String) {}
     /// Every column-name position (column refs, column defs, insert lists…).
     fn column_name(&mut self, _name: &mut String) {}
+    /// Every full column-reference expression, qualifier included. The
+    /// default delegates to the name hooks, so implementors that only care
+    /// about names keep working unchanged.
+    fn column_ref(&mut self, c: &mut crate::expr::ColumnRef) {
+        if let Some(t) = &mut c.table {
+            self.table_name(t);
+        }
+        self.column_name(&mut c.column);
+    }
     /// Every literal leaf expression.
     fn literal(&mut self, _expr: &mut Expr) {}
 }
@@ -25,12 +34,7 @@ pub fn walk_expr_mut(expr: &mut Expr, v: &mut dyn MutVisitor) {
         Expr::Null | Expr::Bool(_) | Expr::Integer(_) | Expr::Float(_) | Expr::Str(_) => {
             v.literal(expr)
         }
-        Expr::Column(c) => {
-            if let Some(t) = &mut c.table {
-                v.table_name(t);
-            }
-            v.column_name(&mut c.column);
-        }
+        Expr::Column(c) => v.column_ref(c),
         Expr::Unary(_, e) => walk_expr_mut(e, v),
         Expr::Binary(l, _, r) => {
             walk_expr_mut(l, v);

@@ -1,0 +1,246 @@
+#![forbid(unsafe_code)]
+
+//! Offline vendored subset of `criterion`.
+//!
+//! Implements the `Criterion` / `BenchmarkGroup` / `Bencher` API the
+//! workspace's benches use, with a simple warm-up + timed-sampling harness
+//! that reports mean/min/max per benchmark to stdout. No plotting, no
+//! statistics beyond the basics — enough to compare before/after timings
+//! offline.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value. `std::hint::black_box` is
+/// stable since 1.66 — delegate to it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Read a benchmark-name filter from argv (ignores harness flags like
+    /// `--bench`).
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> =
+            std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        if let Some(f) = args.into_iter().next() {
+            self.filter = Some(f);
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F>(&self, name: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(name) {
+            return;
+        }
+        // Warm-up: run the routine until the warm-up window elapses, using
+        // the observed rate to size measurement iterations.
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.iters = 1;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let total_iters =
+            (self.measurement_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+        let iters_per_sample = (total_iters / self.sample_size as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<44} time: [{} {} {}] (min {}, {} samples x {} iters)",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(max),
+            fmt_time(min),
+            samples.len(),
+            iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).measurement_time(Duration::from_millis(4));
+        group.bench_function("x", |b| b.iter(|| black_box(42)));
+        group.finish();
+    }
+}

@@ -1,0 +1,470 @@
+#![forbid(unsafe_code)]
+
+//! Offline vendored subset of `proptest`.
+//!
+//! Provides the `proptest!` macro, `prop_assert*` macros, `any::<T>()`,
+//! integer-range / tuple / `prop::collection::vec` / string-pattern
+//! strategies — the surface the workspace's property tests use. Cases are
+//! generated from a deterministic per-test seed (FNV of the test name XOR
+//! the case index), so failures reproduce without a persistence file; there
+//! is no shrinking.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A failing property case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// proptest-compatible alias.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value-producing strategy (no shrinking).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+/// `any::<T>()` — the full domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen::<u64>()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen::<u64>() as i64
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen::<u32>()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+);)*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+/// String strategies from a small regex subset: sequences of `.` or
+/// `[class]` atoms, each with an optional `{n}` / `{m,n}` repeat. This covers
+/// the patterns the workspace tests use (e.g. `"[ -~\n]{0,200}"`, `".{0,200}"`).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // Parse one atom.
+        let atom: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                Vec::new() // empty = "any char" sentinel
+            }
+            '[' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != ']' {
+                    if chars[j] == '\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let class = parse_class(&chars[start..j.min(chars.len())]);
+                i = j + 1;
+                class
+            }
+            c => {
+                i += 1;
+                if c == '\\' && i < chars.len() {
+                    let e = unescape(chars[i]);
+                    i += 1;
+                    vec![e]
+                } else {
+                    vec![c]
+                }
+            }
+        };
+        // Parse an optional repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != '}' {
+                j += 1;
+            }
+            let body: String = chars[i + 1..j].iter().collect();
+            i = j + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(0)),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1usize, 1usize)
+        };
+        let count = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+        for _ in 0..count {
+            if atom.is_empty() {
+                out.push(sample_any_char(rng));
+            } else {
+                out.push(atom[rng.gen_range(0..atom.len())]);
+            }
+        }
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        c => c,
+    }
+}
+
+fn parse_class(body: &[char]) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let c = if body[i] == '\\' && i + 1 < body.len() {
+            i += 1;
+            unescape(body[i])
+        } else {
+            body[i]
+        };
+        if i + 2 < body.len() && body[i + 1] == '-' && body[i + 2] != ']' {
+            let hi = body[i + 2];
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    set
+}
+
+/// `.` — mostly printable ASCII, some whitespace, some non-ASCII unicode so
+/// robustness tests see multi-byte input.
+fn sample_any_char(rng: &mut SmallRng) -> char {
+    match rng.gen_range(0u32..10) {
+        0..=6 => char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap(),
+        7 => ['\t', ' ', '\u{a0}'][rng.gen_range(0usize..3)],
+        8 => char::from_u32(rng.gen_range(0xa1u32..0x250)).unwrap_or('é'),
+        _ => char::from_u32(rng.gen_range(0x400u32..0x4ff)).unwrap_or('Ж'),
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, lo: size.start, hi: size.end.saturating_sub(1) }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = if self.hi > self.lo {
+                rng.gen_range(self.lo..=self.hi)
+            } else {
+                self.lo
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespaced re-exports matching `proptest::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Deterministic per-test seed.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}` at {}:{}",
+            l,
+            r,
+            file!(),
+            line!()
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}` at {}:{}",
+            l,
+            r,
+            file!(),
+            line!()
+        );
+    }};
+}
+
+/// The `proptest!` block macro: expands each property into a `#[test]` that
+/// samples its strategies `cases` times with a deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base = $crate::test_seed(stringify!($name));
+                for case_idx in 0..config.cases as u64 {
+                    let mut __rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(
+                        base ^ case_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest case {} of `{}` failed: {}",
+                            case_idx,
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_char_class_with_ranges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = sample_pattern("[ -~\n]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn pattern_dot_produces_bounded_strings() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = sample_pattern(".{0,50}", &mut rng);
+            assert!(s.chars().count() <= 50);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let strat = collection::vec((0u16..50, 0u16..50), 0..200);
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!(v.len() < 200);
+            assert!(v.iter().all(|&(a, b)| a < 50 && b < 50));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(x in 0usize..10, y in any::<u64>()) {
+            prop_assert!(x < 10);
+            let _ = y;
+            prop_assert_eq!(x, x);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+#![forbid(unsafe_code)]
+
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the small slice of `rand` it actually uses. Bit-for-bit compatibility with
+//! `rand 0.8.5` matters here: the bug oracle derives its trigger patterns
+//! from seeded [`SmallRng`] streams, and every campaign is reproducible only
+//! if the generator sequence is stable. The implementation therefore mirrors
+//! the upstream algorithms exactly:
+//!
+//! * `SmallRng` (64-bit targets) is xoshiro256++, seeded from a `u64` via the
+//!   SplitMix64 expansion, with `next_u32` taking the *high* half of
+//!   `next_u64`.
+//! * `gen_range` uses the widening-multiply rejection sampler
+//!   (`sample_single_inclusive`) of `rand::distributions::uniform`.
+//! * `gen_bool` uses the fixed-point Bernoulli comparison against a scaled
+//!   64-bit threshold.
+
+pub mod rngs {
+    /// A small-state, fast, non-cryptographic PRNG — xoshiro256++ exactly as
+    /// shipped by `rand 0.8` on 64-bit platforms.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_seed_bytes(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            SmallRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.next_u64_impl()
+        }
+
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // The lowest bits of xoshiro256++ have weak linear dependencies,
+            // so rand takes the highest 32 — reproduced for stream parity.
+            (self.next_u64_impl() >> 32) as u32
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            SmallRng::from_seed_bytes(seed)
+        }
+    }
+}
+
+/// The raw generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+    fn next_u32(&mut self) -> u32;
+}
+
+/// Seeding interface (subset of `rand_core::SeedableRng`), with the
+/// SplitMix64-based `seed_from_u64` used throughout the workspace.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, byte-identical to rand_core 0.6.
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from a range (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int_64 {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if range == 0 {
+                    // Full integer range.
+                    return rng.next_u64() as $ty;
+                }
+                // rand 0.8's widening-multiply rejection zone.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128) * (range as u128);
+                    let lo = m as u64;
+                    if lo <= zone {
+                        return low.wrapping_add((m >> 64) as u64 as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! uniform_int_32 {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range = (high as u32).wrapping_sub(low as u32).wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u32() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u32();
+                    let m = (v as u64) * (range as u64);
+                    let lo = m as u32;
+                    if lo <= zone {
+                        return low.wrapping_add((m >> 32) as u32 as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! uniform_int_16 {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range = ((high as u16).wrapping_sub(low as u16).wrapping_add(1)) as u32;
+                if range == 0 {
+                    return rng.next_u32() as $ty;
+                }
+                // Small types reject via the modulo zone (rand 0.8 behaviour
+                // for types no wider than u16).
+                let ints_to_reject = (u32::MAX - range + 1) % range;
+                let zone = u32::MAX - ints_to_reject;
+                loop {
+                    let v = rng.next_u32();
+                    let m = (v as u64) * (range as u64);
+                    let lo = m as u32;
+                    if lo <= zone {
+                        return low.wrapping_add((m >> 32) as u16 as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_64!(u64);
+uniform_int_64!(i64);
+uniform_int_64!(usize);
+uniform_int_64!(isize);
+uniform_int_32!(u32);
+uniform_int_32!(i32);
+uniform_int_16!(u16);
+uniform_int_16!(i16);
+uniform_int_16!(u8);
+uniform_int_16!(i8);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + One> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_single_inclusive(self.start, self.end.minus_one(), rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Helper to turn an exclusive upper bound into an inclusive one.
+pub trait One {
+    fn minus_one(self) -> Self;
+}
+
+macro_rules! impl_one {
+    ($($ty:ty),*) => {
+        $(impl One for $ty {
+            #[inline]
+            fn minus_one(self) -> Self {
+                self - 1
+            }
+        })*
+    };
+}
+
+impl_one!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+/// Values producible by [`Rng::gen`] (subset of `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    #[inline]
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: one bit from a u32 draw.
+        (rng.next_u32() & 1) == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 Standard for f64: 53 random mantissa bits scaled.
+        let v = rng.next_u64() >> 11;
+        v as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+/// The user-facing generator interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw, fixed-point comparison exactly as `rand 0.8`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        if p == 1.0 {
+            return true;
+        }
+        // 2^64 as f64; (p * SCALE) truncated to u64.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Known-answer test for the xoshiro256++ reference vectors: seeding the
+    /// raw state with {1,2,3,4} must yield the published output stream.
+    #[test]
+    fn xoshiro256plusplus_reference_vectors() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = SmallRng::from_seed(seed);
+        let expected: [u64; 8] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let v = rng.gen_range(0usize..7);
+            assert!(v < 7);
+            let w = rng.gen_range(-10i64..10);
+            assert!((-10..10).contains(&w));
+            let u = rng.gen_range(1usize..=3);
+            assert!((1..=3).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_edges_and_balance() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "{hits}");
+    }
+}

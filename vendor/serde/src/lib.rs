@@ -1,0 +1,238 @@
+#![forbid(unsafe_code)]
+
+//! Offline vendored subset of `serde`: a single-method JSON serialization
+//! trait plus derive macros, shaped so existing `#[derive(Serialize)]` code
+//! compiles unchanged while the build has no crates.io access.
+//!
+//! Output is `serde_json`-compatible for the shapes the workspace uses:
+//! structs → objects, unit enum variants → strings, data-carrying variants →
+//! externally-tagged objects, tuples → arrays, maps → objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// JSON serialization. The derive macro generates field-by-field impls; the
+/// primitives below cover the leaf types.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker for derive compatibility — nothing in the workspace deserializes.
+pub trait Deserialize {}
+
+/// Escape and quote a string into JSON.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {
+        $(impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        })*
+    };
+}
+
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Match serde_json: integral floats print with a trailing `.0`.
+            if *self == self.trunc() && self.abs() < 1e15 {
+                out.push_str(&format!("{self:.1}"));
+            } else {
+                out.push_str(&format!("{self}"));
+            }
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+fn write_map<'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    out: &mut String,
+) {
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(k, out);
+        out.push(':');
+        v.serialize_json(out);
+    }
+    out.push('}');
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        write_map(self.iter(), out);
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        // Sort for deterministic output (serde_json iteration order is the
+        // map's; determinism is load-bearing for this workspace's reports).
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        write_map(entries.into_iter(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&3usize), "3");
+        assert_eq!(json(&-7i64), "-7");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&2.0f64), "2.0");
+        assert_eq!(json(&"a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&(1usize, 2usize)), "[1,2]");
+        assert_eq!(json(&Some(5u32)), "5");
+        assert_eq!(json(&Option::<u32>::None), "null");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 1u8);
+        assert_eq!(json(&m), "{\"k\":1}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! reimplements the slice of `serde_derive` the workspace uses, over the
+//! stock `proc_macro` API (no `syn`/`quote`). Supported input shapes — and
+//! everything the workspace derives on — are:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit, newtype, or tuple variants.
+//!
+//! The generated `Serialize` impl writes `serde_json`-compatible output:
+//! structs as objects, unit variants as strings, data variants as
+//! externally-tagged one-entry objects. `Deserialize` is a marker (nothing
+//! in the workspace deserializes), kept so existing derive lists compile.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` skeleton: just enough shape for codegen.
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    let mut kw = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the bracketed attribute group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    kw = Some(s);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let kw = kw.ok_or("expected `struct` or `enum`")?;
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    // Reject generics: nothing in the workspace derives on generic types.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("generic type `{name}` not supported by vendored derive"))
+            }
+            Some(_) => continue,
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+    if kw == "struct" {
+        Ok(Shape::Struct { name, fields: parse_named_fields(body)? })
+    } else {
+        Ok(Shape::Enum { name, variants: parse_variants(body)? })
+    }
+}
+
+/// Split a brace-group body at top-level commas.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => out.push(Vec::new()),
+            _ => out.last_mut().unwrap().push(tt),
+        }
+    }
+    out.retain(|part| !part.is_empty());
+    out
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level(body) {
+        let mut it = part.into_iter().peekable();
+        let mut name = None;
+        while let Some(tt) = it.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    it.next();
+                }
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = it.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                it.next();
+                            }
+                        }
+                        continue;
+                    }
+                    name = Some(s);
+                    break;
+                }
+                _ => return Err("tuple structs not supported by vendored derive".into()),
+            }
+        }
+        fields.push(name.ok_or("unnamed struct field")?);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level(body) {
+        let mut it = part.into_iter().peekable();
+        let mut name = None;
+        let mut arity = 0usize;
+        while let Some(tt) = it.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    it.next();
+                }
+                TokenTree::Ident(id) => {
+                    name = Some(id.to_string());
+                    match it.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            arity = split_top_level(g.stream()).len();
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            return Err(format!(
+                                "struct variant `{}` not supported by vendored derive",
+                                id
+                            ));
+                        }
+                        _ => {}
+                    }
+                    break;
+                }
+                _ => {}
+            }
+        }
+        variants.push((name.ok_or("unnamed enum variant")?, arity));
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, arity) in &variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(f0) => {{\n\
+                             out.push_str(\"{{\\\"{v}\\\":\");\n\
+                             ::serde::Serialize::serialize_json(f0, out);\n\
+                             out.push('}}');\n\
+                         }}\n"
+                    )),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut inner = format!(
+                            "out.push_str(\"{{\\\"{v}\\\":[\");\n"
+                        );
+                        for (i, b) in binders.iter().enumerate() {
+                            if i > 0 {
+                                inner.push_str("out.push(',');\n");
+                            }
+                            inner.push_str(&format!(
+                                "::serde::Serialize::serialize_json({b}, out);\n"
+                            ));
+                        }
+                        inner.push_str("out.push_str(\"]}\");\n");
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{\n{inner}}}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match &shape {
+        Shape::Struct { name, .. } | Shape::Enum { name, .. } => name.clone(),
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap()
+}

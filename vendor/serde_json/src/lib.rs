@@ -1,0 +1,116 @@
+#![forbid(unsafe_code)]
+
+//! Offline vendored subset of `serde_json`: `to_string` and
+//! `to_string_pretty` over the vendored [`serde::Serialize`] trait.
+
+use std::fmt;
+
+/// Serialization error. The vendored writer is infallible; the type exists
+/// for API compatibility with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indent a compact JSON document (2-space indent, serde_json style).
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![(1usize, 2usize), (3, 4)];
+        assert_eq!(to_string(&v).unwrap(), "[[1,2],[3,4]]");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("[\n"));
+        assert!(pretty.ends_with(']'));
+    }
+
+    #[test]
+    fn strings_with_structural_chars_survive_prettify() {
+        let s = "a{b}[c],:\"d\"".to_string();
+        let compact = to_string(&s).unwrap();
+        assert_eq!(to_string_pretty(&s).unwrap(), compact);
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let v: Vec<u8> = Vec::new();
+        assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+}

@@ -21,10 +21,10 @@ use lego_sqlast::Dialect;
 
 /// Construct any evaluated engine by name (used by the experiment binaries).
 ///
-/// Names: `LEGO`, `LEGO-`, `SQUIRREL`, `SQLancer`, `SQLsmith`.
-pub fn engine_by_name(name: &str, dialect: Dialect, rng_seed: u64) -> Box<dyn FuzzEngine> {
-    let mut cfg = Config::default();
-    cfg.rng_seed = rng_seed;
+/// Names: `LEGO`, `LEGO-`, `SQUIRREL`, `SQLancer`, `SQLsmith`. The box is
+/// `Send` so it can serve as a worker shard in `run_campaign_parallel`.
+pub fn engine_by_name(name: &str, dialect: Dialect, rng_seed: u64) -> Box<dyn FuzzEngine + Send> {
+    let cfg = Config { rng_seed, ..Config::default() };
     match name {
         "LEGO" => Box::new(LegoFuzzer::new(dialect, cfg)),
         "LEGO-" => Box::new(LegoFuzzer::lego_minus(dialect, cfg)),

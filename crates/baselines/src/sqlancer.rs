@@ -29,11 +29,7 @@ pub struct SqlancerFuzzer {
 
 impl SqlancerFuzzer {
     pub fn new(dialect: Dialect, rng_seed: u64) -> Self {
-        Self {
-            dialect,
-            rng: SmallRng::seed_from_u64(rng_seed ^ 0x1a9c),
-            sample: Vec::new(),
-        }
+        Self { dialect, rng: SmallRng::seed_from_u64(rng_seed ^ 0x1a9c), sample: Vec::new() }
     }
 
     /// The setup-phase statement-type repertoire (fixed rules). SQLancer's
@@ -70,11 +66,7 @@ impl SqlancerFuzzer {
         // is reproduced: SELECT, then UPDATE/DELETE.
         if self.rng.gen_bool(0.35) {
             kinds.push(StmtKind::Other(K::Select));
-            kinds.push(StmtKind::Other(if self.rng.gen_bool(0.6) {
-                K::Update
-            } else {
-                K::Delete
-            }));
+            kinds.push(StmtKind::Other(if self.rng.gen_bool(0.6) { K::Update } else { K::Delete }));
         }
         if self.rng.gen_bool(0.1) {
             kinds.push(StmtKind::Ddl(DdlVerb::Drop, ObjectKind::Table));
@@ -137,9 +129,9 @@ impl FuzzEngine for SqlancerFuzzer {
                 i.ignore = false;
                 i.low_priority = false;
                 i.source = match i.source.clone() {
-                    InsertSource::Query(_) => InsertSource::Values(vec![vec![
-                        lego_sqlast::expr::Expr::Integer(1),
-                    ]]),
+                    InsertSource::Query(_) => {
+                        InsertSource::Values(vec![vec![lego_sqlast::expr::Expr::Integer(1)]])
+                    }
                     other => other,
                 };
             }

@@ -58,10 +58,8 @@ impl FuzzEngine for SqlsmithFuzzer {
     fn next_case(&mut self) -> TestCase {
         // Deep, feature-rich single query (SQLsmith's strength).
         let query = gen_query(&self.schema, self.dialect, &mut self.rng, 2);
-        let select = Statement::Select(SelectStmt {
-            query: Box::new(query),
-            variant: SelectVariant::Plain,
-        });
+        let select =
+            Statement::Select(SelectStmt { query: Box::new(query), variant: SelectVariant::Plain });
         let mut statements = self.prologue.statements.clone();
         statements.push(select);
         TestCase::new(statements)

@@ -17,14 +17,17 @@ pub struct SquirrelFuzzer {
 
 impl SquirrelFuzzer {
     pub fn new(dialect: Dialect, rng_seed: u64) -> Self {
-        let mut cfg = Config::default();
-        cfg.rng_seed = rng_seed;
-        cfg.seq_mutation = false;
-        cfg.sequence_oriented = false;
-        // SQUIRREL compensates with more, and more aggressive,
-        // within-statement mutants per seed (its IR mutator stacks edits).
-        cfg.conventional_per_seed = 24;
-        cfg.mutation_stack = 4;
+        // SQUIRREL compensates for the missing sequence stage with more, and
+        // more aggressive, within-statement mutants per seed (its IR mutator
+        // stacks edits).
+        let cfg = Config {
+            rng_seed,
+            seq_mutation: false,
+            sequence_oriented: false,
+            conventional_per_seed: 24,
+            mutation_stack: 4,
+            ..Config::default()
+        };
         Self { inner: LegoFuzzer::new(dialect, cfg) }
     }
 }
@@ -50,18 +53,19 @@ impl FuzzEngine for SquirrelFuzzer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego::campaign::{run_campaign, Budget};
     use lego::affinity::corpus_affinities;
+    use lego::campaign::{run_campaign, Budget};
 
     #[test]
     fn squirrel_never_changes_type_sequences() {
         let mut fz = SquirrelFuzzer::new(Dialect::Postgres, 7);
         let stats = run_campaign(&mut fz, Dialect::Postgres, Budget::units(30_000));
         // Every retained case's type sequence must equal one of the seeds'.
-        let seed_seqs: Vec<Vec<lego_sqlast::StmtKind>> = lego::seeds::initial_corpus(Dialect::Postgres)
-            .iter()
-            .map(|c| c.type_sequence())
-            .collect();
+        let seed_seqs: Vec<Vec<lego_sqlast::StmtKind>> =
+            lego::seeds::initial_corpus(Dialect::Postgres)
+                .iter()
+                .map(|c| c.type_sequence())
+                .collect();
         for case in fz.corpus() {
             assert!(
                 seed_seqs.contains(&case.type_sequence()),

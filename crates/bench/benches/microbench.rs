@@ -4,7 +4,6 @@
 //! fuzzing campaign per engine.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use lego::affinity::AffinityMap;
 use lego::campaign::{run_campaign, Budget};
 use lego::fuzzer::{Config, LegoFuzzer};
@@ -17,6 +16,7 @@ use lego_dbms::Dbms;
 use lego_sqlast::Dialect;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 const SCRIPT: &str = "CREATE TABLE t1 (v1 INT, v2 INT, v3 VARCHAR(100));\n\
     CREATE INDEX i1 ON t1 (v1);\n\

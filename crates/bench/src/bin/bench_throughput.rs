@@ -1,0 +1,80 @@
+//! Campaign throughput measurement: executions per second for the serial
+//! path and the sharded parallel path, plus the resulting speedup.
+//!
+//! Usage: `bench_throughput [UNITS] [--workers N]`. Writes
+//! `BENCH_throughput.json` at the repository root.
+
+use lego_bench::grid::Cli;
+use lego_bench::*;
+use lego_sqlast::Dialect;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Run {
+    workers: usize,
+    execs: usize,
+    units: usize,
+    branches: usize,
+    wall_ms: u64,
+    execs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    dialect: String,
+    fuzzer: String,
+    budget_units: usize,
+    serial: Run,
+    parallel: Run,
+    speedup: f64,
+}
+
+fn run_of(s: &lego::campaign::CampaignStats) -> Run {
+    Run {
+        workers: s.workers,
+        execs: s.execs,
+        units: s.units,
+        branches: s.branches,
+        wall_ms: s.wall_ms,
+        execs_per_sec: s.execs_per_sec,
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let units: usize = cli.arg(0, 200_000);
+    let workers = cli.workers.max(2);
+    let dialect = Dialect::Postgres;
+
+    println!("Campaign throughput — LEGO on {} ({units} units)\n", dialect.name());
+    let serial = campaign_parallel("LEGO", dialect, units, DEFAULT_SEED, 1);
+    println!(
+        "  serial   : {:>8} execs in {:>6} ms  ({:>8.0} execs/s)",
+        serial.execs, serial.wall_ms, serial.execs_per_sec
+    );
+    let parallel = campaign_parallel("LEGO", dialect, units, DEFAULT_SEED, workers);
+    println!(
+        "  {}-worker : {:>8} execs in {:>6} ms  ({:>8.0} execs/s)",
+        workers, parallel.execs, parallel.wall_ms, parallel.execs_per_sec
+    );
+
+    let speedup = if serial.execs_per_sec > 0.0 {
+        parallel.execs_per_sec / serial.execs_per_sec
+    } else {
+        0.0
+    };
+    println!("\n  throughput speedup at {workers} workers: {speedup:.2}x");
+
+    let report = Report {
+        dialect: dialect.name().to_string(),
+        fuzzer: "LEGO".into(),
+        budget_units: units,
+        serial: run_of(&serial),
+        parallel: run_of(&parallel),
+        speedup,
+    };
+    let path = repo_root().join("BENCH_throughput.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&path, json).expect("write report");
+    println!("\n[report written to {}]", path.display());
+}

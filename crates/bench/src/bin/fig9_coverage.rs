@@ -4,7 +4,11 @@
 //! Expected shape (paper: LEGO covers 198% / 44% / 120% more branches than
 //! SQLancer / SQLsmith / SQUIRREL on average): LEGO first everywhere, with
 //! SQLsmith the strongest baseline on PostgreSQL.
+//!
+//! Usage: `fig9_coverage [UNITS] [--workers N]` — the fuzzer×dialect cells
+//! run across a worker pool; results are identical for any worker count.
 
+use lego_bench::grid::{run_grid, Cli};
 use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
@@ -15,47 +19,61 @@ struct Fig9Cell {
     fuzzer: String,
     branches: usize,
     execs: usize,
+    wall_ms: u64,
+    execs_per_sec: f64,
     curve: Vec<(usize, usize)>,
 }
 
 fn main() {
-    let units: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DAY_BUDGET_UNITS);
-    println!("Figure 9 — branches covered in one budgeted campaign ({units} units ~ 24h)\n");
-    let mut cells: Vec<Fig9Cell> = Vec::new();
+    let cli = Cli::parse();
+    let units: usize = cli.arg(0, DAY_BUDGET_UNITS);
+    println!(
+        "Figure 9 — branches covered in one budgeted campaign ({units} units ~ 24h, {} workers)\n",
+        cli.workers
+    );
+
+    // The grid: every (dialect, fuzzer) campaign cell, in fixed order.
+    let pairs: Vec<(Dialect, &str)> = Dialect::ALL
+        .into_iter()
+        .flat_map(|d| fuzzer_names(d).into_iter().map(move |f| (d, f)))
+        .collect();
+    let jobs: Vec<_> = pairs
+        .iter()
+        .map(|&(dialect, fuzzer)| move || campaign(fuzzer, dialect, units, DEFAULT_SEED))
+        .collect();
+    let stats = run_grid(jobs, cli.workers);
+
+    let cells: Vec<Fig9Cell> = pairs
+        .iter()
+        .zip(&stats)
+        .map(|(&(dialect, fuzzer), s)| Fig9Cell {
+            dialect: dialect.name().to_string(),
+            fuzzer: fuzzer.to_string(),
+            branches: s.branches,
+            execs: s.execs,
+            wall_ms: s.wall_ms,
+            execs_per_sec: s.execs_per_sec,
+            curve: s.coverage_curve.clone(),
+        })
+        .collect();
+
     let mut rows = Vec::new();
     for dialect in Dialect::ALL {
+        let dcells: Vec<&Fig9Cell> = cells.iter().filter(|c| c.dialect == dialect.name()).collect();
         let mut row = vec![dialect.name().to_string()];
-        let mut lego_branches = 0usize;
-        let mut others: Vec<(String, usize)> = Vec::new();
-        for fuzzer in fuzzer_names(dialect) {
-            let stats = campaign(fuzzer, dialect, units, DEFAULT_SEED);
-            if fuzzer == "LEGO" {
-                lego_branches = stats.branches;
-            } else {
-                others.push((fuzzer.to_string(), stats.branches));
-            }
-            row.push(stats.branches.to_string());
-            cells.push(Fig9Cell {
-                dialect: dialect.name().to_string(),
-                fuzzer: fuzzer.to_string(),
-                branches: stats.branches,
-                execs: stats.execs,
-                curve: stats.coverage_curve,
-            });
-        }
+        row.extend(dcells.iter().map(|c| c.branches.to_string()));
         if dialect != Dialect::Postgres {
             row.push("-".into());
         }
         rows.push(row);
-        for (name, b) in others {
+        let lego_branches =
+            dcells.iter().find(|c| c.fuzzer == "LEGO").map(|c| c.branches).unwrap_or(0);
+        for c in dcells.iter().filter(|c| c.fuzzer != "LEGO") {
             println!(
                 "  {}: LEGO covers {:+.0}% vs {}",
                 dialect.name(),
-                pct_more(lego_branches, b),
-                name
+                pct_more(lego_branches, c.branches),
+                c.fuzzer
             );
         }
     }
@@ -65,8 +83,7 @@ fn main() {
     // ASCII coverage-over-time curves per DBMS (the figure itself).
     for dialect in Dialect::ALL {
         println!("\n{} — branches over statement units:", dialect.name());
-        let dcells: Vec<&Fig9Cell> =
-            cells.iter().filter(|c| c.dialect == dialect.name()).collect();
+        let dcells: Vec<&Fig9Cell> = cells.iter().filter(|c| c.dialect == dialect.name()).collect();
         let max = dcells.iter().map(|c| c.branches).max().unwrap_or(1).max(1);
         for c in dcells {
             let bar = "#".repeat((c.branches * 50 / max).max(1));

@@ -1,10 +1,14 @@
 //! Design-knob ablation (DESIGN.md § 7): how LEGO's scheduling parameters
 //! trade off against each other on MariaDB — instantiations per synthesized
 //! sequence, synthesis cap per affinity, and conventional mutants per seed.
+//!
+//! Usage: `knob_ablation [UNITS] [--workers N]` — one grid cell per knob
+//! setting; results are identical for any worker count.
 
-use lego_bench::*;
 use lego::campaign::{run_campaign, Budget};
 use lego::fuzzer::{Config, LegoFuzzer};
+use lego_bench::grid::{run_grid, Cli};
+use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
 
@@ -15,48 +19,74 @@ struct Row {
     branches: usize,
     affinities: usize,
     bugs: usize,
+    wall_ms: u64,
 }
 
-fn run_with(mutate: impl Fn(&mut Config), units: usize) -> (usize, usize, usize) {
-    let mut cfg = Config::default();
-    cfg.rng_seed = DEFAULT_SEED;
-    mutate(&mut cfg);
-    let mut fz = LegoFuzzer::new(Dialect::MariaDb, cfg);
-    let stats = run_campaign(&mut fz, Dialect::MariaDb, Budget::units(units));
-    (stats.branches, stats.corpus_affinities, stats.bugs.len())
-}
+type Mutation = Box<dyn Fn(&mut Config) + Send + Sync>;
 
 fn main() {
-    let units: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DAY_BUDGET_UNITS / 2);
-    println!("Design-knob ablation on MariaDB ({units} units per cell)\n");
-    let mut out = Vec::new();
-    let mut rows = Vec::new();
+    let cli = Cli::parse();
+    let units: usize = cli.arg(0, DAY_BUDGET_UNITS / 2);
+    println!("Design-knob ablation on MariaDB ({units} units per cell, {} workers)\n", cli.workers);
+
+    let mut specs: Vec<(String, usize, Mutation)> = Vec::new();
     for v in [1usize, 2, 4] {
-        let (b, a, g) = run_with(|c| c.instantiations_per_seq = v, units);
-        rows.push(vec!["instantiations_per_seq".into(), v.to_string(), b.to_string(), a.to_string(), g.to_string()]);
-        out.push(Row { knob: "instantiations_per_seq".into(), value: v, branches: b, affinities: a, bugs: g });
+        specs.push((
+            "instantiations_per_seq".into(),
+            v,
+            Box::new(move |c| c.instantiations_per_seq = v),
+        ));
     }
     for v in [12usize, 48, 128] {
-        let (b, a, g) = run_with(|c| c.synth_limit_per_affinity = v, units);
-        rows.push(vec!["synth_limit_per_affinity".into(), v.to_string(), b.to_string(), a.to_string(), g.to_string()]);
-        out.push(Row { knob: "synth_limit_per_affinity".into(), value: v, branches: b, affinities: a, bugs: g });
+        specs.push((
+            "synth_limit_per_affinity".into(),
+            v,
+            Box::new(move |c| c.synth_limit_per_affinity = v),
+        ));
     }
     for v in [2usize, 6, 12] {
-        let (b, a, g) = run_with(|c| c.conventional_per_seed = v, units);
-        rows.push(vec!["conventional_per_seed".into(), v.to_string(), b.to_string(), a.to_string(), g.to_string()]);
-        out.push(Row { knob: "conventional_per_seed".into(), value: v, branches: b, affinities: a, bugs: g });
+        specs.push((
+            "conventional_per_seed".into(),
+            v,
+            Box::new(move |c| c.conventional_per_seed = v),
+        ));
     }
-    for (name, f) in [
-        ("baseline", Box::new(|_c: &mut Config| {}) as Box<dyn Fn(&mut Config)>),
-        ("no_split_long_seeds", Box::new(|c: &mut Config| c.split_long_seeds = false)),
-        ("nonadjacent_affinities", Box::new(|c: &mut Config| c.nonadjacent_affinities = true)),
-    ] {
-        let (b, a, g) = run_with(|c| f(c), units);
-        rows.push(vec![name.into(), "-".into(), b.to_string(), a.to_string(), g.to_string()]);
-        out.push(Row { knob: name.into(), value: 0, branches: b, affinities: a, bugs: g });
+    specs.push(("baseline".into(), 0, Box::new(|_| {})));
+    specs.push(("no_split_long_seeds".into(), 0, Box::new(|c| c.split_long_seeds = false)));
+    specs.push(("nonadjacent_affinities".into(), 0, Box::new(|c| c.nonadjacent_affinities = true)));
+
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|(_, _, mutate)| {
+            move || {
+                let mut cfg = Config { rng_seed: DEFAULT_SEED, ..Config::default() };
+                mutate(&mut cfg);
+                let mut fz = LegoFuzzer::new(Dialect::MariaDb, cfg);
+                run_campaign(&mut fz, Dialect::MariaDb, Budget::units(units))
+            }
+        })
+        .collect();
+    let stats = run_grid(jobs, cli.workers);
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for ((knob, value, _), s) in specs.iter().zip(&stats) {
+        let shown_value = if *value == 0 { "-".to_string() } else { value.to_string() };
+        rows.push(vec![
+            knob.clone(),
+            shown_value,
+            s.branches.to_string(),
+            s.corpus_affinities.to_string(),
+            s.bugs.len().to_string(),
+        ]);
+        out.push(Row {
+            knob: knob.clone(),
+            value: *value,
+            branches: s.branches,
+            affinities: s.corpus_affinities,
+            bugs: s.bugs.len(),
+            wall_ms: s.wall_ms,
+        });
     }
     print_table(&["knob", "value", "branches", "affinities", "bugs"], &rows);
     save_json("knob_ablation", &out);

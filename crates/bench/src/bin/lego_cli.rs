@@ -98,8 +98,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 eprintln!("skipped {} unparseable corpus files", skipped.len());
             }
             println!("resuming from {} seeds in {}", corpus.len(), dir.display());
-            let mut cfg = Config::default();
-            cfg.rng_seed = seed;
+            let cfg = Config { rng_seed: seed, ..Config::default() };
             Box::new(LegoFuzzer::with_corpus(dialect, cfg, corpus))
         }
         Some(_) => {
@@ -111,7 +110,11 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let stats = run_campaign(engine.as_mut(), dialect, Budget::units(units));
     println!(
         "executed {} cases | {} branches | {} affinities | {} retained seeds | {} bugs",
-        stats.execs, stats.branches, stats.corpus_affinities, stats.corpus_size, stats.bugs.len()
+        stats.execs,
+        stats.branches,
+        stats.corpus_affinities,
+        stats.corpus_size,
+        stats.bugs.len()
     );
     for bug in &stats.bugs {
         println!(
@@ -127,11 +130,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         let report = serde_json::to_string_pretty(&stats).expect("serialize");
         std::fs::write(dir.join("campaign.json"), report).expect("write campaign.json");
         for bug in &stats.bugs {
-            let name = bug
-                .crash
-                .identifier
-                .replace([' ', '#', '/'], "_")
-                .to_ascii_lowercase();
+            let name = bug.crash.identifier.replace([' ', '#', '/'], "_").to_ascii_lowercase();
             std::fs::write(dir.join(format!("{name}.sql")), &bug.reduced_sql)
                 .expect("write reproducer");
         }
@@ -166,7 +165,12 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     }
     match report.crash() {
         Some(crash) => {
-            println!("CRASH: [{}] {} in {}", crash.identifier, crash.bug_type.name(), crash.component.name());
+            println!(
+                "CRASH: [{}] {} in {}",
+                crash.identifier,
+                crash.bug_type.name(),
+                crash.component.name()
+            );
             for frame in &crash.stack {
                 println!("  at {frame}");
             }

@@ -4,10 +4,14 @@
 //! Paper: 30 / 35 / 27 bugs — cutting the length misses some bugs, while
 //! increasing it also loses bugs to performance degradation. Expected shape:
 //! a peak at LEN = 5.
+//!
+//! Usage: `len_ablation [UNITS] [SEEDS] [--workers N]` — one grid cell per
+//! (LEN, seed) pair; results are identical for any worker count.
 
-use lego_bench::*;
 use lego::campaign::{run_campaign, Budget};
 use lego::fuzzer::{Config, LegoFuzzer};
+use lego_bench::grid::{run_grid, Cli};
+use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
 
@@ -17,34 +21,55 @@ struct Row {
     bugs: usize,
     branches: usize,
     execs: usize,
+    wall_ms: u64,
 }
 
 fn main() {
-    let units: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(CONTINUOUS_BUDGET_UNITS);
-    let seeds: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
-    println!("§ VI length ablation — LEGO on MariaDB, LEN ∈ {{3, 5, 8}} ({seeds} x {units} units)\n");
+    let cli = Cli::parse();
+    let units: usize = cli.arg(0, CONTINUOUS_BUDGET_UNITS);
+    let seeds: usize = cli.arg(1, 2);
+    println!(
+        "§ VI length ablation — LEGO on MariaDB, LEN ∈ {{3, 5, 8}} ({seeds} x {units} units, {} workers)\n",
+        cli.workers
+    );
+
+    let specs: Vec<(usize, usize)> =
+        [3usize, 5, 8].into_iter().flat_map(|len| (0..seeds).map(move |s| (len, s))).collect();
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|&(len, s)| {
+            move || {
+                // The paper couples the seed-length budget to LEN.
+                let cfg = Config {
+                    max_seq_len: len,
+                    max_case_len: len * 2,
+                    rng_seed: DEFAULT_SEED + s as u64 * 7717,
+                    ..Config::default()
+                };
+                let mut fz = LegoFuzzer::new(Dialect::MariaDb, cfg);
+                run_campaign(&mut fz, Dialect::MariaDb, Budget::units(units))
+            }
+        })
+        .collect();
+    let all_stats = run_grid(jobs, cli.workers);
+
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for len in [3usize, 5, 8] {
         let mut ids = std::collections::BTreeSet::new();
         let mut branches = 0;
         let mut execs = 0;
-        for s in 0..seeds {
-            let mut cfg = Config::default();
-            cfg.max_seq_len = len;
-            // The paper couples the seed-length budget to LEN.
-            cfg.max_case_len = len * 2;
-            cfg.rng_seed = DEFAULT_SEED + s as u64 * 7717;
-            let mut fz = LegoFuzzer::new(Dialect::MariaDb, cfg);
-            let stats = run_campaign(&mut fz, Dialect::MariaDb, Budget::units(units));
+        let mut wall_ms = 0;
+        for (&(l, _), stats) in specs.iter().zip(&all_stats) {
+            if l != len {
+                continue;
+            }
             for b in &stats.bugs {
                 ids.insert(b.crash.identifier.clone());
             }
             branches = branches.max(stats.branches);
             execs += stats.execs;
+            wall_ms += stats.wall_ms;
         }
         rows.push(vec![
             len.to_string(),
@@ -52,7 +77,7 @@ fn main() {
             branches.to_string(),
             execs.to_string(),
         ]);
-        out.push(Row { len, bugs: ids.len(), branches, execs });
+        out.push(Row { len, bugs: ids.len(), branches, execs, wall_ms });
     }
     print_table(&["LEN", "Bugs", "Branches(max)", "Execs"], &rows);
     save_json("len_ablation", &out);

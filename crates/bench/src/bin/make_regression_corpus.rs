@@ -44,10 +44,7 @@ fn main() {
             }
         };
         let (reduced, _) = reduce_case(&case, bug.dialect, &crash);
-        let name = bug
-            .identifier
-            .replace([' ', '#', '/'], "_")
-            .to_ascii_lowercase();
+        let name = bug.identifier.replace([' ', '#', '/'], "_").to_ascii_lowercase();
         let header = format!(
             "-- {} | {} | {} | {}\n",
             crash.identifier,
@@ -71,8 +68,7 @@ fn craft(bug: &bugs::BugSpec) -> Option<TestCase> {
     use bugs::StateReq;
     let mut statements = Vec::new();
     statements.push(lego_sqlparser::parse_statement("CREATE TABLE t0 (a INT, b INT);").ok()?);
-    statements
-        .push(lego_sqlparser::parse_statement("INSERT INTO t0 VALUES (1, 1), (2, 2);").ok()?);
+    statements.push(lego_sqlparser::parse_statement("INSERT INTO t0 VALUES (1, 1), (2, 2);").ok()?);
     match bug.state {
         StateReq::TriggerExists => statements.push(
             lego_sqlparser::parse_statement(
@@ -81,16 +77,15 @@ fn craft(bug: &bugs::BugSpec) -> Option<TestCase> {
             .ok()?,
         ),
         StateReq::RuleExists => statements.push(
-            lego_sqlparser::parse_statement("CREATE RULE r0 AS ON DELETE TO t0 DO NOTHING;").ok()?,
+            lego_sqlparser::parse_statement("CREATE RULE r0 AS ON DELETE TO t0 DO NOTHING;")
+                .ok()?,
         ),
-        StateReq::InTransaction => {
-            statements.push(lego_sqlparser::parse_statement("BEGIN;").ok()?)
+        StateReq::InTransaction => statements.push(lego_sqlparser::parse_statement("BEGIN;").ok()?),
+        StateReq::IndexExists => {
+            statements.push(lego_sqlparser::parse_statement("CREATE INDEX ix0 ON t0 (a);").ok()?)
         }
-        StateReq::IndexExists => statements
-            .push(lego_sqlparser::parse_statement("CREATE INDEX ix0 ON t0 (a);").ok()?),
-        StateReq::ViewExists => statements.push(
-            lego_sqlparser::parse_statement("CREATE VIEW vw0 AS SELECT a FROM t0;").ok()?,
-        ),
+        StateReq::ViewExists => statements
+            .push(lego_sqlparser::parse_statement("CREATE VIEW vw0 AS SELECT a FROM t0;").ok()?),
         _ => {}
     }
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(900 + bug.id as u64);

@@ -6,6 +6,7 @@
 //! identifiers — the same layout as the paper's Table I, which reports 102
 //! bugs (PostgreSQL 6, MySQL 21, MariaDB 42, Comdb2 33) and 22 CVEs.
 
+use lego_bench::grid::{run_grid, Cli};
 use lego_bench::*;
 use lego_dbms::bugs;
 use lego_sqlast::Dialect;
@@ -21,47 +22,46 @@ struct Found {
 }
 
 fn main() {
-    let units: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(CONTINUOUS_BUDGET_UNITS);
-    let seeds: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let cli = Cli::parse();
+    let units: usize = cli.arg(0, CONTINUOUS_BUDGET_UNITS);
+    let seeds: usize = cli.arg(1, 3);
     println!(
-        "Table I — continuous fuzzing with LEGO ({seeds} campaigns x {units} units per DBMS)\n"
+        "Table I — continuous fuzzing with LEGO ({seeds} campaigns x {units} units per DBMS, {} workers)\n",
+        cli.workers
     );
-    // One campaign per (DBMS, seed) pair, all in parallel — the paper runs
-    // each fuzzer instance in its own docker container on one core.
-    let (found, per_dbms): (Vec<Found>, BTreeMap<String, usize>) = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for dialect in Dialect::ALL {
-            for s in 0..seeds {
-                handles.push(scope.spawn(move || {
-                    (dialect, campaign("LEGO", dialect, units, DEFAULT_SEED + s as u64 * 7717))
-                }));
+    // One campaign cell per (DBMS, seed) pair, fanned over the worker pool —
+    // the paper runs each fuzzer instance in its own docker container on one
+    // core.
+    let specs: Vec<(Dialect, usize)> =
+        Dialect::ALL.into_iter().flat_map(|d| (0..seeds).map(move |s| (d, s))).collect();
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|&(dialect, s)| {
+            move || campaign("LEGO", dialect, units, DEFAULT_SEED + s as u64 * 7717)
+        })
+        .collect();
+    let all_stats = run_grid(jobs, cli.workers);
+
+    let mut found: Vec<Found> = Vec::new();
+    let mut per: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
+    for (&(dialect, _), stats) in specs.iter().zip(&all_stats) {
+        let ids = per.entry(dialect.name().to_string()).or_default();
+        for b in &stats.bugs {
+            if ids.insert(b.crash.identifier.clone()) {
+                found.push(Found {
+                    dialect: dialect.name().to_string(),
+                    component: b.crash.component.name().to_string(),
+                    bug_type: format!("{:?}", b.crash.bug_type).to_uppercase(),
+                    identifier: b.crash.identifier.clone(),
+                });
             }
         }
-        let mut found_local: Vec<Found> = Vec::new();
-        let mut per: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
-        for h in handles {
-            let (dialect, stats) = h.join().expect("campaign thread");
-            let ids = per.entry(dialect.name().to_string()).or_default();
-            for b in &stats.bugs {
-                if ids.insert(b.crash.identifier.clone()) {
-                    found_local.push(Found {
-                        dialect: dialect.name().to_string(),
-                        component: b.crash.component.name().to_string(),
-                        bug_type: format!("{:?}", b.crash.bug_type).to_uppercase(),
-                        identifier: b.crash.identifier.clone(),
-                    });
-                }
-            }
-        }
-        (found_local, per.into_iter().map(|(k, v)| (k, v.len())).collect())
-    });
+    }
+    let per_dbms: BTreeMap<String, usize> = per.into_iter().map(|(k, v)| (k, v.len())).collect();
 
     // Group like the paper: DBMS + component -> type counts + identifiers.
-    let mut groups: BTreeMap<(String, String), (BTreeMap<String, usize>, Vec<String>)> =
-        BTreeMap::new();
+    type Group = (BTreeMap<String, usize>, Vec<String>);
+    let mut groups: BTreeMap<(String, String), Group> = BTreeMap::new();
     for f in &found {
         let e = groups.entry((f.dialect.clone(), f.component.clone())).or_default();
         *e.0.entry(f.bug_type.clone()).or_insert(0) += 1;
@@ -69,18 +69,17 @@ fn main() {
     }
     let mut rows = Vec::new();
     for ((dbms, comp), (types, idents)) in &groups {
-        let types_s = types
-            .iter()
-            .map(|(t, n)| format!("{t}({n})"))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let types_s = types.iter().map(|(t, n)| format!("{t}({n})")).collect::<Vec<_>>().join(", ");
         rows.push(vec![dbms.clone(), comp.clone(), types_s, idents.join(", ")]);
     }
     print_table(&["DBMS", "Component", "Bug Type and Number", "Identifier"], &rows);
 
     let total = found.len();
     let cves = found.iter().filter(|f| f.identifier.starts_with("CVE-")).count();
-    println!("\nFound {total} distinct bugs ({cves} CVE-identified) out of {} planted.", bugs::manifest().len());
+    println!(
+        "\nFound {total} distinct bugs ({cves} CVE-identified) out of {} planted.",
+        bugs::manifest().len()
+    );
     for (d, n) in &per_dbms {
         let planted = match d.as_str() {
             "PostgreSQL" => 6,

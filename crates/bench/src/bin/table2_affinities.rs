@@ -5,6 +5,7 @@
 //! is LEGO ≫ SQLancer > SQUIRREL, with SQLsmith excluded because its
 //! generated test cases contain a single statement.
 
+use lego_bench::grid::{run_grid, Cli};
 use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
@@ -15,21 +16,35 @@ struct Row {
     sqlancer: usize,
     squirrel: usize,
     lego: usize,
+    wall_ms: u64,
 }
 
 fn main() {
-    let units: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DAY_BUDGET_UNITS);
-    println!("Table II — type-affinities in generated seeds ({units} units)\n");
+    let cli = Cli::parse();
+    let units: usize = cli.arg(0, DAY_BUDGET_UNITS);
+    println!(
+        "Table II — type-affinities in generated seeds ({units} units, {} workers)\n",
+        cli.workers
+    );
+
+    let specs: Vec<(Dialect, &str)> = Dialect::ALL
+        .into_iter()
+        .flat_map(|d| ["SQLancer", "SQUIRREL", "LEGO"].into_iter().map(move |f| (d, f)))
+        .collect();
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|&(dialect, fuzzer)| move || campaign(fuzzer, dialect, units, DEFAULT_SEED))
+        .collect();
+    let stats = run_grid(jobs, cli.workers);
+
     let mut out = Vec::new();
     let mut rows = Vec::new();
     let (mut t_sqlancer, mut t_squirrel, mut t_lego) = (0usize, 0usize, 0usize);
-    for dialect in Dialect::ALL {
-        let sqlancer = campaign("SQLancer", dialect, units, DEFAULT_SEED).corpus_affinities;
-        let squirrel = campaign("SQUIRREL", dialect, units, DEFAULT_SEED).corpus_affinities;
-        let lego = campaign("LEGO", dialect, units, DEFAULT_SEED).corpus_affinities;
+    for (i, dialect) in Dialect::ALL.into_iter().enumerate() {
+        let cell = |j: usize| &stats[i * 3 + j];
+        let (sqlancer, squirrel, lego) =
+            (cell(0).corpus_affinities, cell(1).corpus_affinities, cell(2).corpus_affinities);
+        let wall_ms = (0..3).map(|j| cell(j).wall_ms).sum();
         t_sqlancer += sqlancer;
         t_squirrel += squirrel;
         t_lego += lego;
@@ -39,12 +54,7 @@ fn main() {
             squirrel.to_string(),
             lego.to_string(),
         ]);
-        out.push(Row {
-            dialect: dialect.name().to_string(),
-            sqlancer,
-            squirrel,
-            lego,
-        });
+        out.push(Row { dialect: dialect.name().to_string(), sqlancer, squirrel, lego, wall_ms });
     }
     rows.push(vec![
         "Total".into(),

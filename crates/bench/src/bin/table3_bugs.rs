@@ -4,7 +4,11 @@
 //! Paper: SQLancer 0, SQLsmith 0, SQUIRREL 11 (3 MySQL + 8 MariaDB), LEGO 52
 //! (2 / 11 / 32 / 7). Expected shape: LEGO ≫ SQUIRREL > SQLancer = SQLsmith
 //! = 0, with SQUIRREL's finds confined to MySQL/MariaDB.
+//!
+//! Usage: `table3_bugs [UNITS] [--workers N]` — the fuzzer×dialect cells run
+//! across a worker pool; results are identical for any worker count.
 
+use lego_bench::grid::{run_grid, Cli};
 use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
@@ -14,36 +18,64 @@ struct Cell {
     dialect: String,
     fuzzer: String,
     bugs: usize,
+    wall_ms: u64,
+    execs_per_sec: f64,
     identifiers: Vec<String>,
 }
 
+const FUZZER_ORDER: [&str; 4] = ["SQLancer", "SQLsmith", "SQUIRREL", "LEGO"];
+
 fn main() {
-    let units: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DAY_BUDGET_UNITS);
-    println!("Table III — bugs triggered in one budgeted campaign ({units} units)\n");
-    let mut cells = Vec::new();
+    let cli = Cli::parse();
+    let units: usize = cli.arg(0, DAY_BUDGET_UNITS);
+    println!(
+        "Table III — bugs triggered in one budgeted campaign ({units} units, {} workers)\n",
+        cli.workers
+    );
+
+    let pairs: Vec<(Dialect, &str)> = Dialect::ALL
+        .into_iter()
+        .flat_map(|d| {
+            FUZZER_ORDER
+                .into_iter()
+                .filter(move |&f| f != "SQLsmith" || d == Dialect::Postgres)
+                .map(move |f| (d, f))
+        })
+        .collect();
+    let jobs: Vec<_> = pairs
+        .iter()
+        .map(|&(dialect, fuzzer)| move || campaign(fuzzer, dialect, units, DEFAULT_SEED))
+        .collect();
+    let stats = run_grid(jobs, cli.workers);
+
+    let cells: Vec<Cell> = pairs
+        .iter()
+        .zip(&stats)
+        .map(|(&(dialect, fuzzer), s)| Cell {
+            dialect: dialect.name().to_string(),
+            fuzzer: fuzzer.to_string(),
+            bugs: s.bugs.len(),
+            wall_ms: s.wall_ms,
+            execs_per_sec: s.execs_per_sec,
+            identifiers: s.bugs.iter().map(|b| b.crash.identifier.clone()).collect(),
+        })
+        .collect();
+
     let mut rows = Vec::new();
     let mut totals = std::collections::BTreeMap::new();
     for dialect in Dialect::ALL {
         let mut row = vec![dialect.name().to_string()];
-        for fuzzer in ["SQLancer", "SQLsmith", "SQUIRREL", "LEGO"] {
+        for fuzzer in FUZZER_ORDER {
             if fuzzer == "SQLsmith" && dialect != Dialect::Postgres {
                 row.push("-".into());
                 continue;
             }
-            let stats = campaign(fuzzer, dialect, units, DEFAULT_SEED);
-            let ids: Vec<String> =
-                stats.bugs.iter().map(|b| b.crash.identifier.clone()).collect();
-            row.push(stats.bugs.len().to_string());
-            *totals.entry(fuzzer.to_string()).or_insert(0usize) += stats.bugs.len();
-            cells.push(Cell {
-                dialect: dialect.name().to_string(),
-                fuzzer: fuzzer.to_string(),
-                bugs: stats.bugs.len(),
-                identifiers: ids,
-            });
+            let cell = cells
+                .iter()
+                .find(|c| c.dialect == dialect.name() && c.fuzzer == fuzzer)
+                .expect("cell ran");
+            row.push(cell.bugs.to_string());
+            *totals.entry(fuzzer.to_string()).or_insert(0usize) += cell.bugs;
         }
         rows.push(row);
     }

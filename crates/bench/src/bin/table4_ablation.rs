@@ -5,10 +5,15 @@
 //! with the statement-type count (+20% / +15% / +25% / +7% branches on
 //! PostgreSQL / MySQL / MariaDB / Comdb2), with Comdb2's 24 types capping
 //! its headroom.
+//!
+//! Usage: `table4_ablation [UNITS] [SEEDS] [--workers N]` — the
+//! dialect×seed×variant cells run across a worker pool; results are
+//! identical for any worker count.
 
-use lego_bench::*;
 use lego::campaign::{run_campaign, Budget};
 use lego::fuzzer::{Config, LegoFuzzer};
+use lego_bench::grid::{run_grid, Cli};
+use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
 
@@ -22,30 +27,52 @@ struct Row {
     branches_minus: usize,
     branches_lego: usize,
     branch_improvement_pct: f64,
+    wall_ms: u64,
 }
 
 fn main() {
-    let units: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DAY_BUDGET_UNITS);
-    let seeds: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
-    println!("Table IV — LEGO- vs LEGO ablation ({units} units, mean of {seeds} seeds)\n");
+    let cli = Cli::parse();
+    let units: usize = cli.arg(0, DAY_BUDGET_UNITS);
+    let seeds: u64 = cli.arg(1, 3);
+    println!(
+        "Table IV — LEGO- vs LEGO ablation ({units} units, mean of {seeds} seeds, {} workers)\n",
+        cli.workers
+    );
+
+    // The grid: (dialect, seed, ablated?) campaign cells in fixed order.
+    let specs: Vec<(Dialect, u64, bool)> = Dialect::ALL
+        .into_iter()
+        .flat_map(|d| (0..seeds).flat_map(move |s| [(d, s, false), (d, s, true)]))
+        .collect();
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|&(dialect, s, minus)| {
+            move || {
+                let cfg = Config { rng_seed: DEFAULT_SEED + s * 7717, ..Config::default() };
+                let mut engine = if minus {
+                    LegoFuzzer::lego_minus(dialect, cfg)
+                } else {
+                    LegoFuzzer::new(dialect, cfg)
+                };
+                run_campaign(&mut engine, dialect, Budget::units(units))
+            }
+        })
+        .collect();
+    let stats = run_grid(jobs, cli.workers);
+
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for dialect in Dialect::ALL {
         let mut acc = [0usize; 4]; // aff-, aff, br-, br
-        for s in 0..seeds {
-            let mut cfg = Config::default();
-            cfg.rng_seed = DEFAULT_SEED + s * 7717;
-            let mut lego = LegoFuzzer::new(dialect, cfg.clone());
-            let s_lego = run_campaign(&mut lego, dialect, Budget::units(units));
-            let mut minus = LegoFuzzer::lego_minus(dialect, cfg);
-            let s_minus = run_campaign(&mut minus, dialect, Budget::units(units));
-            acc[0] += s_minus.corpus_affinities;
-            acc[1] += s_lego.corpus_affinities;
-            acc[2] += s_minus.branches;
-            acc[3] += s_lego.branches;
+        let mut wall_ms = 0u64;
+        for (&(d, _, minus), s) in specs.iter().zip(&stats) {
+            if d != dialect {
+                continue;
+            }
+            let (ai, bi) = if minus { (0, 2) } else { (1, 3) };
+            acc[ai] += s.corpus_affinities;
+            acc[bi] += s.branches;
+            wall_ms += s.wall_ms;
         }
         let n = seeds as usize;
         let (am, al, bm, bl) = (acc[0] / n, acc[1] / n, acc[2] / n, acc[3] / n);
@@ -58,6 +85,7 @@ fn main() {
             branches_minus: bm,
             branches_lego: bl,
             branch_improvement_pct: pct_more(bl, bm),
+            wall_ms,
         };
         rows.push(vec![
             row.dialect.clone(),
@@ -72,7 +100,16 @@ fn main() {
         out.push(row);
     }
     print_table(
-        &["DBMS", "Types", "Aff(LEGO-)", "Aff(LEGO)", "Increment", "Br(LEGO-)", "Br(LEGO)", "Improvement"],
+        &[
+            "DBMS",
+            "Types",
+            "Aff(LEGO-)",
+            "Aff(LEGO)",
+            "Increment",
+            "Br(LEGO-)",
+            "Br(LEGO)",
+            "Improvement",
+        ],
         &rows,
     );
     save_json("table4_ablation", &out);

@@ -1,0 +1,128 @@
+//! Grid-level campaign parallelism for the experiment binaries.
+//!
+//! The table/figure binaries run a grid of independent fuzzer×dialect×seed
+//! campaign cells. [`run_grid`] fans those cells across a scoped thread
+//! pool: each cell is a self-contained closure, workers pull the next
+//! un-started cell from a shared counter, and results come back in cell
+//! order — so the printed tables and JSON reports are byte-identical to a
+//! serial run regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run every job on a pool of `workers` threads, returning results in job
+/// order. `workers <= 1` runs the jobs inline, in order, on this thread.
+pub fn run_grid<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let workers = workers.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let job =
+                    slots[i].lock().expect("job slot poisoned").take().expect("job claimed twice");
+                let out = job();
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot poisoned").expect("job did not finish"))
+        .collect()
+}
+
+/// Command line shared by the experiment binaries: positional arguments plus
+/// an optional `--workers N` / `--workers=N` flag (any position). The worker
+/// count falls back to `LEGO_WORKERS`, then to the machine's parallelism.
+pub struct Cli {
+    /// Positional arguments, flag removed, program name excluded.
+    pub positional: Vec<String>,
+    pub workers: usize,
+}
+
+impl Cli {
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut positional = Vec::new();
+        let mut workers = None;
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            if a == "--workers" {
+                workers = args.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--workers=") {
+                workers = v.parse().ok();
+            } else {
+                positional.push(a);
+            }
+        }
+        Self {
+            positional,
+            workers: workers.filter(|&w| w >= 1).unwrap_or_else(lego::campaign::default_workers),
+        }
+    }
+
+    /// Positional argument `i` parsed, or the default.
+    pub fn arg<T: std::str::FromStr>(&self, i: usize, default: T) -> T {
+        self.positional.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_preserves_job_order() {
+        let jobs: Vec<_> = (0..64).map(|i| move || i * 2).collect();
+        assert_eq!(run_grid(jobs, 8), (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grid_runs_serially_with_one_worker() {
+        let jobs: Vec<_> = (0..5).map(|i| move || i).collect();
+        assert_eq!(run_grid(jobs, 1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn grid_handles_empty_and_fewer_jobs_than_workers() {
+        assert_eq!(run_grid(Vec::<fn() -> u8>::new(), 4), Vec::<u8>::new());
+        let jobs: Vec<_> = (0..2).map(|i| move || i).collect();
+        assert_eq!(run_grid(jobs, 16), vec![0, 1]);
+    }
+
+    #[test]
+    fn cli_extracts_workers_flag_anywhere() {
+        let cli = Cli::from_args(["20000", "--workers", "3", "2"].into_iter().map(String::from));
+        assert_eq!(cli.workers, 3);
+        assert_eq!(cli.positional, vec!["20000", "2"]);
+        assert_eq!(cli.arg::<usize>(0, 7), 20000);
+        assert_eq!(cli.arg::<usize>(5, 7), 7);
+
+        let eq = Cli::from_args(["--workers=5"].into_iter().map(String::from));
+        assert_eq!(eq.workers, 5);
+        assert!(eq.positional.is_empty());
+    }
+
+    #[test]
+    fn cli_rejects_zero_workers() {
+        let cli = Cli::from_args(["--workers", "0"].into_iter().map(String::from));
+        assert!(cli.workers >= 1);
+    }
+}

@@ -5,7 +5,9 @@
 //! Every binary prints a human-readable table mirroring the paper's artifact
 //! and writes a machine-readable JSON report under `results/`.
 
-use lego::campaign::{run_campaign, Budget, CampaignStats};
+pub mod grid;
+
+use lego::campaign::{run_campaign, run_campaign_parallel, Budget, CampaignStats, ParallelOpts};
 use lego_baselines::engine_by_name;
 use lego_sqlast::Dialect;
 use serde::Serialize;
@@ -37,9 +39,35 @@ pub fn campaign(fuzzer: &str, dialect: Dialect, units: usize, seed: u64) -> Camp
     run_campaign(engine.as_mut(), dialect, Budget::units(units))
 }
 
+/// Run one fuzzer×dialect campaign sharded over `workers` threads. Worker
+/// `w` gets seed `seed ^ w·φ`, so worker 0 reproduces the serial stream and
+/// `workers == 1` is byte-identical to [`campaign`].
+pub fn campaign_parallel(
+    fuzzer: &str,
+    dialect: Dialect,
+    units: usize,
+    seed: u64,
+    workers: usize,
+) -> CampaignStats {
+    let fuzzer = fuzzer.to_string();
+    run_campaign_parallel(
+        move |w| {
+            engine_by_name(&fuzzer, dialect, seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        },
+        dialect,
+        Budget::units(units),
+        ParallelOpts { workers, ..ParallelOpts::default() },
+    )
+}
+
+/// The repository root (where `BENCH_*.json` artifacts land).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
 /// Where experiment outputs land.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root").join("results");
+    let dir = repo_root().join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

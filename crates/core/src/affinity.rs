@@ -31,7 +31,7 @@ impl AffinityMap {
     }
 
     pub fn contains(&self, t1: StmtKind, t2: StmtKind) -> bool {
-        self.map.get(&t1).map_or(false, |s| s.contains(&t2))
+        self.map.get(&t1).is_some_and(|s| s.contains(&t2))
     }
 
     /// Successors of a type (drives `listSeq` in Algorithm 3).

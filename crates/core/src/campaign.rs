@@ -7,7 +7,9 @@ use lego_coverage::GlobalCoverage;
 use lego_dbms::{CrashReport, Dbms, ExecReport};
 use lego_sqlast::{Dialect, TestCase};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// A fuzzing engine: produces test cases, receives coverage feedback.
 ///
@@ -83,28 +85,62 @@ pub struct CampaignStats {
     /// Type-affinities contained in the engine's final corpus (Table II).
     pub corpus_affinities: usize,
     pub corpus_size: usize,
+    /// Wall-clock duration of the campaign, in milliseconds. Timing fields
+    /// are the only non-deterministic part of the stats; see
+    /// [`CampaignStats::deterministic_json`].
+    pub wall_ms: u64,
+    /// Test cases executed per second of wall time.
+    pub execs_per_sec: f64,
+    /// Worker threads that executed the campaign (1 for the serial path).
+    pub workers: usize,
 }
 
 impl CampaignStats {
     pub fn bug_count(&self) -> usize {
         self.bugs.len()
     }
+
+    /// JSON with the wall-clock fields zeroed, leaving only the
+    /// deterministic campaign outcome. Two runs with the same engine seed
+    /// and worker count must produce byte-identical output here.
+    pub fn deterministic_json(&self) -> String {
+        let mut c = self.clone();
+        c.wall_ms = 0;
+        c.execs_per_sec = 0.0;
+        serde_json::to_string(&c).expect("stats serialize")
+    }
+
+    fn stamp_timing(&mut self, start: Instant, workers: usize) {
+        let secs = start.elapsed().as_secs_f64();
+        self.wall_ms = (secs * 1000.0) as u64;
+        self.execs_per_sec = if secs > 0.0 { self.execs as f64 / secs } else { 0.0 };
+        self.workers = workers;
+    }
 }
 
-/// Run one engine against one DBMS for the budget.
-pub fn run_campaign(engine: &mut dyn FuzzEngine, dialect: Dialect, budget: Budget) -> CampaignStats {
+/// Run one engine against one DBMS for the budget (serial path).
+pub fn run_campaign(
+    engine: &mut dyn FuzzEngine,
+    dialect: Dialect,
+    budget: Budget,
+) -> CampaignStats {
+    let start = Instant::now();
     let mut global = GlobalCoverage::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
     let mut curve = Vec::with_capacity(budget.snapshots + 1);
     let every = (budget.units / budget.snapshots.max(1)).max(1);
 
+    // One DBMS instance for the whole campaign, reset between cases; its
+    // coverage map is recycled back after feedback so the hot loop does not
+    // allocate per case.
+    let mut db = Dbms::new(dialect);
     let mut units = 0usize;
     let mut execs = 0usize;
     let mut next_snapshot = 0usize;
     while units < budget.units {
         let case = engine.next_case();
-        let mut db = Dbms::new(dialect);
+        db.reset();
         let report = db.execute_case(&case);
         units += report.statements_executed + CASE_RESET_COST;
         let new_coverage = global.merge(&report.coverage);
@@ -126,6 +162,7 @@ pub fn run_campaign(engine: &mut dyn FuzzEngine, dialect: Dialect, budget: Budge
             }
         }
         engine.feedback(&case, &report, new_coverage);
+        db.recycle(report.coverage);
         execs += 1;
         if units >= next_snapshot {
             curve.push((units, global.edges_covered()));
@@ -135,7 +172,7 @@ pub fn run_campaign(engine: &mut dyn FuzzEngine, dialect: Dialect, budget: Budge
     curve.push((units, global.edges_covered()));
 
     let corpus = engine.corpus();
-    CampaignStats {
+    let mut stats = CampaignStats {
         fuzzer: engine.name().to_string(),
         dialect,
         execs,
@@ -145,7 +182,232 @@ pub fn run_campaign(engine: &mut dyn FuzzEngine, dialect: Dialect, budget: Budge
         corpus_affinities: corpus_affinities(&corpus).len(),
         corpus_size: corpus.len(),
         bugs,
+        wall_ms: 0,
+        execs_per_sec: 0.0,
+        workers: 1,
+    };
+    stats.stamp_timing(start, 1);
+    stats
+}
+
+/// Options for [`run_campaign_parallel`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOpts {
+    /// Worker threads. `0` and `1` both select the exact serial path.
+    pub workers: usize,
+    /// Sync each worker's local coverage shard into the shared global map
+    /// every this many cases (epoch-batched merge).
+    pub sync_every: usize,
+}
+
+impl Default for ParallelOpts {
+    fn default() -> Self {
+        Self { workers: default_workers(), sync_every: 16 }
     }
+}
+
+/// Worker-count default: `LEGO_WORKERS` env var if set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("LEGO_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// What one worker brings back to the join point.
+struct WorkerOut {
+    fuzzer: String,
+    execs: usize,
+    units: usize,
+    /// Local-shard snapshots, one per curve point (`budget.snapshots` of
+    /// them), each paired with the units the worker had consumed when it was
+    /// taken.
+    snaps: Vec<(usize, GlobalCoverage)>,
+    bugs: Vec<BugFinding>,
+    corpus: Vec<TestCase>,
+}
+
+/// Run one engine shard for a slice of the budget.
+///
+/// Coverage novelty (`new_coverage` feedback) is judged against the worker's
+/// *local* shard only, so a worker's behaviour depends solely on its own
+/// engine seed and budget slice — never on scheduler interleaving. The
+/// shared map is a write-only sink the shard is batch-unioned into every
+/// `sync_every` cases; because the union is commutative and idempotent, the
+/// merged result is interleaving-independent too.
+fn run_worker(
+    mut engine: Box<dyn FuzzEngine + Send>,
+    dialect: Dialect,
+    sub_units: usize,
+    snapshots: usize,
+    sync_every: usize,
+    sink: &Mutex<GlobalCoverage>,
+) -> WorkerOut {
+    let mut shard = GlobalCoverage::new();
+    let mut bugs: Vec<BugFinding> = Vec::new();
+    let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
+    let mut snaps: Vec<(usize, GlobalCoverage)> = Vec::with_capacity(snapshots);
+    let threshold = |i: usize| sub_units * i / snapshots.max(1);
+
+    let mut db = Dbms::new(dialect);
+    let mut units = 0usize;
+    let mut execs = 0usize;
+    let mut next_snap = 1usize;
+    let mut since_sync = 0usize;
+    while units < sub_units {
+        let case = engine.next_case();
+        db.reset();
+        let report = db.execute_case(&case);
+        units += report.statements_executed + CASE_RESET_COST;
+        let new_coverage = shard.merge(&report.coverage);
+        if let Some(crash) = report.crash() {
+            let h = crash.stack_hash();
+            if let std::collections::hash_map::Entry::Vacant(e) = seen_stacks.entry(h) {
+                e.insert(execs);
+                let (reduced, spent) = crate::reduce::reduce_case(&case, dialect, crash);
+                units += spent;
+                bugs.push(BugFinding {
+                    crash: crash.clone(),
+                    first_exec: execs,
+                    case_sql: case.to_sql(),
+                    reduced_sql: reduced.to_sql(),
+                });
+            }
+        }
+        engine.feedback(&case, &report, new_coverage);
+        db.recycle(report.coverage);
+        execs += 1;
+        since_sync += 1;
+        if since_sync >= sync_every.max(1) {
+            sink.lock().expect("coverage sink poisoned").union_with(&shard);
+            since_sync = 0;
+        }
+        while next_snap <= snapshots && units >= threshold(next_snap) {
+            snaps.push((units, shard.clone()));
+            next_snap += 1;
+        }
+    }
+    // Pad to exactly `snapshots` points so the join can union the workers'
+    // i-th snapshots pairwise.
+    while next_snap <= snapshots {
+        snaps.push((units, shard.clone()));
+        next_snap += 1;
+    }
+    // Final flush: after this, the sink holds everything the shard saw.
+    sink.lock().expect("coverage sink poisoned").union_with(&shard);
+
+    WorkerOut {
+        fuzzer: engine.name().to_string(),
+        execs,
+        units,
+        snaps,
+        bugs,
+        corpus: engine.corpus(),
+    }
+}
+
+/// Run one campaign across `opts.workers` threads.
+///
+/// The budget is statically partitioned into per-worker slices; each worker
+/// owns an engine shard (built by `factory(worker_index)`, which should give
+/// every shard a distinct RNG seed), a reusable DBMS instance and a local
+/// coverage shard. Workers batch-union their shards into a shared global map
+/// every `opts.sync_every` cases and the join deterministically merges
+/// curves, bugs and corpora, so the result depends only on the factory seeds
+/// and the worker count — not on thread scheduling. With `workers <= 1` this
+/// is exactly [`run_campaign`].
+pub fn run_campaign_parallel<F>(
+    factory: F,
+    dialect: Dialect,
+    budget: Budget,
+    opts: ParallelOpts,
+) -> CampaignStats
+where
+    F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
+{
+    let workers = opts.workers.max(1);
+    if workers == 1 {
+        let mut engine = factory(0);
+        return run_campaign(engine.as_mut(), dialect, budget);
+    }
+
+    let start = Instant::now();
+    let snapshots = budget.snapshots.max(1);
+    // Static partition: worker w gets units/N, the remainder spread over the
+    // first (units % N) workers. Deterministic for a given (units, N).
+    let slice = |w: usize| budget.units / workers + usize::from(w < budget.units % workers);
+
+    let sink = Mutex::new(GlobalCoverage::new());
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let sink = &sink;
+                let factory = &factory;
+                s.spawn(move || {
+                    run_worker(factory(w), dialect, slice(w), snapshots, opts.sync_every, sink)
+                })
+            })
+            .collect();
+        // Join in spawn order: every downstream merge sees workers in index
+        // order regardless of which thread finished first.
+        handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
+    });
+    let global = sink.into_inner().expect("coverage sink poisoned");
+
+    // Merged coverage curve: the i-th point unions every worker's i-th
+    // local-shard snapshot; its x-coordinate is the units all workers had
+    // consumed by then.
+    let mut curve = Vec::with_capacity(snapshots + 1);
+    curve.push((0, 0));
+    for i in 0..snapshots {
+        let mut merged = GlobalCoverage::new();
+        let mut x = 0usize;
+        for out in &outs {
+            let (u, shard) = &out.snaps[i];
+            x += *u;
+            merged.union_with(shard);
+        }
+        curve.push((x, merged.edges_covered()));
+    }
+
+    // Merged bug list: workers deduplicate locally; the join re-deduplicates
+    // across workers by stack hash, in (first_exec, worker) order so the
+    // survivor of a cross-worker duplicate is deterministic.
+    let mut tagged: Vec<(usize, BugFinding)> = outs
+        .iter()
+        .enumerate()
+        .flat_map(|(w, out)| out.bugs.iter().cloned().map(move |b| (w, b)))
+        .collect();
+    tagged.sort_by_key(|&(w, ref b)| (b.first_exec, w));
+    let mut seen = HashSet::new();
+    let bugs: Vec<BugFinding> = tagged
+        .into_iter()
+        .filter(|(_, b)| seen.insert(b.crash.stack_hash()))
+        .map(|(_, b)| b)
+        .collect();
+
+    let corpus: Vec<TestCase> = outs.iter().flat_map(|o| o.corpus.iter().cloned()).collect();
+    let mut stats = CampaignStats {
+        fuzzer: outs[0].fuzzer.clone(),
+        dialect,
+        execs: outs.iter().map(|o| o.execs).sum(),
+        units: outs.iter().map(|o| o.units).sum(),
+        coverage_curve: curve,
+        branches: global.edges_covered(),
+        corpus_affinities: corpus_affinities(&corpus).len(),
+        corpus_size: corpus.len(),
+        bugs,
+        wall_ms: 0,
+        execs_per_sec: 0.0,
+        workers: 1,
+    };
+    stats.stamp_timing(start, workers);
+    stats
 }
 
 #[cfg(test)]
@@ -174,8 +436,7 @@ mod tests {
         let budget = Budget::units(300_000);
         let (mut br, mut br_minus, mut aff, mut aff_minus) = (0usize, 0usize, 0usize, 0usize);
         for seed in [0x1e60u64, 7] {
-            let mut cfg = Config::default();
-            cfg.rng_seed = seed;
+            let cfg = Config { rng_seed: seed, ..Config::default() };
             let mut lego = LegoFuzzer::new(Dialect::MariaDb, cfg.clone());
             let s1 = run_campaign(&mut lego, Dialect::MariaDb, budget);
             let mut minus = LegoFuzzer::lego_minus(Dialect::MariaDb, cfg);
@@ -190,10 +451,7 @@ mod tests {
         // branch crossover (LEGO- front-loads raw executions); at this test
         // budget we only require LEGO to be at parity — the full-budget
         // advantage is measured by the table4_ablation experiment.
-        assert!(
-            aff * 100 >= aff_minus * 95,
-            "LEGO {aff} vs LEGO- {aff_minus} affinities"
-        );
+        assert!(aff * 100 >= aff_minus * 95, "LEGO {aff} vs LEGO- {aff_minus} affinities");
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub fn load_corpus(dir: &Path) -> io::Result<(Vec<TestCase>, Vec<String>)> {
     let mut entries: Vec<_> = std::fs::read_dir(dir)?
         .filter_map(Result::ok)
         .map(|e| e.path())
-        .filter(|p| p.extension().map_or(false, |e| e == "sql"))
+        .filter(|p| p.extension().is_some_and(|e| e == "sql"))
         .collect();
     entries.sort();
     let mut corpus = Vec::new();

@@ -136,11 +136,8 @@ pub struct LegoStats {
 
 impl LegoFuzzer {
     pub fn new(dialect: Dialect, cfg: Config) -> Self {
-        let starters: Vec<StmtKind> = dialect
-            .supported_kinds()
-            .into_iter()
-            .filter(|k| k.is_sequence_starter())
-            .collect();
+        let starters: Vec<StmtKind> =
+            dialect.supported_kinds().into_iter().filter(|k| k.is_sequence_starter()).collect();
         let mut fz = Self {
             dialect,
             rng: SmallRng::seed_from_u64(cfg.rng_seed),
@@ -304,8 +301,8 @@ impl LegoFuzzer {
                 // re-cover known interactions and are skipped to keep seeds
                 // cheap (§ II C3).
                 let has_new_pair = seq.windows(2).any(|w| !self.executed_ngrams.contains(w));
-                let has_new_ngram = has_new_pair
-                    || seq.windows(3).any(|w| !self.executed_ngrams.contains(w));
+                let has_new_ngram =
+                    has_new_pair || seq.windows(3).any(|w| !self.executed_ngrams.contains(w));
                 if !has_new_ngram {
                     self.stats.sequences_skipped_covered += 1;
                     continue;
@@ -336,7 +333,7 @@ impl FuzzEngine for LegoFuzzer {
         loop {
             self.schedule_tick = self.schedule_tick.wrapping_add(1);
             // One synthesized case per two mutation-derived cases.
-            if self.schedule_tick % 3 == 0 {
+            if self.schedule_tick.is_multiple_of(3) {
                 if let Some(p) = self.synth_queue.pop_front() {
                     self.pending_origin = p.origin;
                     return p.case;
@@ -455,17 +452,13 @@ mod tests {
         let seed = initial_corpus(Dialect::Postgres)[0].clone();
         let mutants = fz.sequence_mutants(&seed);
         assert!(!mutants.is_empty());
-        let changed = mutants
-            .iter()
-            .filter(|m| m.type_sequence() != seed.type_sequence())
-            .count();
+        let changed = mutants.iter().filter(|m| m.type_sequence() != seed.type_sequence()).count();
         assert!(changed * 10 >= mutants.len() * 9, "{changed}/{}", mutants.len());
     }
 
     #[test]
     fn long_seeds_are_split_into_overlapping_halves() {
-        let mut cfg = Config::default();
-        cfg.max_case_len = 4;
+        let cfg = Config { max_case_len: 4, ..Config::default() };
         let mut fz = LegoFuzzer::new(Dialect::Postgres, cfg);
         let case = lego_sqlparser::parse_script(
             "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;              UPDATE t SET a = 2; DELETE FROM t; SELECT 1;",
@@ -481,8 +474,7 @@ mod tests {
 
     #[test]
     fn nonadjacent_affinities_extension_records_gap_pairs() {
-        let mut cfg = Config::default();
-        cfg.nonadjacent_affinities = true;
+        let cfg = Config { nonadjacent_affinities: true, ..Config::default() };
         let mut fz = LegoFuzzer::new(Dialect::Postgres, cfg);
         let case = lego_sqlparser::parse_script(
             "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",

@@ -82,76 +82,64 @@ impl SchemaModel {
     /// purposes).
     pub fn observe(&mut self, stmt: &Statement) {
         match stmt {
-            Statement::CreateTable(c) => {
-                if !self.has_table(&c.name) {
-                    use lego_sqlast::ast::ColumnConstraint as CC;
-                    let mut required = Vec::new();
-                    let mut not_null = Vec::new();
-                    let mut unique = Vec::new();
-                    for col in &c.columns {
-                        let nn = col
-                            .constraints
-                            .iter()
-                            .any(|k| matches!(k, CC::NotNull | CC::PrimaryKey));
-                        let has_default =
-                            col.constraints.iter().any(|k| matches!(k, CC::Default(_)));
-                        if nn {
-                            not_null.push(col.name.clone());
-                            if !has_default {
-                                required.push(col.name.clone());
-                            }
-                        }
-                        if col
-                            .constraints
-                            .iter()
-                            .any(|k| matches!(k, CC::Unique | CC::PrimaryKey))
-                        {
-                            unique.push(col.name.clone());
+            Statement::CreateTable(c) if !self.has_table(&c.name) => {
+                use lego_sqlast::ast::ColumnConstraint as CC;
+                let mut required = Vec::new();
+                let mut not_null = Vec::new();
+                let mut unique = Vec::new();
+                for col in &c.columns {
+                    let nn =
+                        col.constraints.iter().any(|k| matches!(k, CC::NotNull | CC::PrimaryKey));
+                    let has_default = col.constraints.iter().any(|k| matches!(k, CC::Default(_)));
+                    if nn {
+                        not_null.push(col.name.clone());
+                        if !has_default {
+                            required.push(col.name.clone());
                         }
                     }
-                    self.tables.push(TableModel {
-                        name: c.name.clone(),
-                        columns: c.columns.iter().map(|col| (col.name.clone(), col.ty)).collect(),
-                        required,
-                        not_null,
-                        unique,
-                    });
+                    if col.constraints.iter().any(|k| matches!(k, CC::Unique | CC::PrimaryKey)) {
+                        unique.push(col.name.clone());
+                    }
                 }
+                self.tables.push(TableModel {
+                    name: c.name.clone(),
+                    columns: c.columns.iter().map(|col| (col.name.clone(), col.ty)).collect(),
+                    required,
+                    not_null,
+                    unique,
+                });
             }
-            Statement::CreateTableAs { name, .. } => {
-                if !self.has_table(name) {
-                    self.tables.push(TableModel {
-                        name: name.clone(),
-                        columns: vec![("column1".into(), DataType::Int)],
-                        required: Vec::new(),
-                        not_null: Vec::new(),
-                        unique: Vec::new(),
-                    });
-                }
+            Statement::CreateTableAs { name, .. } if !self.has_table(name) => {
+                self.tables.push(TableModel {
+                    name: name.clone(),
+                    columns: vec![("column1".into(), DataType::Int)],
+                    required: Vec::new(),
+                    not_null: Vec::new(),
+                    unique: Vec::new(),
+                });
             }
-            Statement::CreateView(v) => {
-                if !self.has_table(&v.name) {
-                    // Approximate view columns by the underlying table's.
-                    let cols = lego_sqlast::visit::table_names(stmt)
-                        .iter()
-                        .skip(1)
-                        .find_map(|t| self.table(t).map(|t| t.columns.clone()))
-                        .unwrap_or_else(|| vec![("column1".into(), DataType::Int)]);
-                    self.tables.push(TableModel {
-                        name: v.name.clone(),
-                        columns: cols,
-                        required: Vec::new(),
-                        not_null: Vec::new(),
-                        unique: Vec::new(),
-                    });
-                }
+            Statement::CreateView(v) if !self.has_table(&v.name) => {
+                // Approximate view columns by the underlying table's.
+                let cols = lego_sqlast::visit::table_names(stmt)
+                    .iter()
+                    .skip(1)
+                    .find_map(|t| self.table(t).map(|t| t.columns.clone()))
+                    .unwrap_or_else(|| vec![("column1".into(), DataType::Int)]);
+                self.tables.push(TableModel {
+                    name: v.name.clone(),
+                    columns: cols,
+                    required: Vec::new(),
+                    not_null: Vec::new(),
+                    unique: Vec::new(),
+                });
             }
             Statement::Drop(d) if matches!(d.object, ObjectKind::Table | ObjectKind::View) => {
                 self.tables.retain(|t| !t.name.eq_ignore_ascii_case(&d.name));
             }
             Statement::AlterTable(a) => {
                 let name = a.name.clone();
-                if let Some(t) = self.tables.iter_mut().find(|t| t.name.eq_ignore_ascii_case(&name)) {
+                if let Some(t) = self.tables.iter_mut().find(|t| t.name.eq_ignore_ascii_case(&name))
+                {
                     match &a.action {
                         AlterTableAction::AddColumn(c) => t.columns.push((c.name.clone(), c.ty)),
                         AlterTableAction::DropColumn(c) => {
@@ -166,9 +154,7 @@ impl SchemaModel {
                             {
                                 col.0 = new.clone();
                             }
-                            for list in
-                                [&mut t.required, &mut t.not_null, &mut t.unique]
-                            {
+                            for list in [&mut t.required, &mut t.not_null, &mut t.unique] {
                                 if let Some(r) =
                                     list.iter_mut().find(|n| n.eq_ignore_ascii_case(old))
                                 {
@@ -285,9 +271,8 @@ pub fn gen_expr(cols: &[(String, DataType)], rng: &mut SmallRng, depth: usize) -
             },
         },
         8 => {
-            const FNS: &[&str] = &[
-                "ABS", "LENGTH", "UPPER", "LOWER", "COALESCE", "TRIM", "HEX", "SIGN", "TYPEOF",
-            ];
+            const FNS: &[&str] =
+                &["ABS", "LENGTH", "UPPER", "LOWER", "COALESCE", "TRIM", "HEX", "SIGN", "TYPEOF"];
             Expr::Func(FuncCall::new(
                 FNS[rng.gen_range(0..FNS.len())],
                 vec![gen_expr(cols, rng, depth - 1)],
@@ -338,7 +323,12 @@ fn gen_window_expr(cols: &[(String, DataType)], rng: &mut SmallRng) -> Expr {
 }
 
 /// Random query over the schema.
-pub fn gen_query(schema: &SchemaModel, dialect: Dialect, rng: &mut SmallRng, depth: usize) -> Query {
+pub fn gen_query(
+    schema: &SchemaModel,
+    dialect: Dialect,
+    rng: &mut SmallRng,
+    depth: usize,
+) -> Query {
     let table = schema.random_table(rng).cloned();
     let (from, cols): (Vec<TableRef>, Vec<(String, DataType)>) = match &table {
         None => (vec![], vec![]),
@@ -347,8 +337,7 @@ pub fn gen_query(schema: &SchemaModel, dialect: Dialect, rng: &mut SmallRng, dep
             let mut cols = t.columns.clone();
             if rng.gen_bool(0.2) && depth > 0 {
                 if let Some(t2) = schema.random_table(rng) {
-                    let kinds =
-                        [JoinKind::Inner, JoinKind::Left, JoinKind::Right, JoinKind::Cross];
+                    let kinds = [JoinKind::Inner, JoinKind::Left, JoinKind::Right, JoinKind::Cross];
                     let kind = kinds[rng.gen_range(0..kinds.len())];
                     let on = if kind == JoinKind::Cross || t2.columns.is_empty() || cols.is_empty()
                     {
@@ -415,29 +404,27 @@ pub fn gen_query(schema: &SchemaModel, dialect: Dialect, rng: &mut SmallRng, dep
             } else {
                 gen_expr(&cols, rng, 1)
             };
-            let alias = if rng.gen_bool(0.25) {
-                Some(format!("a{}", rng.gen_range(0..8)))
-            } else {
-                None
-            };
+            let alias =
+                if rng.gen_bool(0.25) { Some(format!("a{}", rng.gen_range(0..8))) } else { None };
             items.push(SelectItem::Expr { expr, alias });
         }
         items
     };
-    let group_by = if group { vec![match &projection[0] {
-        SelectItem::Expr { expr, .. } => expr.clone(),
-        _ => Expr::Integer(1),
-    }] } else { vec![] };
+    let group_by = if group {
+        vec![match &projection[0] {
+            SelectItem::Expr { expr, .. } => expr.clone(),
+            _ => Expr::Integer(1),
+        }]
+    } else {
+        vec![]
+    };
     let having = if group && rng.gen_bool(0.3) {
         Some(Expr::binary(Expr::Func(FuncCall::star("COUNT")), BinOp::Gt, Expr::Integer(1)))
     } else {
         None
     };
-    let where_ = if !from.is_empty() && rng.gen_bool(0.5) {
-        Some(gen_expr(&cols, rng, 2))
-    } else {
-        None
-    };
+    let where_ =
+        if !from.is_empty() && rng.gen_bool(0.5) { Some(gen_expr(&cols, rng, 2)) } else { None };
     let mut body = SetExpr::Select(Box::new(Select {
         distinct: rng.gen_bool(0.12),
         projection,
@@ -507,11 +494,15 @@ fn misc_arg(kind: StandaloneKind, schema: &SchemaModel, rng: &mut SmallRng) -> O
     use StandaloneKind as K;
     let table = schema
         .tables
-        .get(rng.gen_range(0..schema.tables.len().max(1)).min(schema.tables.len().saturating_sub(1)))
+        .get(
+            rng.gen_range(0..schema.tables.len().max(1)).min(schema.tables.len().saturating_sub(1)),
+        )
         .map(|t| t.name.clone())
         .unwrap_or_else(|| "t1".into());
     Some(match kind {
-        K::DeclareCursor | K::Fetch | K::Move | K::CloseCursor => format!("c{}", rng.gen_range(0..3)),
+        K::DeclareCursor | K::Fetch | K::Move | K::CloseCursor => {
+            format!("c{}", rng.gen_range(0..3))
+        }
         K::PrepareStmt | K::ExecuteStmt | K::Deallocate => format!("p{}", rng.gen_range(0..3)),
         K::ExecuteImmediate => "'SELECT 1'".into(),
         K::XaBegin | K::XaCommit | K::XaRollback => format!("'x{}'", rng.gen_range(0..2)),
@@ -521,7 +512,11 @@ fn misc_arg(kind: StandaloneKind, schema: &SchemaModel, rng: &mut SmallRng) -> O
         K::SetTransaction => "ISOLATION LEVEL READ COMMITTED".into(),
         K::SetConstraints => "ALL DEFERRED".into(),
         K::SetRole | K::SetSessionAuthorization => {
-            if rng.gen_bool(0.5) { "alice".into() } else { "NONE".into() }
+            if rng.gen_bool(0.5) {
+                "alice".into()
+            } else {
+                "NONE".into()
+            }
         }
         K::SetDefaultRole => "alice".into(),
         K::SetPassword => "FOR alice".into(),
@@ -530,8 +525,16 @@ fn misc_arg(kind: StandaloneKind, schema: &SchemaModel, rng: &mut SmallRng) -> O
             let new = format!("v{}", rng.gen_range(0..100));
             format!("{table} TO {new}")
         }
-        K::CheckTable | K::ChecksumTable | K::OptimizeTable | K::RepairTable | K::Rebuild
-        | K::TableStmt | K::Describe | K::ShowCreateTable | K::ShowColumns | K::ShowIndex => table,
+        K::CheckTable
+        | K::ChecksumTable
+        | K::OptimizeTable
+        | K::RepairTable
+        | K::Rebuild
+        | K::TableStmt
+        | K::Describe
+        | K::ShowCreateTable
+        | K::ShowColumns
+        | K::ShowIndex => table,
         K::Use => format!("db{}", rng.gen_range(0..2)),
         K::KillStmt => format!("{}", rng.gen_range(1..100)),
         K::HelpStmt => "'SELECT'".into(),
@@ -615,10 +618,9 @@ pub fn gen_statement(
         }
         StmtKind::Ddl(DdlVerb::Create, ObjectKind::Index) => {
             let (table, column) = match schema.random_table(rng) {
-                Some(t) if !t.columns.is_empty() => (
-                    t.name.clone(),
-                    t.columns[rng.gen_range(0..t.columns.len())].0.clone(),
-                ),
+                Some(t) if !t.columns.is_empty() => {
+                    (t.name.clone(), t.columns[rng.gen_range(0..t.columns.len())].0.clone())
+                }
                 _ => ("t1".into(), "v1".into()),
             };
             Statement::CreateIndex(CreateIndex {
@@ -641,7 +643,11 @@ pub fn gen_statement(
             };
             Statement::CreateTrigger(CreateTrigger {
                 name: format!("tg{}", rng.gen_range(0..10)),
-                timing: if rng.gen_bool(0.5) { TriggerTiming::After } else { TriggerTiming::Before },
+                timing: if rng.gen_bool(0.5) {
+                    TriggerTiming::After
+                } else {
+                    TriggerTiming::Before
+                },
                 event: events[rng.gen_range(0..events.len())],
                 table,
                 for_each_row: rng.gen_bool(0.7),
@@ -674,10 +680,9 @@ pub fn gen_statement(
         }
         StmtKind::Ddl(DdlVerb::Alter, ObjectKind::Table) => {
             let (name, col) = match schema.random_table(rng) {
-                Some(t) if !t.columns.is_empty() => (
-                    t.name.clone(),
-                    t.columns[rng.gen_range(0..t.columns.len())].0.clone(),
-                ),
+                Some(t) if !t.columns.is_empty() => {
+                    (t.name.clone(), t.columns[rng.gen_range(0..t.columns.len())].0.clone())
+                }
                 _ => ("t1".into(), "v1".into()),
             };
             let action = match rng.gen_range(0..5) {
@@ -760,7 +765,9 @@ pub fn gen_statement(
             let cte = Cte {
                 name: cte_name,
                 body: if rng.gen_bool(0.6) && dialect == Dialect::Postgres {
-                    CteBody::Dml(Box::new(Statement::Insert(gen_insert(schema, dialect, rng, false))))
+                    CteBody::Dml(Box::new(Statement::Insert(gen_insert(
+                        schema, dialect, rng, false,
+                    ))))
                 } else {
                     CteBody::Query(Box::new(gen_query(schema, dialect, rng, 0)))
                 },
@@ -780,7 +787,9 @@ pub fn gen_statement(
         }
         StmtKind::Other(K::Values) => Statement::Values(
             (0..rng.gen_range(1..3))
-                .map(|_| (0..rng.gen_range(1..4)).map(|_| gen_literal(DataType::Int, rng)).collect())
+                .map(|_| {
+                    (0..rng.gen_range(1..4)).map(|_| gen_literal(DataType::Int, rng)).collect()
+                })
                 .collect(),
         ),
         StmtKind::Other(K::Truncate) => Statement::Truncate { table: table_name(rng) },
@@ -799,7 +808,11 @@ pub fn gen_statement(
             } else {
                 Statement::Copy(CopyStmt {
                     source: CopySource::Table { name: table_name(rng), columns: vec![] },
-                    direction: if rng.gen_bool(0.5) { CopyDirection::To } else { CopyDirection::From },
+                    direction: if rng.gen_bool(0.5) {
+                        CopyDirection::To
+                    } else {
+                        CopyDirection::From
+                    },
                     target: if rng.gen_bool(0.5) { "STDOUT".into() } else { "STDIN".into() },
                     options: vec![],
                 })
@@ -846,26 +859,26 @@ pub fn gen_statement(
             })
         }
         StmtKind::Other(K::Reset) => Statement::Reset("search_path".into()),
-        StmtKind::Other(K::Show) => Statement::Show(
-            if rng.gen_bool(0.5) { "server_version" } else { "search_path" }.into(),
-        ),
+        StmtKind::Other(K::Show) => {
+            Statement::Show(if rng.gen_bool(0.5) { "server_version" } else { "search_path" }.into())
+        }
         StmtKind::Other(K::Pragma) => Statement::Pragma {
             name: "foreign_keys".into(),
             value: Some(if rng.gen_bool(0.5) { "ON" } else { "OFF" }.into()),
         },
-        StmtKind::Other(K::Analyze) => Statement::Analyze(if rng.gen_bool(0.7) {
-            Some(table_name(rng))
-        } else {
-            None
-        }),
+        StmtKind::Other(K::Analyze) => {
+            Statement::Analyze(if rng.gen_bool(0.7) { Some(table_name(rng)) } else { None })
+        }
         StmtKind::Other(K::Vacuum) => Statement::Vacuum {
             table: if rng.gen_bool(0.7) { Some(table_name(rng)) } else { None },
             full: rng.gen_bool(0.3),
         },
-        StmtKind::Other(K::Explain) => Statement::Explain(Box::new(Statement::Select(SelectStmt {
-            query: Box::new(gen_query(schema, dialect, rng, 0)),
-            variant: SelectVariant::Plain,
-        }))),
+        StmtKind::Other(K::Explain) => {
+            Statement::Explain(Box::new(Statement::Select(SelectStmt {
+                query: Box::new(gen_query(schema, dialect, rng, 0)),
+                variant: SelectVariant::Plain,
+            })))
+        }
         StmtKind::Other(K::Reindex) => Statement::Reindex(Some(table_name(rng))),
         StmtKind::Other(K::Checkpoint) => Statement::Checkpoint,
         StmtKind::Other(K::Cluster) => Statement::Cluster(Some(table_name(rng))),
@@ -891,9 +904,7 @@ pub fn gen_statement(
             name: format!("p{}", rng.gen_range(0..3)),
             args: vec![gen_literal(DataType::Int, rng)],
         },
-        StmtKind::Other(K::RefreshMaterializedView) => {
-            Statement::RefreshMatView(table_name(rng))
-        }
+        StmtKind::Other(K::RefreshMaterializedView) => Statement::RefreshMatView(table_name(rng)),
         StmtKind::Other(K::CreateTableAs) => Statement::CreateTableAs {
             name: schema.fresh_table_name(rng),
             query: Box::new(gen_query(schema, dialect, rng, 0)),
@@ -909,9 +920,7 @@ mod tests {
 
     fn schema_with_table() -> SchemaModel {
         let mut m = SchemaModel::new();
-        m.observe(
-            &lego_sqlparser::parse_statement("CREATE TABLE t1 (v1 INT, v2 TEXT);").unwrap(),
-        );
+        m.observe(&lego_sqlparser::parse_statement("CREATE TABLE t1 (v1 INT, v2 TEXT);").unwrap());
         m
     }
 

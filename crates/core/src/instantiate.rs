@@ -117,10 +117,8 @@ fn fix_statement(stmt: &mut Statement, schema: &SchemaModel, rng: &mut SmallRng)
             }
             return;
         }
-        Statement::CreateView(v) => {
-            if schema.has_table(&v.name) {
-                v.name = schema.fresh_table_name(rng);
-            }
+        Statement::CreateView(v) if schema.has_table(&v.name) => {
+            v.name = schema.fresh_table_name(rng);
         }
         _ => {}
     }
@@ -148,8 +146,7 @@ fn fix_statement(stmt: &mut Statement, schema: &SchemaModel, rng: &mut SmallRng)
         }
     }
     if !cols.is_empty() {
-        let known: HashSet<String> =
-            cols.iter().map(|(n, _)| n.to_ascii_lowercase()).collect();
+        let known: HashSet<String> = cols.iter().map(|(n, _)| n.to_ascii_lowercase()).collect();
         rebind(
             stmt,
             |_t| {},
@@ -207,8 +204,9 @@ fn fix_statement(stmt: &mut Statement, schema: &SchemaModel, rng: &mut SmallRng)
 
     // 5. INSERT shape fix-up: row width must match the target table, and
     //    NOT NULL columns without a default must receive non-NULL values.
-    if let Statement::Insert(Insert { table, columns, source: InsertSource::Values(rows), .. }) =
-        stmt
+    if let Statement::Insert(Insert {
+        table, columns, source: InsertSource::Values(rows), ..
+    }) = stmt
     {
         if let Some(tm) = schema.table(table) {
             if !columns.is_empty() {

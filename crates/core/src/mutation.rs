@@ -28,13 +28,14 @@ pub fn conventional_mutate_stacked(case: &TestCase, rng: &mut SmallRng, stack: u
     for _ in 0..n {
         let idx = rng.gen_range(0..out.statements.len());
         let schema = SchemaModel::of_statements(&out.statements[..idx]);
-        let cols = schema
-            .random_table(rng)
-            .map(|t| t.columns.clone())
-            .unwrap_or_default();
+        let cols = schema.random_table(rng).map(|t| t.columns.clone()).unwrap_or_default();
         let before = out.statements[idx].kind();
         mutate_statement(&mut out.statements[idx], &cols, rng);
-        debug_assert_eq!(out.statements[idx].kind(), before, "conventional mutation changed the type");
+        debug_assert_eq!(
+            out.statements[idx].kind(),
+            before,
+            "conventional mutation changed the type"
+        );
     }
     fix_case(&mut out, rng);
     out
@@ -81,12 +82,7 @@ fn mutate_statement(stmt: &mut Statement, cols: &[(String, DataType)], rng: &mut
                 (InsertSource::Values(rows), 0) => {
                     // Add a row shaped like the first.
                     if let Some(first) = rows.first().cloned() {
-                        rows.push(
-                            first
-                                .iter()
-                                .map(|_| gen_literal(DataType::Int, rng))
-                                .collect(),
-                        );
+                        rows.push(first.iter().map(|_| gen_literal(DataType::Int, rng)).collect());
                     }
                     true
                 }
@@ -269,10 +265,8 @@ mod tests {
     fn conventional_mutation_changes_something() {
         let seed = fig1_seed();
         let mut rng = SmallRng::seed_from_u64(10);
-        let changed = (0..50)
-            .map(|_| conventional_mutate(&seed, &mut rng))
-            .filter(|m| *m != seed)
-            .count();
+        let changed =
+            (0..50).map(|_| conventional_mutate(&seed, &mut rng)).filter(|m| *m != seed).count();
         assert!(changed > 30, "mutations were mostly no-ops: {changed}/50");
     }
 

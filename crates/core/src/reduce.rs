@@ -13,11 +13,15 @@ use lego_sqlast::expr::Expr;
 use lego_sqlast::skeleton::rebind;
 use lego_sqlast::{Dialect, TestCase};
 
-/// Does this case still produce the same crash?
-fn still_crashes(case: &TestCase, dialect: Dialect, want: u64) -> bool {
-    let mut db = Dbms::new(dialect);
+/// Does this case still produce the same crash? Resets and reuses the one
+/// triage instance rather than constructing a DBMS per candidate — reduction
+/// runs hundreds of candidate executions per bug.
+fn still_crashes(db: &mut Dbms, case: &TestCase, want: u64) -> bool {
+    db.reset();
     let report = db.execute_case(case);
-    report.crash().map(|c| c.stack_hash()) == Some(want)
+    let hit = report.crash().map(|c| c.stack_hash()) == Some(want);
+    db.recycle(report.coverage);
+    hit
 }
 
 /// Shrink a crashing test case, preserving its crash identity. Returns the
@@ -25,7 +29,8 @@ fn still_crashes(case: &TestCase, dialect: Dialect, want: u64) -> bool {
 pub fn reduce_case(case: &TestCase, dialect: Dialect, crash: &CrashReport) -> (TestCase, usize) {
     let want = crash.stack_hash();
     let mut execs = 0usize;
-    debug_assert!(still_crashes(case, dialect, want), "input must reproduce the crash");
+    let mut db = Dbms::new(dialect);
+    debug_assert!(still_crashes(&mut db, case, want), "input must reproduce the crash");
     let mut current = case.clone();
 
     // Phase 1: statement-level ddmin — try dropping halves, then quarters,
@@ -43,7 +48,7 @@ pub fn reduce_case(case: &TestCase, dialect: Dialect, crash: &CrashReport) -> (T
                 continue;
             }
             execs += 1;
-            if still_crashes(&candidate, dialect, want) {
+            if still_crashes(&mut db, &candidate, want) {
                 current = candidate;
                 progress = true;
                 // Retry the same offset: the next chunk shifted into place.
@@ -83,7 +88,7 @@ pub fn reduce_case(case: &TestCase, dialect: Dialect, crash: &CrashReport) -> (T
         );
         if changed {
             execs += 1;
-            if still_crashes(&candidate, dialect, want) {
+            if still_crashes(&mut db, &candidate, want) {
                 current = candidate;
             }
         }

@@ -27,13 +27,8 @@ impl SequenceStore {
     /// specific starting statement types, e.g. CREATE TABLE").
     pub fn new(max_len: usize, starters: &[StmtKind]) -> Self {
         assert!(max_len >= 2, "LEN must allow at least one affinity");
-        let mut store = Self {
-            seqs: Vec::new(),
-            ps: HashMap::new(),
-            max_len,
-            cap: 200_000,
-            truncated: 0,
-        };
+        let mut store =
+            Self { seqs: Vec::new(), ps: HashMap::new(), max_len, cap: 200_000, truncated: 0 };
         for &s in starters {
             store.record(vec![s]);
         }

@@ -41,10 +41,7 @@ impl Default for GlobalCoverage {
 
 impl GlobalCoverage {
     pub fn new() -> Self {
-        Self {
-            virgin: vec![0u8; MAP_SIZE].into_boxed_slice(),
-            edges_covered: 0,
-        }
+        Self { virgin: vec![0u8; MAP_SIZE].into_boxed_slice(), edges_covered: 0 }
     }
 
     /// Merge one execution's map; returns `true` if any new bucket bit (and
@@ -67,8 +64,36 @@ impl GlobalCoverage {
 
     /// Check for novelty without recording it.
     pub fn would_be_new(&self, run: &CovMap) -> bool {
-        run.iter_nonzero()
-            .any(|(i, &raw)| self.virgin[i] & bucket(raw) != bucket(raw))
+        run.iter_nonzero().any(|(i, &raw)| self.virgin[i] & bucket(raw) != bucket(raw))
+    }
+
+    /// Union another accumulator into this one, word at a time.
+    ///
+    /// This is the parallel-campaign sync path: worker shards batch their
+    /// local virgin maps into the shared global every K cases, so the scan
+    /// runs over 8-byte words and skips all-zero source words instead of
+    /// walking individual edges. The operation is commutative and
+    /// idempotent, which makes the merged result independent of worker
+    /// interleaving.
+    pub fn union_with(&mut self, other: &GlobalCoverage) {
+        let mut added = 0usize;
+        for (dst, src) in self.virgin.chunks_exact_mut(8).zip(other.virgin.chunks_exact(8)) {
+            let s = u64::from_ne_bytes(src.try_into().expect("8-byte chunk"));
+            if s == 0 {
+                continue;
+            }
+            let d = u64::from_ne_bytes((&*dst).try_into().expect("8-byte chunk"));
+            let m = d | s;
+            if m != d {
+                for k in 0..8 {
+                    if dst[k] == 0 && src[k] != 0 {
+                        added += 1;
+                    }
+                }
+                dst.copy_from_slice(&m.to_ne_bytes());
+            }
+        }
+        self.edges_covered += added;
     }
 
     /// Number of distinct edges seen at least once — the "branches covered"
@@ -172,6 +197,42 @@ mod tests {
         g.clear();
         assert_eq!(g.edges_covered(), 0);
         assert!(g.would_be_new(&run_with(&[1])));
+    }
+
+    #[test]
+    fn union_matches_sequential_merges() {
+        let runs = [run_with(&[1, 2, 3]), run_with(&[3, 4, 5, 900]), run_with(&[1, 7, 65_000])];
+        // Sequential merging into one accumulator…
+        let mut serial = GlobalCoverage::new();
+        for r in &runs {
+            serial.merge(r);
+        }
+        // …vs. merging into per-worker shards and unioning, in either order.
+        let mut a = GlobalCoverage::new();
+        a.merge(&runs[0]);
+        let mut b = GlobalCoverage::new();
+        b.merge(&runs[1]);
+        b.merge(&runs[2]);
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        for g in [&ab, &ba] {
+            assert_eq!(g.edges_covered(), serial.edges_covered());
+            for r in &runs {
+                assert!(!g.would_be_new(r));
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut a = GlobalCoverage::new();
+        a.merge(&run_with(&[5, 6]));
+        let n = a.edges_covered();
+        let snapshot = a.clone();
+        a.union_with(&snapshot);
+        assert_eq!(a.edges_covered(), n);
     }
 
     #[test]

@@ -8,11 +8,11 @@ pub const MAP_SIZE: usize = 1 << 16;
 #[derive(Clone)]
 pub struct CovMap {
     counts: Box<[u8]>,
-    /// Indices with nonzero counts, kept sorted & deduped on demand. SQL test
-    /// cases touch a few hundred edges out of 65536, so sparse iteration is
-    /// the hot path for merging.
+    /// Indices with nonzero counts. `bump` pushes an index only on its
+    /// 0→1 transition, so the list is duplicate-free by construction. SQL
+    /// test cases touch a few hundred edges out of 65536, so sparse
+    /// iteration is the hot path for merging.
     touched: Vec<u32>,
-    dirty: bool,
 }
 
 impl Default for CovMap {
@@ -23,11 +23,7 @@ impl Default for CovMap {
 
 impl CovMap {
     pub fn new() -> Self {
-        Self {
-            counts: vec![0u8; MAP_SIZE].into_boxed_slice(),
-            touched: Vec::new(),
-            dirty: false,
-        }
+        Self { counts: vec![0u8; MAP_SIZE].into_boxed_slice(), touched: Vec::new() }
     }
 
     #[inline]
@@ -36,25 +32,12 @@ impl CovMap {
         let c = &mut self.counts[i];
         if *c == 0 {
             self.touched.push(i as u32);
-        } else {
-            self.dirty = true; // duplicates may appear only when revisiting
         }
         *c = c.saturating_add(1);
     }
 
-    fn normalize(&mut self) {
-        if self.dirty {
-            self.touched.sort_unstable();
-            self.touched.dedup();
-            self.dirty = false;
-        }
-    }
-
     /// Iterate `(index, &count)` over nonzero entries.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, &u8)> + '_ {
-        // `touched` may contain duplicates only transiently; bump() pushes an
-        // index at most once (guarded by count==0), so no normalize needed for
-        // reads. normalize() retained for future mutation APIs.
         self.touched.iter().map(move |&i| (i as usize, &self.counts[i as usize]))
     }
 
@@ -70,7 +53,6 @@ impl CovMap {
     /// Reset in place, keeping the allocation (AFL's per-run memset, but
     /// sparse).
     pub fn clear(&mut self) {
-        self.normalize();
         for &i in &self.touched {
             self.counts[i as usize] = 0;
         }
@@ -79,17 +61,27 @@ impl CovMap {
 
     /// A stable 64-bit digest of the bucketed map — used to group executions
     /// with identical coverage signatures (crash dedup secondary key).
+    ///
+    /// Each `(index, bucket)` entry is mixed independently and the results
+    /// combined with a commutative fold, so the digest is order-insensitive
+    /// without cloning and sorting `touched`.
     pub fn digest(&self) -> u64 {
-        let mut idx: Vec<u32> = self.touched.clone();
-        idx.sort_unstable();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for i in idx {
+        for &i in &self.touched {
             let b = super::bucket(self.counts[i as usize]);
-            h ^= (i as u64) << 8 | b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
+            h = h.wrapping_add(mix64((i as u64) << 8 | b as u64));
         }
         h
     }
+}
+
+/// SplitMix64 finalizer: a cheap bijective scramble so per-entry values are
+/// well distributed before the commutative combine in [`CovMap::digest`].
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// AFL++ hit-count bucketing: collapse raw counts into 8 classes so loops

@@ -61,10 +61,15 @@ impl Default for CovRecorder {
 
 impl CovRecorder {
     pub fn new() -> Self {
-        Self {
-            map: CovMap::new(),
-            prev: 0,
-        }
+        Self { map: CovMap::new(), prev: 0 }
+    }
+
+    /// Build a recorder on top of a recycled map, clearing it in place so
+    /// the 64 KiB counts allocation is reused instead of re-zeroed from a
+    /// fresh heap block (the campaign hot path runs one map per case).
+    pub fn from_recycled(mut map: CovMap) -> Self {
+        map.clear();
+        Self { map, prev: 0 }
     }
 
     #[inline]
@@ -120,7 +125,8 @@ mod tests {
         // fresh recorder.
         let m1 = r1.into_map();
         let m2 = r2.into_map();
-        let entry_edge = (7usize) ^ 0;
+        // Entry edge: prev_loc is 0 after reset, so the edge index is the site.
+        let entry_edge = 7usize;
         assert_eq!(m1.get(entry_edge), 1);
         assert_eq!(m2.get(entry_edge), 1);
     }

@@ -64,7 +64,12 @@ impl BugType {
     pub fn is_dangerous(self) -> bool {
         matches!(
             self,
-            BugType::Bof | BugType::Sbof | BugType::Hbof | BugType::Uaf | BugType::Uap | BugType::Segv
+            BugType::Bof
+                | BugType::Sbof
+                | BugType::Hbof
+                | BugType::Uaf
+                | BugType::Uap
+                | BugType::Segv
         )
     }
 }
@@ -91,7 +96,9 @@ impl Structural {
             Structural::GroupBy => visit::has_group_by(stmt),
             Structural::OrderBy => match stmt {
                 Statement::Select(s) => !s.query.order_by.is_empty(),
-                Statement::With(w) => matches!(&*w.body, Statement::Select(s) if !s.query.order_by.is_empty()),
+                Statement::With(w) => {
+                    matches!(&*w.body, Statement::Select(s) if !s.query.order_by.is_empty())
+                }
                 _ => false,
             },
             Structural::WhereClause => match stmt {
@@ -325,7 +332,13 @@ const TABLE_I: &[Row] = &[
             (BugType::Uaf, 1),
             (BugType::Af, 2),
         ],
-        identifiers: &["CVE-2021-2357", "CVE-2021-2055", "CVE-2021-2230", "CVE-2021-2169", "CVE-2021-2444"],
+        identifiers: &[
+            "CVE-2021-2357",
+            "CVE-2021-2055",
+            "CVE-2021-2230",
+            "CVE-2021-2169",
+            "CVE-2021-2444",
+        ],
     },
     Row {
         dialect: Dialect::MySql,
@@ -356,8 +369,15 @@ const TABLE_I: &[Row] = &[
             (BugType::Af, 1),
         ],
         identifiers: &[
-            "CVE-2022-27376", "CVE-2022-27379", "CVE-2022-27380", "MDEV-26403", "MDEV-26432",
-            "MDEV-26418", "MDEV-26416", "MDEV-26419", "MDEV-26430",
+            "CVE-2022-27376",
+            "CVE-2022-27379",
+            "CVE-2022-27380",
+            "MDEV-26403",
+            "MDEV-26432",
+            "MDEV-26418",
+            "MDEV-26416",
+            "MDEV-26419",
+            "MDEV-26430",
         ],
     },
     Row {
@@ -377,8 +397,17 @@ const TABLE_I: &[Row] = &[
         component: Component::Storage,
         bugs: &[(BugType::Segv, 7), (BugType::Uap, 2), (BugType::Uaf, 2), (BugType::Bof, 2)],
         identifiers: &[
-            "CVE-2022-27385", "CVE-2022-27386", "MDEV-26404", "MDEV-26408", "MDEV-26412",
-            "MDEV-26421", "MDEV-26434", "MDEV-26436", "MDEV-26420", "MDEV-26431", "MDEV-26433",
+            "CVE-2022-27385",
+            "CVE-2022-27386",
+            "MDEV-26404",
+            "MDEV-26408",
+            "MDEV-26412",
+            "MDEV-26421",
+            "MDEV-26434",
+            "MDEV-26436",
+            "MDEV-26420",
+            "MDEV-26431",
+            "MDEV-26433",
         ],
     },
     Row {
@@ -386,8 +415,15 @@ const TABLE_I: &[Row] = &[
         component: Component::Item,
         bugs: &[(BugType::Af, 4), (BugType::Segv, 3), (BugType::Uap, 2), (BugType::Uaf, 1)],
         identifiers: &[
-            "MDEV-26405", "MDEV-26407", "MDEV-26411", "MDEV-26414", "MDEV-26438", "MDEV-26428",
-            "MDEV-26417", "MDEV-26437", "MDEV-26427",
+            "MDEV-26405",
+            "MDEV-26407",
+            "MDEV-26411",
+            "MDEV-26414",
+            "MDEV-26438",
+            "MDEV-26428",
+            "MDEV-26417",
+            "MDEV-26437",
+            "MDEV-26427",
         ],
     },
     Row {
@@ -455,7 +491,10 @@ const SHALLOW_PATTERNS: &[(&[StmtKind], Structural)] = &[
         Structural::OrderBy,
     ),
     (
-        &[StmtKind::Ddl(DdlVerb::Create, ObjectKind::Index), StmtKind::Other(StandaloneKind::Insert)],
+        &[
+            StmtKind::Ddl(DdlVerb::Create, ObjectKind::Index),
+            StmtKind::Other(StandaloneKind::Insert),
+        ],
         Structural::InsertIgnore,
     ),
     (
@@ -527,9 +566,7 @@ pub fn seed_sequences_for_tests() -> Vec<Vec<StmtKind>> {
 }
 
 fn is_subsequence_of_seeds(pattern: &[StmtKind]) -> bool {
-    seed_sequences()
-        .iter()
-        .any(|seq| seq.windows(pattern.len()).any(|w| w == pattern))
+    seed_sequences().iter().any(|seq| seq.windows(pattern.len()).any(|w| w == pattern))
 }
 
 /// Can the state predicate still hold after executing the pattern itself?
@@ -595,7 +632,10 @@ fn pattern_ok(pattern: &[StmtKind], structural: Structural, state: StateReq) -> 
         let protected_structural = RARE_STRUCTURAL.contains(&structural);
         let protected_state = matches!(
             state,
-            StateReq::InTransaction | StateReq::TriggerExists | StateReq::RuleExists | StateReq::ViewExists
+            StateReq::InTransaction
+                | StateReq::TriggerExists
+                | StateReq::RuleExists
+                | StateReq::ViewExists
         );
         if !protected_structural && !protected_state {
             return false;
@@ -622,8 +662,17 @@ fn weighted_pool(d: Dialect) -> Vec<StmtKind> {
     for k in supported {
         let weight = match k {
             StmtKind::Other(
-                K::Insert | K::Select | K::Update | K::Delete | K::Truncate | K::Begin | K::Commit
-                | K::Rollback | K::Set | K::Analyze | K::Explain,
+                K::Insert
+                | K::Select
+                | K::Update
+                | K::Delete
+                | K::Truncate
+                | K::Begin
+                | K::Commit
+                | K::Rollback
+                | K::Set
+                | K::Analyze
+                | K::Explain,
             ) => 4,
             StmtKind::Ddl(
                 _,
@@ -709,7 +758,7 @@ fn gen_pattern(
                 StateReq::TriggerExists,
             ]
             .into_iter()
-            .filter(|s| s.setup_kind().map_or(true, |k| dialect.supports(k)))
+            .filter(|s| s.setup_kind().is_none_or(|k| dialect.supports(k)))
             .collect();
             let state = states[rng.gen_range(0..states.len())];
             if let Some(setup) = state.setup_kind() {
@@ -735,17 +784,14 @@ fn build_manifest() -> Vec<BugSpec> {
         let pool = weighted_pool(row.dialect);
         let mut ident_iter = row.identifiers.iter();
         let seen = seen_by_dialect.entry(row.dialect).or_default();
-        let mut per_dialect_index = specs
-            .iter()
-            .filter(|s: &&BugSpec| s.dialect == row.dialect)
-            .count();
+        let mut per_dialect_index =
+            specs.iter().filter(|s: &&BugSpec| s.dialect == row.dialect).count();
         for &(bug_type, count) in row.bugs {
             for _ in 0..count {
                 id += 1;
-                let identifier = ident_iter
-                    .next()
-                    .map(|s| s.to_string())
-                    .unwrap_or_else(|| format!("{}-INT-{:03}", row.dialect.name().to_ascii_uppercase(), id));
+                let identifier = ident_iter.next().map(|s| s.to_string()).unwrap_or_else(|| {
+                    format!("{}-INT-{:03}", row.dialect.name().to_ascii_uppercase(), id)
+                });
                 let depth = if per_dialect_index < shallow_count(row.dialect) {
                     Depth::Shallow
                 } else {
@@ -755,7 +801,11 @@ fn build_manifest() -> Vec<BugSpec> {
                         Dialect::Comdb2 => per_dialect_index % 3 != 0,
                         _ => per_dialect_index % 2 == 1,
                     };
-                    if deep { Depth::Deep } else { Depth::Mid }
+                    if deep {
+                        Depth::Deep
+                    } else {
+                        Depth::Mid
+                    }
                 };
                 per_dialect_index += 1;
 
@@ -866,10 +916,12 @@ impl BugOracle {
                 continue;
             }
             let tail = &trace[trace.len() - bug.pattern.len()..];
-            if tail == bug.pattern.as_slice() && bug.structural.check(stmt) && bug.state.check(st) {
-                if best.map_or(true, |b| bug.pattern.len() > b.pattern.len()) {
-                    best = Some(bug);
-                }
+            if tail == bug.pattern.as_slice()
+                && bug.structural.check(stmt)
+                && bug.state.check(st)
+                && best.is_none_or(|b| bug.pattern.len() > b.pattern.len())
+            {
+                best = Some(bug);
             }
         }
         best.map(CrashReport::for_bug)
@@ -969,8 +1021,7 @@ mod tests {
             StmtKind::Ddl(DdlVerb::Create, ObjectKind::Trigger),
             StmtKind::Other(StandaloneKind::Select),
         ];
-        let stmt =
-            parse_statement("SELECT LEAD(v1) OVER (ORDER BY v1) AS x FROM v0;").unwrap();
+        let stmt = parse_statement("SELECT LEAD(v1) OVER (ORDER BY v1) AS x FROM v0;").unwrap();
         let crash = oracle.check(&trace, &stmt, &OracleState::default());
         assert!(crash.is_some());
         assert_eq!(crash.unwrap().identifier, "CVE-2021-35643");
@@ -981,8 +1032,7 @@ mod tests {
         use lego_sqlparser::parse_statement;
         let oracle = BugOracle::new(Dialect::MySql);
         let trace = vec![StmtKind::Other(StandaloneKind::Select)];
-        let stmt =
-            parse_statement("SELECT LEAD(v1) OVER (ORDER BY v1) AS x FROM v0;").unwrap();
+        let stmt = parse_statement("SELECT LEAD(v1) OVER (ORDER BY v1) AS x FROM v0;").unwrap();
         assert!(oracle.check(&trace, &stmt, &OracleState::default()).is_none());
     }
 

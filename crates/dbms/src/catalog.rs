@@ -106,6 +106,19 @@ impl Catalog {
         Self::default()
     }
 
+    /// Drop every object, returning to the freshly-initialized state without
+    /// replacing the catalog value itself.
+    pub fn clear(&mut self) {
+        self.tables.clear();
+        self.views.clear();
+        self.indexes.clear();
+        self.triggers.clear();
+        self.rules.clear();
+        self.generic.clear();
+        self.users.clear();
+        self.sequences_values.clear();
+    }
+
     fn norm(name: &str) -> String {
         name.to_ascii_lowercase()
     }
@@ -129,10 +142,8 @@ impl Catalog {
 
     pub fn drop_table(&mut self, name: &str) -> Result<TableMeta, String> {
         let key = Self::norm(name);
-        let meta = self
-            .tables
-            .remove(&key)
-            .ok_or_else(|| format!("table \"{name}\" does not exist"))?;
+        let meta =
+            self.tables.remove(&key).ok_or_else(|| format!("table \"{name}\" does not exist"))?;
         self.indexes.retain(|_, ix| !ix.table.eq_ignore_ascii_case(name));
         self.triggers.retain(|_, t| !t.def.table.eq_ignore_ascii_case(name));
         self.rules.retain(|_, r| !r.def.table.eq_ignore_ascii_case(name));
@@ -186,7 +197,8 @@ impl Catalog {
             .get(&Self::norm(user))
             .and_then(|u| u.privileges.get(&Self::norm(table)))
             .map(|ps| {
-                ps.iter().any(|p| p.eq_ignore_ascii_case(privilege) || p.eq_ignore_ascii_case("ALL"))
+                ps.iter()
+                    .any(|p| p.eq_ignore_ascii_case(privilege) || p.eq_ignore_ascii_case("ALL"))
             })
             .unwrap_or(false)
     }
@@ -250,7 +262,12 @@ mod tests {
         c.add_table(table("t")).unwrap();
         c.indexes.insert(
             "i1".into(),
-            IndexMeta { name: "i1".into(), table: "t".into(), columns: vec!["a".into()], unique: false },
+            IndexMeta {
+                name: "i1".into(),
+                table: "t".into(),
+                columns: vec!["a".into()],
+                unique: false,
+            },
         );
         c.drop_table("t").unwrap();
         assert!(c.indexes.is_empty());

@@ -22,13 +22,17 @@ pub struct ExecCtx {
 
 impl ExecCtx {
     pub fn new() -> Self {
-        Self {
-            cov: CovRecorder::new(),
-            trace: Vec::new(),
-            depth: 0,
-            crash: None,
-            last_row_count: 0,
-        }
+        Self::from_recorder(CovRecorder::new())
+    }
+
+    /// Build a context around a recycled coverage map (allocation reuse on
+    /// the per-case hot path).
+    pub fn reusing(map: lego_coverage::CovMap) -> Self {
+        Self::from_recorder(CovRecorder::from_recycled(map))
+    }
+
+    fn from_recorder(cov: CovRecorder) -> Self {
+        Self { cov, trace: Vec::new(), depth: 0, crash: None, last_row_count: 0 }
     }
 
     /// Context for unit tests that only need coverage plumbing.

@@ -46,16 +46,47 @@ impl ExecReport {
 
 /// One simulated DBMS instance (fresh database + session).
 ///
-/// Fuzzers create a fresh instance per test case, mirroring AFL++'s
-/// forkserver reset; the instance stays poisoned once it crashes.
+/// Fuzzers get a fresh *state* per test case, mirroring AFL++'s forkserver
+/// reset. Campaign loops keep one instance per worker and call [`Dbms::reset`]
+/// between cases instead of constructing a new instance, which skips the
+/// oracle-pattern derivation and reuses the session's allocations; a spare
+/// [`CovMap`] can be handed back with [`Dbms::recycle`] so the per-case
+/// 64 KiB coverage buffer is reused too. The instance stays poisoned once it
+/// crashes (until the next `reset`).
 pub struct Dbms {
     session: Session,
     poisoned: Option<CrashReport>,
+    spare_map: Option<CovMap>,
 }
 
 impl Dbms {
     pub fn new(dialect: Dialect) -> Self {
-        Self { session: Session::new(Profile::for_dialect(dialect)), poisoned: None }
+        Self {
+            session: Session::new(Profile::for_dialect(dialect)),
+            poisoned: None,
+            spare_map: None,
+        }
+    }
+
+    /// Reset to the fresh-instance state in place: empty catalog, default
+    /// session, not poisoned. Equivalent to `*self = Dbms::new(dialect)` but
+    /// without re-deriving the bug oracle or dropping reusable allocations.
+    pub fn reset(&mut self) {
+        self.session.reset();
+        self.poisoned = None;
+    }
+
+    /// Hand back a previously returned coverage map for reuse by the next
+    /// execution.
+    pub fn recycle(&mut self, map: CovMap) {
+        self.spare_map = Some(map);
+    }
+
+    fn fresh_ctx(&mut self) -> ExecCtx {
+        match self.spare_map.take() {
+            Some(map) => ExecCtx::reusing(map),
+            None => ExecCtx::new(),
+        }
     }
 
     pub fn dialect(&self) -> Dialect {
@@ -79,7 +110,7 @@ impl Dbms {
 
     /// Execute an already-parsed test case.
     pub fn execute_case(&mut self, case: &TestCase) -> ExecReport {
-        let mut ctx = ExecCtx::new();
+        let mut ctx = self.fresh_ctx();
         if let Some(crash) = &self.poisoned {
             return ExecReport {
                 outcome: Outcome::Crash(crash.clone()),
@@ -138,7 +169,7 @@ impl Dbms {
             Err(e) => {
                 // Parse failures still exercise parser branches: one site per
                 // error-message bucket, so fuzzers get parser coverage too.
-                let mut ctx = ExecCtx::new();
+                let mut ctx = self.fresh_ctx();
                 let mut h: u64 = 0;
                 for b in e.message.bytes().take(24) {
                     h = h.wrapping_mul(31).wrapping_add(b as u64);
@@ -179,6 +210,32 @@ mod tests {
         assert_eq!(r.statements_executed, 5);
         assert_eq!(r.last_rows, 1);
         assert!(r.coverage.edge_count() > 12);
+    }
+
+    #[test]
+    fn reset_matches_fresh_instance() {
+        // A reset + recycled-map instance must behave byte-identically to a
+        // brand-new one: same catalog visibility, same coverage digest, and
+        // poisoning must not survive the reset.
+        let crash_script = "CREATE TABLE v0( v4 INT, v3 INT UNIQUE, v2 INT , v1 INT UNIQUE ) ;\n\
+             CREATE OR REPLACE RULE v1 AS ON INSERT TO v0 DO INSTEAD NOTIFY COMPRESSION;\n\
+             COPY ( SELECT 32 EXCEPT SELECT v3 + 16 FROM v0 ) TO STDOUT CSV HEADER ;\n\
+             WITH v2 AS (INSERT INTO v0 VALUES (0)) DELETE FROM v0 WHERE v3 = - - - 48;";
+        let probe = "CREATE TABLE t (a INT);\nINSERT INTO t VALUES(1);\nSELECT * FROM t;";
+
+        let mut reused = fresh(Dialect::Postgres);
+        let r = reused.execute_script(crash_script);
+        assert!(r.crash().is_some());
+        reused.recycle(r.coverage);
+        reused.reset();
+
+        let r_reused = reused.execute_script(probe);
+        let r_fresh = fresh(Dialect::Postgres).execute_script(probe);
+        assert!(matches!(r_reused.outcome, Outcome::Ok), "{:?}", r_reused.errors);
+        assert_eq!(r_reused.errors, r_fresh.errors);
+        assert_eq!(r_reused.statements_executed, r_fresh.statements_executed);
+        assert_eq!(r_reused.last_rows, r_fresh.last_rows);
+        assert_eq!(r_reused.coverage.digest(), r_fresh.coverage.digest());
     }
 
     #[test]

@@ -11,6 +11,9 @@ use std::cmp::Ordering;
 /// both lowercased, positionally matching the row.
 pub type Bindings = Vec<(Option<String>, String)>;
 
+/// Callback that executes a correlated-free subquery and yields its rows.
+pub type SubqueryExec<'a> = dyn FnMut(&Query, &mut ExecCtx) -> Result<Vec<Row>, String> + 'a;
+
 /// Everything an expression needs at evaluation time.
 pub struct EvalEnv<'a> {
     pub cols: &'a Bindings,
@@ -18,7 +21,7 @@ pub struct EvalEnv<'a> {
     pub ctx: &'a mut ExecCtx,
     /// Executes correlated-free subqueries; `None` where subqueries are
     /// disallowed (e.g. CHECK constraints).
-    pub subquery: Option<&'a mut dyn FnMut(&Query, &mut ExecCtx) -> Result<Vec<Row>, String>>,
+    pub subquery: Option<&'a mut SubqueryExec<'a>>,
 }
 
 impl<'a> EvalEnv<'a> {
@@ -73,10 +76,7 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv) -> Result<Value, String> {
                 UnaryOp::Neg => match v {
                     Value::Null => Ok(Value::Null),
                     Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
-                    other => Ok(other
-                        .as_float()
-                        .map(|f| Value::Float(-f))
-                        .unwrap_or(Value::Null)),
+                    other => Ok(other.as_float().map(|f| Value::Float(-f)).unwrap_or(Value::Null)),
                 },
                 UnaryOp::Plus => Ok(v),
                 UnaryOp::Not => match v {
@@ -493,14 +493,17 @@ fn eval_scalar_func(call: &FuncCall, env: &mut EvalEnv) -> Result<Value, String>
             Ok(Value::Text(out))
         }
         "SIGN" => Ok(match arg0().as_float() {
-            Some(f) => Value::Int(if f > 0.0 { 1 } else if f < 0.0 { -1 } else { 0 }),
+            Some(f) => Value::Int(if f > 0.0 {
+                1
+            } else if f < 0.0 {
+                -1
+            } else {
+                0
+            }),
             None => Value::Null,
         }),
         "MOD" => {
-            let (a, b) = (
-                arg0().as_int(),
-                args.get(1).and_then(|v| v.as_int()),
-            );
+            let (a, b) = (arg0().as_int(), args.get(1).and_then(|v| v.as_int()));
             Ok(match (a, b) {
                 (Some(_), Some(0)) => Value::Null,
                 (Some(a), Some(b)) => Value::Int(a.wrapping_rem(b)),
@@ -533,13 +536,9 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
     fn inner(t: &[u8], p: &[u8]) -> bool {
         match p.first() {
             None => t.is_empty(),
-            Some(b'%') => {
-                (0..=t.len()).any(|i| inner(&t[i..], &p[1..]))
-            }
+            Some(b'%') => (0..=t.len()).any(|i| inner(&t[i..], &p[1..])),
             Some(b'_') => !t.is_empty() && inner(&t[1..], &p[1..]),
-            Some(&c) => {
-                !t.is_empty() && t[0].eq_ignore_ascii_case(&c) && inner(&t[1..], &p[1..])
-            }
+            Some(&c) => !t.is_empty() && t[0].eq_ignore_ascii_case(&c) && inner(&t[1..], &p[1..]),
         }
     }
     inner(text.as_bytes(), pattern.as_bytes())
@@ -547,10 +546,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
 
 /// Is the call an aggregate function?
 pub fn is_aggregate(call: &FuncCall) -> bool {
-    matches!(
-        call.name.to_ascii_uppercase().as_str(),
-        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
-    )
+    matches!(call.name.to_ascii_uppercase().as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
 }
 
 /// Does the expression contain an aggregate call (outside subqueries)?
@@ -593,7 +589,10 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(eval_const(&Expr::binary(Expr::int(2), BinOp::Add, Expr::int(3))), Value::Int(5));
+        assert_eq!(
+            eval_const(&Expr::binary(Expr::int(2), BinOp::Add, Expr::int(3))),
+            Value::Int(5)
+        );
         assert_eq!(
             eval_const(&Expr::binary(Expr::int(7), BinOp::Div, Expr::int(2))),
             Value::Int(3)
@@ -768,7 +767,11 @@ mod tests {
         let agg = Expr::Func(FuncCall::star("COUNT"));
         assert!(contains_aggregate(&agg));
         assert!(!contains_aggregate(&Expr::int(1)));
-        let nested = Expr::binary(Expr::Func(FuncCall::new("SUM", vec![Expr::col("a")])), BinOp::Gt, Expr::int(1));
+        let nested = Expr::binary(
+            Expr::Func(FuncCall::new("SUM", vec![Expr::col("a")])),
+            BinOp::Gt,
+            Expr::int(1),
+        );
         assert!(contains_aggregate(&nested));
     }
 }

@@ -2,7 +2,9 @@
 //! rules, transactions, access control, session state machines.
 
 use crate::bugs::{BugOracle, CrashReport, Special};
-use crate::catalog::{Catalog, ColumnMeta, GenericObject, IndexMeta, RuleMeta, TableMeta, TriggerMeta, ViewMeta};
+use crate::catalog::{
+    Catalog, ColumnMeta, GenericObject, IndexMeta, RuleMeta, TableMeta, TriggerMeta, ViewMeta,
+};
 use crate::ctx::ExecCtx;
 use crate::eval::{eval, Bindings, EvalEnv};
 use crate::profile::Profile;
@@ -69,6 +71,32 @@ impl Session {
         }
     }
 
+    /// Return to the just-connected state in place.
+    ///
+    /// Keeps `prof` and `oracle` — the oracle's bug patterns are derived from
+    /// a seeded RNG at construction, which is the expensive part of
+    /// `Session::new` — and clears everything else while retaining the
+    /// containers' allocations where the collection types allow it.
+    pub fn reset(&mut self) {
+        self.cat.clear();
+        self.user.clear();
+        self.user.push_str("admin");
+        self.settings.clear();
+        self.txn = None;
+        self.savepoints.clear();
+        self.listening.clear();
+        self.notifications.clear();
+        self.locks.clear();
+        self.cursors.clear();
+        self.prepared.clear();
+        self.prepared_txns.clear();
+        self.xa_active = false;
+        self.handler_open = false;
+        self.current_db.clear();
+        self.current_db.push_str("main");
+        self.recent_kinds.clear();
+    }
+
     pub fn in_txn(&self) -> bool {
         self.txn.is_some()
     }
@@ -77,7 +105,12 @@ impl Session {
         QueryEnv::new(&self.cat, &self.prof, &self.user)
     }
 
-    fn check_privilege(&mut self, ctx: &mut ExecCtx, table: &str, privilege: &str) -> Result<(), String> {
+    fn check_privilege(
+        &mut self,
+        ctx: &mut ExecCtx,
+        table: &str,
+        privilege: &str,
+    ) -> Result<(), String> {
         if !self.prof.check_privileges || self.user == "admin" {
             return Ok(());
         }
@@ -129,7 +162,8 @@ impl Session {
                             if self.recent_kinds.len() >= 3 {
                                 let prev3 = self.recent_kinds[self.recent_kinds.len() - 3];
                                 if meaningful_interaction(prev3, prev2).is_some() {
-                                    let h4 = h ^ (prev3.code() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                                    let h4 = h
+                                        ^ (prev3.code() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                                     ctx.hit_idx(site_id!(), h4);
                                 }
                             }
@@ -153,27 +187,29 @@ impl Session {
                 | (self.txn.is_some() as u64) << 4
                 | (!self.cat.users.is_empty() as u64) << 5;
             if state_bits != 0 {
-                match kind {
-                    StmtKind::Other(
-                        StandaloneKind::Select
-                        | StandaloneKind::Insert
-                        | StandaloneKind::Update
-                        | StandaloneKind::Delete
-                        | StandaloneKind::With
-                        | StandaloneKind::Copy,
-                    ) => ctx.hit_idx(site_id!(), state_bits << 8 | kind.code() as u64 & 0xff),
-                    _ => {}
+                if let StmtKind::Other(
+                    StandaloneKind::Select
+                    | StandaloneKind::Insert
+                    | StandaloneKind::Update
+                    | StandaloneKind::Delete
+                    | StandaloneKind::With
+                    | StandaloneKind::Copy,
+                ) = kind
+                {
+                    ctx.hit_idx(site_id!(), state_bits << 8 | kind.code() as u64 & 0xff);
                 }
             }
         }
         if !self.prof.dialect.supports(kind) {
             cov!(ctx);
-            return Err(format!("{} is not supported by {}", kind.name(), self.prof.dialect.name()));
+            return Err(format!(
+                "{} is not supported by {}",
+                kind.name(),
+                self.prof.dialect.name()
+            ));
         }
         // MySQL-family implicit commit on DDL.
-        if self.prof.ddl_implicit_commit
-            && matches!(kind, StmtKind::Ddl(..))
-            && self.txn.is_some()
+        if self.prof.ddl_implicit_commit && matches!(kind, StmtKind::Ddl(..)) && self.txn.is_some()
         {
             cov!(ctx);
             self.txn = None;
@@ -224,10 +260,8 @@ impl Session {
                 let rs = run_query(&self.qenv(), ctx, &s.query)?;
                 if let SelectVariant::Into(target) = &s.variant {
                     cov!(ctx);
-                    let stmt = Statement::CreateTableAs {
-                        name: target.clone(),
-                        query: s.query.clone(),
-                    };
+                    let stmt =
+                        Statement::CreateTableAs { name: target.clone(), query: s.query.clone() };
                     return self.exec_statement(ctx, &stmt);
                 }
                 ctx.last_row_count = rs.rows.len();
@@ -763,7 +797,11 @@ impl Session {
         Ok(0)
     }
 
-    fn exec_create_trigger(&mut self, ctx: &mut ExecCtx, t: &CreateTrigger) -> Result<usize, String> {
+    fn exec_create_trigger(
+        &mut self,
+        ctx: &mut ExecCtx,
+        t: &CreateTrigger,
+    ) -> Result<usize, String> {
         cov!(ctx);
         if !self.prof.has_triggers {
             cov!(ctx);
@@ -817,12 +855,7 @@ impl Session {
                 });
                 let default_value = match &default {
                     Some(e) => {
-                        let mut eenv = EvalEnv {
-                            cols: &vec![],
-                            row: &[],
-                            ctx,
-                            subquery: None,
-                        };
+                        let mut eenv = EvalEnv { cols: &vec![], row: &[], ctx, subquery: None };
                         eval(e, &mut eenv)?
                     }
                     None => Value::Null,
@@ -926,7 +959,11 @@ impl Session {
         match d.object {
             ObjectKind::Table => {
                 if self.cat.table(&d.name).is_none() {
-                    return missing(ctx, format!("table \"{}\" does not exist", d.name), d.if_exists);
+                    return missing(
+                        ctx,
+                        format!("table \"{}\" does not exist", d.name),
+                        d.if_exists,
+                    );
                 }
                 cov!(ctx);
                 self.cat.drop_table(&d.name)?;
@@ -936,28 +973,44 @@ impl Session {
                 cov!(ctx);
                 let key = d.name.to_ascii_lowercase();
                 if self.cat.views.remove(&key).is_none() {
-                    return missing(ctx, format!("view \"{}\" does not exist", d.name), d.if_exists);
+                    return missing(
+                        ctx,
+                        format!("view \"{}\" does not exist", d.name),
+                        d.if_exists,
+                    );
                 }
                 Ok(0)
             }
             ObjectKind::Index => {
                 cov!(ctx);
                 if self.cat.indexes.remove(&d.name.to_ascii_lowercase()).is_none() {
-                    return missing(ctx, format!("index \"{}\" does not exist", d.name), d.if_exists);
+                    return missing(
+                        ctx,
+                        format!("index \"{}\" does not exist", d.name),
+                        d.if_exists,
+                    );
                 }
                 Ok(0)
             }
             ObjectKind::Trigger => {
                 cov!(ctx);
                 if self.cat.triggers.remove(&d.name.to_ascii_lowercase()).is_none() {
-                    return missing(ctx, format!("trigger \"{}\" does not exist", d.name), d.if_exists);
+                    return missing(
+                        ctx,
+                        format!("trigger \"{}\" does not exist", d.name),
+                        d.if_exists,
+                    );
                 }
                 Ok(0)
             }
             ObjectKind::Rule => {
                 cov!(ctx);
                 if self.cat.rules.remove(&d.name.to_ascii_lowercase()).is_none() {
-                    return missing(ctx, format!("rule \"{}\" does not exist", d.name), d.if_exists);
+                    return missing(
+                        ctx,
+                        format!("rule \"{}\" does not exist", d.name),
+                        d.if_exists,
+                    );
                 }
                 Ok(0)
             }
@@ -989,9 +1042,10 @@ impl Session {
                     return Err(format!("{} \"{}\" already exists", g.object.keyword(), g.name));
                 }
                 cov!(ctx);
-                self.cat
-                    .generic
-                    .insert(key, GenericObject { kind: g.object, name: g.name.clone(), version: 1 });
+                self.cat.generic.insert(
+                    key,
+                    GenericObject { kind: g.object, name: g.name.clone(), version: 1 },
+                );
                 Ok(0)
             }
             DdlVerb::Alter => match self.cat.generic.get_mut(&key) {
@@ -1032,8 +1086,7 @@ impl Session {
         if !self.prof.has_rules {
             return Ok(None);
         }
-        let rules: Vec<RuleMeta> =
-            self.cat.rules_on(table, event).into_iter().cloned().collect();
+        let rules: Vec<RuleMeta> = self.cat.rules_on(table, event).into_iter().cloned().collect();
         if rules.is_empty() {
             return Ok(None);
         }
@@ -1162,14 +1215,9 @@ impl Session {
                 for r in rows {
                     let mut row = Vec::with_capacity(r.len());
                     for e in r {
-                        let mut run_subq =
-                            make_subquery_runner(&self.cat, &self.prof, &self.user);
-                        let mut eenv = EvalEnv {
-                            cols: &vec![],
-                            row: &[],
-                            ctx,
-                            subquery: Some(&mut run_subq),
-                        };
+                        let mut run_subq = make_subquery_runner(&self.cat, &self.prof, &self.user);
+                        let mut eenv =
+                            EvalEnv { cols: &vec![], row: &[], ctx, subquery: Some(&mut run_subq) };
                         row.push(eval(e, &mut eenv)?);
                     }
                     out.push(row);
@@ -1206,8 +1254,7 @@ impl Session {
             for col in &table.columns {
                 match &col.default {
                     Some(e) => {
-                        let mut eenv =
-                            EvalEnv { cols: &vec![], row: &[], ctx, subquery: None };
+                        let mut eenv = EvalEnv { cols: &vec![], row: &[], ctx, subquery: None };
                         row.push(eval(e, &mut eenv)?.coerce_to(col.ty));
                     }
                     None => row.push(Value::Null),
@@ -1237,7 +1284,15 @@ impl Session {
             inserted += 1;
         }
         // Batch-size-dependent paths (single-row fast path vs bulk loader).
-        ctx.hit_idx(site_id!(), match inserted { 0 => 0, 1 => 1, 2..=7 => 2, _ => 3 });
+        ctx.hit_idx(
+            site_id!(),
+            match inserted {
+                0 => 0,
+                1 => 1,
+                2..=7 => 2,
+                _ => 3,
+            },
+        );
         self.fire_triggers(ctx, &i.table, DmlEvent::Insert, TriggerTiming::After, inserted)?;
         Ok(inserted)
     }
@@ -1245,11 +1300,8 @@ impl Session {
     /// Constraint validation for one candidate row.
     fn validate_row(&mut self, ctx: &mut ExecCtx, table: &str, row: &Row) -> Result<(), String> {
         let t = self.cat.table(table).expect("exists").clone();
-        let bindings: Bindings = t
-            .columns
-            .iter()
-            .map(|c| (None, c.name.to_ascii_lowercase()))
-            .collect();
+        let bindings: Bindings =
+            t.columns.iter().map(|c| (None, c.name.to_ascii_lowercase())).collect();
         for (pos, col) in t.columns.iter().enumerate() {
             if col.not_null && row[pos].is_null() {
                 cov!(ctx);
@@ -1259,7 +1311,10 @@ impl Session {
                 cov!(ctx);
                 if t.rows.iter().any(|r| r[pos].sql_eq(&row[pos]) == Some(true)) {
                     cov!(ctx);
-                    return Err(format!("duplicate key value violates unique constraint on \"{}\"", col.name));
+                    return Err(format!(
+                        "duplicate key value violates unique constraint on \"{}\"",
+                        col.name
+                    ));
                 }
             }
             if let Some(check) = &col.check {
@@ -1314,8 +1369,7 @@ impl Session {
                 continue;
             }
             let key: Vec<String> = positions.iter().map(|&p| row[p].key_repr()).collect();
-            if t
-                .rows
+            if t.rows
                 .iter()
                 .any(|r| positions.iter().map(|&p| r[p].key_repr()).collect::<Vec<_>>() == key)
             {
@@ -1349,9 +1403,8 @@ impl Session {
             .collect();
         let mut targets = Vec::with_capacity(u.assignments.len());
         for (c, e) in &u.assignments {
-            let pos = table
-                .column_index(c)
-                .ok_or_else(|| format!("column \"{c}\" does not exist"))?;
+            let pos =
+                table.column_index(c).ok_or_else(|| format!("column \"{c}\" does not exist"))?;
             targets.push((pos, e.clone()));
         }
         let mut updated = 0usize;
@@ -1384,11 +1437,8 @@ impl Session {
                     return Err(format!("null value in column \"{}\" violates not-null", col.name));
                 }
                 if let Some(check) = &col.check {
-                    let cols2: Bindings = table
-                        .columns
-                        .iter()
-                        .map(|c| (None, c.name.to_ascii_lowercase()))
-                        .collect();
+                    let cols2: Bindings =
+                        table.columns.iter().map(|c| (None, c.name.to_ascii_lowercase())).collect();
                     let mut eenv = EvalEnv { cols: &cols2, row, ctx, subquery: None };
                     let v = eval(check, &mut eenv)?;
                     if !v.is_null() && !v.is_truthy() {
@@ -1406,7 +1456,15 @@ impl Session {
         let t = self.cat.table_mut(&u.table).expect("exists");
         t.rows = new_rows;
         t.analyzed = false;
-        ctx.hit_idx(site_id!(), match updated { 0 => 0, 1 => 1, 2..=7 => 2, _ => 3 });
+        ctx.hit_idx(
+            site_id!(),
+            match updated {
+                0 => 0,
+                1 => 1,
+                2..=7 => 2,
+                _ => 3,
+            },
+        );
         self.fire_triggers(ctx, &u.table, DmlEvent::Update, TriggerTiming::After, updated)?;
         Ok(updated)
     }
@@ -1494,8 +1552,7 @@ impl Session {
                                 });
                             if has_notify_instead_rule {
                                 cov!(ctx);
-                                if let Some(bug) =
-                                    self.oracle.special(Special::PgNotifyWithRewrite)
+                                if let Some(bug) = self.oracle.special(Special::PgNotifyWithRewrite)
                                 {
                                     ctx.crash = Some(CrashReport::for_bug(bug));
                                     return Ok(0);
@@ -1643,7 +1700,9 @@ impl Session {
             K::ExecuteStmt | K::ExecuteImmediate => {
                 cov!(ctx);
                 let name = arg1.unwrap_or_default();
-                if m.kind == K::ExecuteImmediate || self.prepared.contains(&name.to_ascii_lowercase()) {
+                if m.kind == K::ExecuteImmediate
+                    || self.prepared.contains(&name.to_ascii_lowercase())
+                {
                     cov!(ctx);
                     Ok(0)
                 } else {
@@ -1715,7 +1774,10 @@ impl Session {
             K::SetRole | K::SetSessionAuthorization => {
                 cov!(ctx);
                 match arg1 {
-                    Some(u) if !u.eq_ignore_ascii_case("NONE") && !u.eq_ignore_ascii_case("DEFAULT") => {
+                    Some(u)
+                        if !u.eq_ignore_ascii_case("NONE")
+                            && !u.eq_ignore_ascii_case("DEFAULT") =>
+                    {
                         cov!(ctx);
                         self.user = u;
                     }
@@ -1730,7 +1792,10 @@ impl Session {
                 cov!(ctx);
                 if !self.in_txn() {
                     cov!(ctx);
-                    return Err(format!("{} can only be used in transaction blocks", m.kind.name()));
+                    return Err(format!(
+                        "{} can only be used in transaction blocks",
+                        m.kind.name()
+                    ));
                 }
                 Ok(0)
             }
@@ -1755,8 +1820,7 @@ impl Session {
             K::RenameTable => {
                 cov!(ctx);
                 // `RENAME TABLE a TO b`
-                let words: Vec<&str> =
-                    m.arg.as_deref().unwrap_or("").split_whitespace().collect();
+                let words: Vec<&str> = m.arg.as_deref().unwrap_or("").split_whitespace().collect();
                 if words.len() >= 3 && words[1].eq_ignore_ascii_case("TO") {
                     cov!(ctx);
                     let (old, new) = (words[0], words[2]);
@@ -1827,7 +1891,11 @@ impl Session {
                 // would kill the server under test).
                 Err(format!("{} is not permitted", m.kind.name()))
             }
-            K::FlushStmt | K::ResetPersist | K::ResetMaster | K::ResetSlave | K::PurgeBinaryLogs => {
+            K::FlushStmt
+            | K::ResetPersist
+            | K::ResetMaster
+            | K::ResetSlave
+            | K::PurgeBinaryLogs => {
                 cov!(ctx);
                 self.settings.retain(|k, _| !k.starts_with("cache."));
                 Ok(0)
@@ -1884,7 +1952,9 @@ fn meaningful_interaction(prev: StmtKind, cur: StmtKind) -> Option<u16> {
     // control changes visibility for everything.
     let core_related = match (pc, cc) {
         (C::Ddl, C::Dql) | (C::Ddl, C::Dml) => true,
-        (C::Ddl, C::Ddl) => matches!((prev, cur), (StmtKind::Ddl(_, a), StmtKind::Ddl(_, b)) if a == b),
+        (C::Ddl, C::Ddl) => {
+            matches!((prev, cur), (StmtKind::Ddl(_, a), StmtKind::Ddl(_, b)) if a == b)
+        }
         (C::Dml, C::Dql) | (C::Dml, C::Dml) => true,
         (C::Dcl, C::Dql) | (C::Dcl, C::Dml) => true,
         (C::Tcl, _) | (_, C::Tcl) => true,

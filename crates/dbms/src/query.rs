@@ -65,9 +65,7 @@ fn apply_limit_offset(ctx: &mut ExecCtx, q: &Query, out: &mut ResultSet) -> Resu
         let v = eval(e, &mut env)?;
         match v.as_int() {
             Some(n) if n >= 0 => Ok(n as usize),
-            Some(_) => {
-                Err("LIMIT must not be negative".into())
-            }
+            Some(_) => Err("LIMIT must not be negative".into()),
             None => Err("LIMIT requires an integer".into()),
         }
     };
@@ -193,7 +191,12 @@ fn run_set_expr(
 // FROM resolution
 // ---------------------------------------------------------------------------
 
-fn base_relation(env: &QueryEnv, ctx: &mut ExecCtx, name: &str, alias: Option<&str>) -> Result<Rel, String> {
+fn base_relation(
+    env: &QueryEnv,
+    ctx: &mut ExecCtx,
+    name: &str,
+    alias: Option<&str>,
+) -> Result<Rel, String> {
     let label = alias.unwrap_or(name).to_ascii_lowercase();
     if let Some(t) = env.cat.table(name) {
         cov!(ctx); // seq/index scan dispatch
@@ -219,7 +222,8 @@ fn base_relation(env: &QueryEnv, ctx: &mut ExecCtx, name: &str, alias: Option<&s
         if t.clustered.is_some() {
             cov!(ctx);
         }
-        let cols = t.columns.iter().map(|c| (Some(label.clone()), c.name.to_ascii_lowercase())).collect();
+        let cols =
+            t.columns.iter().map(|c| (Some(label.clone()), c.name.to_ascii_lowercase())).collect();
         return Ok(Rel { cols, rows: t.rows.clone() });
     }
     if let Some(v) = env.cat.view(name) {
@@ -236,7 +240,8 @@ fn base_relation(env: &QueryEnv, ctx: &mut ExecCtx, name: &str, alias: Option<&s
             if let Some((cols, rows)) = &v.snapshot {
                 // Serve from the materialized snapshot.
                 cov!(ctx);
-                let bind = cols.iter().map(|c| (Some(label.clone()), c.to_ascii_lowercase())).collect();
+                let bind =
+                    cols.iter().map(|c| (Some(label.clone()), c.to_ascii_lowercase())).collect();
                 return Ok(Rel { cols: bind, rows: rows.clone() });
             }
         }
@@ -250,11 +255,8 @@ fn base_relation(env: &QueryEnv, ctx: &mut ExecCtx, name: &str, alias: Option<&s
         // PostgreSQL's default security model.
         sub_env.user = "admin";
         let rs = run_query(&sub_env, ctx, &v.query)?;
-        let cols = rs
-            .columns
-            .iter()
-            .map(|c| (Some(label.clone()), c.to_ascii_lowercase()))
-            .collect();
+        let cols =
+            rs.columns.iter().map(|c| (Some(label.clone()), c.to_ascii_lowercase())).collect();
         return Ok(Rel { cols, rows: rs.rows });
     }
     cov!(ctx);
@@ -386,7 +388,8 @@ fn run_select(
             run_query(env, ctx, q).map(|rs| rs.rows)
         };
         for row in rel.rows {
-            let mut eenv = EvalEnv { cols: &rel.cols, row: &row, ctx, subquery: Some(&mut run_subq) };
+            let mut eenv =
+                EvalEnv { cols: &rel.cols, row: &row, ctx, subquery: Some(&mut run_subq) };
             if eval(w, &mut eenv)?.is_truthy() {
                 kept.push(row);
             }
@@ -500,12 +503,8 @@ fn project(
                             .ok_or_else(|| "window value missing".to_string())?;
                         out.push(vals[ri].clone());
                     } else {
-                        let mut eenv = EvalEnv {
-                            cols: &rel.cols,
-                            row,
-                            ctx,
-                            subquery: Some(&mut run_subq),
-                        };
+                        let mut eenv =
+                            EvalEnv { cols: &rel.cols, row, ctx, subquery: Some(&mut run_subq) };
                         out.push(eval(expr, &mut eenv)?);
                     }
                 }
@@ -543,8 +542,7 @@ fn order_keys(
 ) -> Result<Vec<Vec<Value>>, String> {
     let n = out_rows.len();
     let mut keys: Vec<Vec<Value>> = vec![Vec::with_capacity(q.order_by.len()); n];
-    let out_bindings: Bindings =
-        out_cols.iter().map(|c| (None, c.to_ascii_lowercase())).collect();
+    let out_bindings: Bindings = out_cols.iter().map(|c| (None, c.to_ascii_lowercase())).collect();
     let mut run_subq = |sq: &Query, ctx: &mut ExecCtx| -> Result<Vec<Row>, String> {
         run_query(env, ctx, sq).map(|rs| rs.rows)
     };
@@ -552,7 +550,7 @@ fn order_keys(
         // Positional ORDER BY (e.g. `ORDER BY 2`).
         if let Expr::Integer(pos) = item.expr {
             cov!(ctx);
-            let idx = pos as i64 - 1;
+            let idx = pos - 1;
             if idx < 0 || idx as usize >= out_cols.len() {
                 cov!(ctx);
                 return Err(format!("ORDER BY position {pos} is not in select list"));
@@ -714,7 +712,7 @@ fn run_grouped(
                 }
                 SelectItem::Star | SelectItem::QualifiedStar(_) => match members.first() {
                     Some(&ri) => out.extend(rel.rows[ri].iter().cloned()),
-                    None => out.extend(std::iter::repeat(Value::Null).take(rel.cols.len())),
+                    None => out.extend(std::iter::repeat_n(Value::Null, rel.cols.len())),
                 },
             }
         }
@@ -855,14 +853,8 @@ fn eval_aggregate_call(
                 }
             }
         }
-        "MIN" => values
-            .into_iter()
-            .min_by(|a, b| a.sort_cmp(b))
-            .unwrap_or(Value::Null),
-        "MAX" => values
-            .into_iter()
-            .max_by(|a, b| a.sort_cmp(b))
-            .unwrap_or(Value::Null),
+        "MIN" => values.into_iter().min_by(|a, b| a.sort_cmp(b)).unwrap_or(Value::Null),
+        "MAX" => values.into_iter().max_by(|a, b| a.sort_cmp(b)).unwrap_or(Value::Null),
         other => return Err(format!("unknown aggregate {other}")),
     })
 }
@@ -925,9 +917,8 @@ fn compute_one_window(
         cov!(ctx);
         if frame.unit == FrameUnit::Range {
             cov!(ctx);
-            let offset_bound = |b: &FrameBound| {
-                matches!(b, FrameBound::Preceding(_) | FrameBound::Following(_))
-            };
+            let offset_bound =
+                |b: &FrameBound| matches!(b, FrameBound::Preceding(_) | FrameBound::Following(_));
             let has_offset =
                 offset_bound(&frame.start) || frame.end.as_ref().map(offset_bound).unwrap_or(false);
             if has_offset && spec.order_by.len() != 1 {
@@ -1054,19 +1045,19 @@ fn compute_one_window(
                                 None => Ok(Value::Null),
                             }
                         };
-                        let bound_offset = |ctx: &mut ExecCtx, b: &FrameBound| -> Result<Option<f64>, String> {
+                        let bound_offset = |ctx: &mut ExecCtx,
+                                            b: &FrameBound|
+                         -> Result<Option<f64>, String> {
                             Ok(match b {
-                                FrameBound::UnboundedPreceding | FrameBound::UnboundedFollowing => None,
+                                FrameBound::UnboundedPreceding | FrameBound::UnboundedFollowing => {
+                                    None
+                                }
                                 FrameBound::CurrentRow => Some(0.0),
                                 FrameBound::Preceding(e) | FrameBound::Following(e) => {
                                     let cols2: crate::eval::Bindings = vec![];
                                     let row2: Vec<Value> = vec![];
-                                    let mut eenv = EvalEnv {
-                                        cols: &cols2,
-                                        row: &row2,
-                                        ctx,
-                                        subquery: None,
-                                    };
+                                    let mut eenv =
+                                        EvalEnv { cols: &cols2, row: &row2, ctx, subquery: None };
                                     eval(e, &mut eenv)?.as_float()
                                 }
                             })
@@ -1114,8 +1105,8 @@ fn compute_one_window(
                                             for &rj in &order {
                                                 let kv = key_of(ctx, rj)?.as_float();
                                                 if let Some(v) = kv {
-                                                    let ge = lo.map_or(true, |l| v >= l);
-                                                    let le = hi.map_or(true, |h| v <= h);
+                                                    let ge = lo.is_none_or(|l| v >= l);
+                                                    let le = hi.is_none_or(|h| v <= h);
                                                     if ge && le {
                                                         m.push(rj);
                                                     }
@@ -1128,7 +1119,11 @@ fn compute_one_window(
                             };
                             results[ri] = if members.is_empty() {
                                 cov!(ctx); // empty-frame path
-                                if name == "COUNT" { Value::Int(0) } else { Value::Null }
+                                if name == "COUNT" {
+                                    Value::Int(0)
+                                } else {
+                                    Value::Null
+                                }
                             } else {
                                 eval_aggregate_call(env, ctx, func, rel, &members)?
                             };
@@ -1277,11 +1272,7 @@ mod tests {
         assert_eq!(rs.rows.len(), 3);
         let rs = query(&cat, &prof, "SELECT * FROM t1 AS a CROSS JOIN t1 AS b;");
         assert_eq!(rs.rows.len(), 9);
-        let rs = query(
-            &cat,
-            &prof,
-            "SELECT * FROM t1 AS a LEFT JOIN t1 AS b ON a.v1 = b.v1 + 10;",
-        );
+        let rs = query(&cat, &prof, "SELECT * FROM t1 AS a LEFT JOIN t1 AS b ON a.v1 = b.v1 + 10;");
         assert_eq!(rs.rows.len(), 3); // all null-extended
         assert_eq!(rs.rows[0][2], Value::Null);
     }
@@ -1306,17 +1297,23 @@ mod tests {
         let (cat, prof) = setup();
         let rs = query(&cat, &prof, "SELECT (SELECT MAX(v1) FROM t1) FROM t1 LIMIT 1;");
         assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
-        let rs = query(&cat, &prof, "SELECT v1 FROM t1 WHERE EXISTS (SELECT 1 FROM t1 WHERE v2 = 20) ORDER BY v1;");
+        let rs = query(
+            &cat,
+            &prof,
+            "SELECT v1 FROM t1 WHERE EXISTS (SELECT 1 FROM t1 WHERE v2 = 20) ORDER BY v1;",
+        );
         assert_eq!(rs.rows.len(), 3);
     }
 
     #[test]
     fn window_row_number_and_rank() {
         let (cat, prof) = setup();
-        let rs = query(&cat, &prof, "SELECT v1, ROW_NUMBER() OVER (ORDER BY v1) FROM t1 ORDER BY v1;");
+        let rs =
+            query(&cat, &prof, "SELECT v1, ROW_NUMBER() OVER (ORDER BY v1) FROM t1 ORDER BY v1;");
         assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(1)]);
         assert_eq!(rs.rows[2], vec![Value::Int(3), Value::Int(3)]);
-        let rs = query(&cat, &prof, "SELECT v2, RANK() OVER (ORDER BY v2) FROM t1 ORDER BY v2, v1;");
+        let rs =
+            query(&cat, &prof, "SELECT v2, RANK() OVER (ORDER BY v2) FROM t1 ORDER BY v2, v1;");
         // v2 values sorted: 10,10,20 -> ranks 1,1,3
         let ranks: Vec<_> = rs.rows.iter().map(|r| r[1].clone()).collect();
         assert_eq!(ranks, vec![Value::Int(1), Value::Int(1), Value::Int(3)]);

@@ -26,10 +26,7 @@ fn create_table_duplicate_errors() {
 
 #[test]
 fn create_table_if_not_exists_is_idempotent() {
-    run_ok(
-        Dialect::Postgres,
-        "CREATE TABLE t (a INT); CREATE TABLE IF NOT EXISTS t (b INT);",
-    );
+    run_ok(Dialect::Postgres, "CREATE TABLE t (a INT); CREATE TABLE IF NOT EXISTS t (b INT);");
 }
 
 #[test]
@@ -430,10 +427,7 @@ fn copy_to_counts_rows() {
 fn cluster_requires_an_index() {
     let r = run(Dialect::Postgres, "CREATE TABLE t (a INT); CLUSTER t;");
     assert_eq!(r.errors.len(), 1);
-    run_ok(
-        Dialect::Postgres,
-        "CREATE TABLE t (a INT); CREATE INDEX i ON t (a); CLUSTER t;",
-    );
+    run_ok(Dialect::Postgres, "CREATE TABLE t (a INT); CREATE INDEX i ON t (a); CLUSTER t;");
 }
 
 #[test]

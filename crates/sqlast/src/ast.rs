@@ -43,12 +43,7 @@ impl Query {
 #[derive(Clone, PartialEq, Debug)]
 pub enum SetExpr {
     Select(Box<Select>),
-    SetOp {
-        op: SetOp,
-        all: bool,
-        left: Box<SetExpr>,
-        right: Box<SetExpr>,
-    },
+    SetOp { op: SetOp, all: bool, left: Box<SetExpr>, right: Box<SetExpr> },
     Values(Vec<Vec<Expr>>),
 }
 
@@ -88,20 +83,9 @@ pub enum SelectItem {
 
 #[derive(Clone, PartialEq, Debug)]
 pub enum TableRef {
-    Named {
-        name: String,
-        alias: Option<String>,
-    },
-    Join {
-        left: Box<TableRef>,
-        right: Box<TableRef>,
-        kind: JoinKind,
-        on: Option<Expr>,
-    },
-    Subquery {
-        query: Box<Query>,
-        alias: String,
-    },
+    Named { name: String, alias: Option<String> },
+    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Option<Expr> },
+    Subquery { query: Box<Query>, alias: String },
 }
 
 impl TableRef {
@@ -161,11 +145,7 @@ pub enum TableConstraint {
     PrimaryKey(Vec<String>),
     Unique(Vec<String>),
     Check(Expr),
-    ForeignKey {
-        columns: Vec<String>,
-        ref_table: String,
-        ref_columns: Vec<String>,
-    },
+    ForeignKey { columns: Vec<String>, ref_table: String, ref_columns: Vec<String> },
 }
 
 #[derive(Clone, PartialEq, Debug)]
@@ -742,7 +722,14 @@ impl fmt::Display for Statement {
                     TriggerTiming::Before => "BEFORE",
                     TriggerTiming::After => "AFTER",
                 };
-                write!(f, "CREATE TRIGGER {} {} {} ON {}", t.name, timing, t.event.keyword(), t.table)?;
+                write!(
+                    f,
+                    "CREATE TRIGGER {} {} {} ON {}",
+                    t.name,
+                    timing,
+                    t.event.keyword(),
+                    t.table
+                )?;
                 if t.for_each_row {
                     f.write_str(" FOR EACH ROW")?;
                 }
@@ -919,7 +906,9 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
-            Statement::Grant(g) => write!(f, "GRANT {} ON {} TO {}", g.privilege, g.object, g.grantee),
+            Statement::Grant(g) => {
+                write!(f, "GRANT {} ON {} TO {}", g.privilege, g.object, g.grantee)
+            }
             Statement::Revoke(g) => {
                 write!(f, "REVOKE {} ON {} FROM {}", g.privilege, g.object, g.grantee)
             }
@@ -1036,20 +1025,14 @@ mod tests {
             name: "t1".into(),
             temporary: false,
             if_not_exists: false,
-            columns: vec![
-                ColumnDef::new("v1", DataType::Int),
-                ColumnDef::new("v2", DataType::Int),
-            ],
+            columns: vec![ColumnDef::new("v1", DataType::Int), ColumnDef::new("v2", DataType::Int)],
             constraints: vec![],
         }
     }
 
     #[test]
     fn create_table_renders() {
-        assert_eq!(
-            Statement::CreateTable(t1()).to_string(),
-            "CREATE TABLE t1 (v1 INT, v2 INT)"
-        );
+        assert_eq!(Statement::CreateTable(t1()).to_string(), "CREATE TABLE t1 (v1 INT, v2 INT)");
     }
 
     #[test]
@@ -1091,7 +1074,8 @@ mod tests {
     #[test]
     fn selectv_renders_and_kinds() {
         let q = Query::star_from("t1");
-        let s = Statement::Select(SelectStmt { query: Box::new(q), variant: SelectVariant::SelectV });
+        let s =
+            Statement::Select(SelectStmt { query: Box::new(q), variant: SelectVariant::SelectV });
         assert_eq!(s.to_string(), "SELECTV * FROM t1");
         assert_eq!(s.kind().name(), "SELECTV");
     }
@@ -1104,7 +1088,10 @@ mod tests {
             table: "v0".into(),
             event: DmlEvent::Insert,
             instead: true,
-            action: Some(Box::new(Statement::Notify { channel: "COMPRESSION".into(), payload: None })),
+            action: Some(Box::new(Statement::Notify {
+                channel: "COMPRESSION".into(),
+                payload: None,
+            })),
         });
         assert_eq!(
             rule.to_string(),
@@ -1164,10 +1151,7 @@ mod tests {
 
     #[test]
     fn misc_statement_renders_kind_name() {
-        let m = Statement::Misc(MiscStmt {
-            kind: StandaloneKind::ShowTables,
-            arg: None,
-        });
+        let m = Statement::Misc(MiscStmt { kind: StandaloneKind::ShowTables, arg: None });
         assert_eq!(m.to_string(), "SHOW TABLES");
     }
 

@@ -21,7 +21,8 @@ pub enum Dialect {
 }
 
 impl Dialect {
-    pub const ALL: [Dialect; 4] = [Dialect::Postgres, Dialect::MySql, Dialect::MariaDb, Dialect::Comdb2];
+    pub const ALL: [Dialect; 4] =
+        [Dialect::Postgres, Dialect::MySql, Dialect::MariaDb, Dialect::Comdb2];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -65,14 +66,14 @@ impl Dialect {
                 _ => CAD,
             },
             Dialect::MySql => match obj {
-                Database | Event | Function | LogfileGroup | Procedure | Schema | Server | Table
-                | Tablespace | User | View | ResourceGroup => CAD,
+                Database | Event | Function | LogfileGroup | Procedure | Schema | Server
+                | Table | Tablespace | User | View | ResourceGroup => CAD,
                 Index | Role | SpatialReferenceSystem | Trigger => CD,
                 _ => NONE,
             },
             Dialect::MariaDb => match obj {
-                Database | Event | Function | LogfileGroup | Procedure | Schema | Server | Table
-                | Tablespace | User | View | Sequence | Package => CAD,
+                Database | Event | Function | LogfileGroup | Procedure | Schema | Server
+                | Table | Tablespace | User | View | Sequence | Package => CAD,
                 Index | Role | Trigger => CD,
                 _ => NONE,
             },
@@ -89,16 +90,68 @@ impl Dialect {
         match self {
             Dialect::Postgres => matches!(
                 k,
-                Select | SelectInto | Values | Insert | Update | Delete | Merge | With | Truncate
-                    | Copy | ImportForeignSchema | CreateTableAs | Grant | Revoke | ReassignOwned
-                    | DropOwned | AlterDefaultPrivileges | SetRole | SetSessionAuthorization | Begin
-                    | StartTransaction | Commit | End | Rollback | Abort | Savepoint
-                    | ReleaseSavepoint | RollbackToSavepoint | PrepareTransaction | CommitPrepared
-                    | RollbackPrepared | SetTransaction | SetConstraints | LockTable | Set | Reset
-                    | Show | AlterSystem | Discard | Analyze | Vacuum | Explain | Cluster | Reindex
-                    | Checkpoint | Comment | SecurityLabel | RefreshMaterializedView | Listen
-                    | Notify | Unlisten | PrepareStmt | ExecuteStmt | Deallocate | DeclareCursor
-                    | Fetch | Move | CloseCursor | Call | Do | Load | TableStmt
+                Select
+                    | SelectInto
+                    | Values
+                    | Insert
+                    | Update
+                    | Delete
+                    | Merge
+                    | With
+                    | Truncate
+                    | Copy
+                    | ImportForeignSchema
+                    | CreateTableAs
+                    | Grant
+                    | Revoke
+                    | ReassignOwned
+                    | DropOwned
+                    | AlterDefaultPrivileges
+                    | SetRole
+                    | SetSessionAuthorization
+                    | Begin
+                    | StartTransaction
+                    | Commit
+                    | End
+                    | Rollback
+                    | Abort
+                    | Savepoint
+                    | ReleaseSavepoint
+                    | RollbackToSavepoint
+                    | PrepareTransaction
+                    | CommitPrepared
+                    | RollbackPrepared
+                    | SetTransaction
+                    | SetConstraints
+                    | LockTable
+                    | Set
+                    | Reset
+                    | Show
+                    | AlterSystem
+                    | Discard
+                    | Analyze
+                    | Vacuum
+                    | Explain
+                    | Cluster
+                    | Reindex
+                    | Checkpoint
+                    | Comment
+                    | SecurityLabel
+                    | RefreshMaterializedView
+                    | Listen
+                    | Notify
+                    | Unlisten
+                    | PrepareStmt
+                    | ExecuteStmt
+                    | Deallocate
+                    | DeclareCursor
+                    | Fetch
+                    | Move
+                    | CloseCursor
+                    | Call
+                    | Do
+                    | Load
+                    | TableStmt
             ),
             Dialect::MySql => {
                 Self::mysql_family_standalone(k)
@@ -117,14 +170,35 @@ impl Dialect {
                 Self::mysql_family_standalone(k)
                     || matches!(
                         k,
-                        ExecuteImmediate | ShowExplain | ShowAuthors | ShowContributors | BackupStage
-                            | SelectInto | ShowIndexStatistics | ShowUserStatistics
+                        ExecuteImmediate
+                            | ShowExplain
+                            | ShowAuthors
+                            | ShowContributors
+                            | BackupStage
+                            | SelectInto
+                            | ShowIndexStatistics
+                            | ShowUserStatistics
                     )
             }
             Dialect::Comdb2 => matches!(
                 k,
-                Select | SelectV | Insert | Update | Delete | Begin | Commit | Rollback | Set
-                    | Grant | Revoke | Explain | Analyze | Truncate | Rebuild | Put | ExecProcedure
+                Select
+                    | SelectV
+                    | Insert
+                    | Update
+                    | Delete
+                    | Begin
+                    | Commit
+                    | Rollback
+                    | Set
+                    | Grant
+                    | Revoke
+                    | Explain
+                    | Analyze
+                    | Truncate
+                    | Rebuild
+                    | Put
+                    | ExecProcedure
             ),
         }
     }
@@ -134,26 +208,113 @@ impl Dialect {
         use StandaloneKind::*;
         matches!(
             k,
-            Select | Values | Insert | Replace | Update | Delete | With | Truncate | LoadData
-                | LoadXml | RenameTable | Grant | Revoke | RenameUser | SetPassword | SetRole
-                | SetDefaultRole | Begin | StartTransaction | Commit | Rollback | Savepoint
-                | ReleaseSavepoint | RollbackToSavepoint | SetTransaction | LockTables
-                | UnlockTables | XaBegin | XaCommit | XaRollback | Set | SetNames
-                | SetCharacterSet | Use | Analyze | Explain | Describe | CheckTable
-                | ChecksumTable | OptimizeTable | RepairTable | FlushStmt | KillStmt | ResetMaster
-                | ResetSlave | Reset | PurgeBinaryLogs | ChangeMaster | StartSlave | StopSlave
-                | Binlog | InstallPlugin | UninstallPlugin | CacheIndex | LoadIndexIntoCache
-                | Shutdown | HelpStmt | Signal | Resignal | GetDiagnostics | PrepareStmt
-                | ExecuteStmt | Deallocate | Fetch | CloseCursor | DeclareCursor | Handler | Call
-                | Do | ShowBinaryLogs | ShowBinlogEvents | ShowCharacterSet | ShowCollation
-                | ShowColumns | ShowCreateDatabase | ShowCreateEvent | ShowCreateFunction
-                | ShowCreateProcedure | ShowCreateTable | ShowCreateTrigger | ShowCreateUser
-                | ShowCreateView | ShowDatabases | ShowEngine | ShowEngines | ShowErrors
-                | ShowEvents | ShowFunctionStatus | ShowGrants | ShowIndex | ShowMasterStatus
-                | ShowOpenTables | ShowPlugins | ShowPrivileges | ShowProcedureStatus
-                | ShowProcesslist | ShowProfile | ShowProfiles | ShowRelaylogEvents
-                | ShowSlaveHosts | ShowSlaveStatus | ShowStatus | ShowTableStatus | ShowTables
-                | ShowTriggers | ShowVariables | ShowWarnings
+            Select
+                | Values
+                | Insert
+                | Replace
+                | Update
+                | Delete
+                | With
+                | Truncate
+                | LoadData
+                | LoadXml
+                | RenameTable
+                | Grant
+                | Revoke
+                | RenameUser
+                | SetPassword
+                | SetRole
+                | SetDefaultRole
+                | Begin
+                | StartTransaction
+                | Commit
+                | Rollback
+                | Savepoint
+                | ReleaseSavepoint
+                | RollbackToSavepoint
+                | SetTransaction
+                | LockTables
+                | UnlockTables
+                | XaBegin
+                | XaCommit
+                | XaRollback
+                | Set
+                | SetNames
+                | SetCharacterSet
+                | Use
+                | Analyze
+                | Explain
+                | Describe
+                | CheckTable
+                | ChecksumTable
+                | OptimizeTable
+                | RepairTable
+                | FlushStmt
+                | KillStmt
+                | ResetMaster
+                | ResetSlave
+                | Reset
+                | PurgeBinaryLogs
+                | ChangeMaster
+                | StartSlave
+                | StopSlave
+                | Binlog
+                | InstallPlugin
+                | UninstallPlugin
+                | CacheIndex
+                | LoadIndexIntoCache
+                | Shutdown
+                | HelpStmt
+                | Signal
+                | Resignal
+                | GetDiagnostics
+                | PrepareStmt
+                | ExecuteStmt
+                | Deallocate
+                | Fetch
+                | CloseCursor
+                | DeclareCursor
+                | Handler
+                | Call
+                | Do
+                | ShowBinaryLogs
+                | ShowBinlogEvents
+                | ShowCharacterSet
+                | ShowCollation
+                | ShowColumns
+                | ShowCreateDatabase
+                | ShowCreateEvent
+                | ShowCreateFunction
+                | ShowCreateProcedure
+                | ShowCreateTable
+                | ShowCreateTrigger
+                | ShowCreateUser
+                | ShowCreateView
+                | ShowDatabases
+                | ShowEngine
+                | ShowEngines
+                | ShowErrors
+                | ShowEvents
+                | ShowFunctionStatus
+                | ShowGrants
+                | ShowIndex
+                | ShowMasterStatus
+                | ShowOpenTables
+                | ShowPlugins
+                | ShowPrivileges
+                | ShowProcedureStatus
+                | ShowProcesslist
+                | ShowProfile
+                | ShowProfiles
+                | ShowRelaylogEvents
+                | ShowSlaveHosts
+                | ShowSlaveStatus
+                | ShowStatus
+                | ShowTableStatus
+                | ShowTables
+                | ShowTriggers
+                | ShowVariables
+                | ShowWarnings
         )
     }
 }
@@ -164,10 +325,8 @@ mod tests {
 
     #[test]
     fn inventory_sizes_match_table_iv() {
-        let counts: Vec<(Dialect, usize)> = Dialect::ALL
-            .iter()
-            .map(|&d| (d, d.statement_type_count()))
-            .collect();
+        let counts: Vec<(Dialect, usize)> =
+            Dialect::ALL.iter().map(|&d| (d, d.statement_type_count())).collect();
         assert_eq!(
             counts,
             vec![

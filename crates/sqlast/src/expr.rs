@@ -343,45 +343,16 @@ pub enum Expr {
     Column(ColumnRef),
     Unary(UnaryOp, Box<Expr>),
     Binary(Box<Expr>, BinOp, Box<Expr>),
-    Like {
-        expr: Box<Expr>,
-        pattern: Box<Expr>,
-        negated: bool,
-    },
-    InList {
-        expr: Box<Expr>,
-        list: Vec<Expr>,
-        negated: bool,
-    },
-    Between {
-        expr: Box<Expr>,
-        low: Box<Expr>,
-        high: Box<Expr>,
-        negated: bool,
-    },
-    IsNull {
-        expr: Box<Expr>,
-        negated: bool,
-    },
-    Case {
-        operand: Option<Box<Expr>>,
-        whens: Vec<(Expr, Expr)>,
-        else_: Option<Box<Expr>>,
-    },
+    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    IsNull { expr: Box<Expr>, negated: bool },
+    Case { operand: Option<Box<Expr>>, whens: Vec<(Expr, Expr)>, else_: Option<Box<Expr>> },
     Func(FuncCall),
-    Window {
-        func: FuncCall,
-        spec: WindowSpec,
-    },
-    Cast {
-        expr: Box<Expr>,
-        ty: DataType,
-    },
+    Window { func: FuncCall, spec: WindowSpec },
+    Cast { expr: Box<Expr>, ty: DataType },
     Subquery(Box<crate::ast::Query>),
-    Exists {
-        query: Box<crate::ast::Query>,
-        negated: bool,
-    },
+    Exists { query: Box<crate::ast::Query>, negated: bool },
 }
 
 impl Expr {

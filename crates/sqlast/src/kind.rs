@@ -322,7 +322,9 @@ pub enum StmtKind {
 impl StmtKind {
     /// Every statement type known to any dialect.
     pub fn all() -> Vec<StmtKind> {
-        let mut v = Vec::with_capacity(DdlVerb::ALL.len() * ObjectKind::ALL.len() + StandaloneKind::ALL.len());
+        let mut v = Vec::with_capacity(
+            DdlVerb::ALL.len() * ObjectKind::ALL.len() + StandaloneKind::ALL.len(),
+        );
         for &verb in &DdlVerb::ALL {
             for &obj in ObjectKind::ALL {
                 v.push(StmtKind::Ddl(verb, obj));
@@ -415,10 +417,7 @@ mod tests {
 
     #[test]
     fn category_of_ddl_pairs() {
-        assert_eq!(
-            StmtKind::Ddl(DdlVerb::Create, ObjectKind::Table).category(),
-            StmtCategory::Ddl
-        );
+        assert_eq!(StmtKind::Ddl(DdlVerb::Create, ObjectKind::Table).category(), StmtCategory::Ddl);
         assert_eq!(StmtKind::Other(StandaloneKind::Select).category(), StmtCategory::Dql);
         assert_eq!(StmtKind::Other(StandaloneKind::Insert).category(), StmtCategory::Dml);
         assert_eq!(StmtKind::Other(StandaloneKind::Grant).category(), StmtCategory::Dcl);
@@ -427,7 +426,8 @@ mod tests {
 
     #[test]
     fn sequence_starters_exist() {
-        let starters: Vec<_> = StmtKind::all().into_iter().filter(|k| k.is_sequence_starter()).collect();
+        let starters: Vec<_> =
+            StmtKind::all().into_iter().filter(|k| k.is_sequence_starter()).collect();
         assert!(starters.contains(&StmtKind::Ddl(DdlVerb::Create, ObjectKind::Table)));
         assert!(starters.len() >= 3);
     }

@@ -53,10 +53,7 @@ pub fn normalize(stmt: &Statement) -> Statement {
         }
     }
     let mut s = stmt.clone();
-    walk_statement_mut(
-        &mut s,
-        &mut Normalizer { tables: HashMap::new(), columns: HashMap::new() },
-    );
+    walk_statement_mut(&mut s, &mut Normalizer { tables: HashMap::new(), columns: HashMap::new() });
     s
 }
 
@@ -162,10 +159,7 @@ mod tests {
         let q = Query::select(Select {
             distinct: false,
             projection: vec![SelectItem::Star],
-            from: vec![
-                TableRef::named("t9"),
-                TableRef::named("t9"),
-            ],
+            from: vec![TableRef::named("t9"), TableRef::named("t9")],
             where_: None,
             group_by: vec![],
             having: None,
@@ -177,12 +171,7 @@ mod tests {
     #[test]
     fn rebind_replaces_everything() {
         let mut s = insert("old", 7);
-        rebind(
-            &mut s,
-            |t| *t = "new".into(),
-            |_c| {},
-            |l| *l = Expr::int(99),
-        );
+        rebind(&mut s, |t| *t = "new".into(), |_c| {}, |l| *l = Expr::int(99));
         assert_eq!(s.to_string(), "INSERT INTO new VALUES (99)");
     }
 }

@@ -72,8 +72,8 @@ pub fn walk_expr_mut(expr: &mut Expr, v: &mut dyn MutVisitor) {
             spec.partition_by.iter_mut().for_each(|e| walk_expr_mut(e, v));
             spec.order_by.iter_mut().for_each(|o| walk_expr_mut(&mut o.expr, v));
             if let Some(fr) = &mut spec.frame {
-                if let crate::expr::FrameBound::Preceding(e) | crate::expr::FrameBound::Following(e) =
-                    &mut fr.start
+                if let crate::expr::FrameBound::Preceding(e)
+                | crate::expr::FrameBound::Following(e) = &mut fr.start
                 {
                     walk_expr_mut(e, v);
                 }
@@ -109,9 +109,9 @@ fn walk_set_expr_mut(s: &mut SetExpr, v: &mut dyn MutVisitor) {
             walk_set_expr_mut(left, v);
             walk_set_expr_mut(right, v);
         }
-        SetExpr::Values(rows) => rows
-            .iter_mut()
-            .for_each(|r| r.iter_mut().for_each(|e| walk_expr_mut(e, v))),
+        SetExpr::Values(rows) => {
+            rows.iter_mut().for_each(|r| r.iter_mut().for_each(|e| walk_expr_mut(e, v)))
+        }
     }
 }
 
@@ -237,9 +237,9 @@ pub fn walk_statement_mut(stmt: &mut Statement, v: &mut dyn MutVisitor) {
             v.table_name(&mut i.table);
             i.columns.iter_mut().for_each(|c| v.column_name(c));
             match &mut i.source {
-                InsertSource::Values(rows) => rows
-                    .iter_mut()
-                    .for_each(|r| r.iter_mut().for_each(|e| walk_expr_mut(e, v))),
+                InsertSource::Values(rows) => {
+                    rows.iter_mut().for_each(|r| r.iter_mut().for_each(|e| walk_expr_mut(e, v)))
+                }
                 InsertSource::Query(q) => walk_query_mut(q, v),
                 InsertSource::DefaultValues => {}
             }
@@ -269,9 +269,9 @@ pub fn walk_statement_mut(stmt: &mut Statement, v: &mut dyn MutVisitor) {
             }
             walk_statement_mut(&mut w.body, v);
         }
-        Statement::Values(rows) => rows
-            .iter_mut()
-            .for_each(|r| r.iter_mut().for_each(|e| walk_expr_mut(e, v))),
+        Statement::Values(rows) => {
+            rows.iter_mut().for_each(|r| r.iter_mut().for_each(|e| walk_expr_mut(e, v)))
+        }
         Statement::Truncate { table } => v.table_name(table),
         Statement::Copy(c) => match &mut c.source {
             CopySource::Table { name, columns } => {
@@ -459,7 +459,10 @@ mod tests {
             columns: vec![ColumnDef {
                 name: "pid".into(),
                 ty: DataType::Int,
-                constraints: vec![ColumnConstraint::References { table: "parent".into(), column: None }],
+                constraints: vec![ColumnConstraint::References {
+                    table: "parent".into(),
+                    column: None,
+                }],
             }],
             constraints: vec![],
         });
@@ -490,10 +493,7 @@ mod tests {
         })));
         if let SetExpr::Select(sel) = &mut q.body {
             sel.projection = vec![SelectItem::Expr {
-                expr: Expr::Window {
-                    func: FuncCall::star("RANK"),
-                    spec: WindowSpec::default(),
-                },
+                expr: Expr::Window { func: FuncCall::star("RANK"), spec: WindowSpec::default() },
                 alias: None,
             }];
         }

@@ -52,9 +52,7 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const SYMBOLS2: &[&str] = &["||", "<>", "!=", "<=", ">=", "@@", "::"];
-const SYMBOLS1: &[&str] = &[
-    "(", ")", ",", ".", ";", "=", "<", ">", "+", "-", "*", "/", "%",
-];
+const SYMBOLS1: &[&str] = &["(", ")", ",", ".", ";", "=", "<", ">", "+", "-", "*", "/", "%"];
 
 /// Tokenize a SQL script. Comments (`-- …` to end of line) are skipped.
 pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
@@ -84,7 +82,10 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
             loop {
                 match bytes.get(i) {
                     None => {
-                        return Err(LexError { offset: start, message: "unterminated string".into() })
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated string".into(),
+                        })
                     }
                     Some(b'\'') => {
                         if bytes.get(i + 1) == Some(&b'\'') {
@@ -110,7 +111,10 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                 i += 1;
             }
             let mut is_float = false;
-            if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).map_or(false, |b| (*b as char).is_ascii_digit()) {
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+            {
                 is_float = true;
                 i += 1;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {

@@ -64,8 +64,7 @@ mod roundtrip_tests {
     fn roundtrip(sql: &str) {
         let one = parse_script(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
         let rendered = one.to_sql();
-        let two = parse_script(&rendered)
-            .unwrap_or_else(|e| panic!("re-parse {rendered:?}: {e}"));
+        let two = parse_script(&rendered).unwrap_or_else(|e| panic!("re-parse {rendered:?}: {e}"));
         assert_eq!(one, two, "round-trip mismatch for {sql:?} -> {rendered:?}");
     }
 
@@ -271,7 +270,8 @@ mod roundtrip_tests {
                         "CREATE INDEX x1 ON t (a);".to_string()
                     }
                     StmtKind::Ddl(DdlVerb::Create, ObjectKind::Trigger) => {
-                        "CREATE TRIGGER x1 AFTER INSERT ON t FOR EACH ROW DELETE FROM t;".to_string()
+                        "CREATE TRIGGER x1 AFTER INSERT ON t FOR EACH ROW DELETE FROM t;"
+                            .to_string()
                     }
                     StmtKind::Ddl(DdlVerb::Create, ObjectKind::Rule) => {
                         "CREATE RULE x1 AS ON INSERT TO t DO NOTHING;".to_string()
@@ -284,8 +284,8 @@ mod roundtrip_tests {
                     }
                     StmtKind::Other(_) => continue, // exercised by dedicated tests
                 };
-                let parsed = parse_script(&sql)
-                    .unwrap_or_else(|e| panic!("cannot parse {sql:?}: {e}"));
+                let parsed =
+                    parse_script(&sql).unwrap_or_else(|e| panic!("cannot parse {sql:?}: {e}"));
                 assert_eq!(parsed.statements[0].kind(), k, "for {sql:?}");
             }
         }

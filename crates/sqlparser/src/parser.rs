@@ -69,15 +69,15 @@ impl Parser {
     }
 
     fn peek_kw(&self, kw: &str) -> bool {
-        self.peek().map_or(false, |t| t.is_kw(kw))
+        self.peek().is_some_and(|t| t.is_kw(kw))
     }
 
     fn peek_kw_at(&self, offset: usize, kw: &str) -> bool {
-        self.peek_at(offset).map_or(false, |t| t.is_kw(kw))
+        self.peek_at(offset).is_some_and(|t| t.is_kw(kw))
     }
 
     fn peek_sym(&self, s: &str) -> bool {
-        self.peek().map_or(false, |t| t.is_sym(s))
+        self.peek().is_some_and(|t| t.is_sym(s))
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
@@ -239,7 +239,9 @@ impl Parser {
                 self.bump();
                 let name = self.ident()?;
                 let value = if self.eat_sym("=") {
-                    Some(self.bump().ok_or_else(|| self.error("expected pragma value"))?.to_string())
+                    Some(
+                        self.bump().ok_or_else(|| self.error("expected pragma value"))?.to_string(),
+                    )
                 } else {
                     None
                 };
@@ -371,13 +373,15 @@ impl Parser {
         let materialized = self.eat_kw("MATERIALIZED");
 
         if self.eat_kw("TABLE") {
-            let if_not_exists =
-                if self.peek_kw("IF") && self.peek_kw_at(1, "NOT") && self.peek_kw_at(2, "EXISTS") {
-                    self.pos += 3;
-                    true
-                } else {
-                    false
-                };
+            let if_not_exists = if self.peek_kw("IF")
+                && self.peek_kw_at(1, "NOT")
+                && self.peek_kw_at(2, "EXISTS")
+            {
+                self.pos += 3;
+                true
+            } else {
+                false
+            };
             let name = self.ident()?;
             if self.eat_kw("AS") {
                 let query = self.parse_query()?;
@@ -390,7 +394,7 @@ impl Parser {
                 if self.peek_kw("PRIMARY") && self.peek_kw_at(1, "KEY") {
                     self.pos += 2;
                     constraints.push(TableConstraint::PrimaryKey(self.parse_paren_names()?));
-                } else if self.peek_kw("UNIQUE") && self.peek_at(1).map_or(false, |t| t.is_sym("(")) {
+                } else if self.peek_kw("UNIQUE") && self.peek_at(1).is_some_and(|t| t.is_sym("(")) {
                     self.pos += 1;
                     constraints.push(TableConstraint::Unique(self.parse_paren_names()?));
                 } else if self.peek_kw("CHECK") {
@@ -404,12 +408,13 @@ impl Parser {
                     let columns2 = self.parse_paren_names()?;
                     self.expect_kw("REFERENCES")?;
                     let ref_table = self.ident()?;
-                    let ref_columns = if self.peek_sym("(") {
-                        self.parse_paren_names()?
-                    } else {
-                        vec![]
-                    };
-                    constraints.push(TableConstraint::ForeignKey { columns: columns2, ref_table, ref_columns });
+                    let ref_columns =
+                        if self.peek_sym("(") { self.parse_paren_names()? } else { vec![] };
+                    constraints.push(TableConstraint::ForeignKey {
+                        columns: columns2,
+                        ref_table,
+                        ref_columns,
+                    });
                 } else {
                     columns.push(self.parse_column_def()?);
                 }
@@ -482,11 +487,8 @@ impl Parser {
             let table = self.ident()?;
             self.expect_kw("DO")?;
             let instead = self.eat_kw("INSTEAD");
-            let action = if self.eat_kw("NOTHING") {
-                None
-            } else {
-                Some(Box::new(self.parse_statement()?))
-            };
+            let action =
+                if self.eat_kw("NOTHING") { None } else { Some(Box::new(self.parse_statement()?)) };
             return Ok(Statement::CreateRule(CreateRule {
                 name,
                 or_replace,
@@ -862,9 +864,8 @@ impl Parser {
         if !self.eat_sym("=") {
             self.expect_kw("TO")?;
         }
-        let value = self
-            .rest_of_statement()
-            .ok_or_else(|| self.error("expected value after SET"))?;
+        let value =
+            self.rest_of_statement().ok_or_else(|| self.error("expected value after SET"))?;
         Ok(Statement::Set(SetStmt { scope, name, value }))
     }
 
@@ -874,8 +875,8 @@ impl Parser {
         self.parse_query_with_into(None)
     }
 
-    fn parse_query_with_into(&mut self, mut into: Option<&mut Option<String>>) -> PResult<Query> {
-        let mut body = self.parse_set_atom(into.as_deref_mut())?;
+    fn parse_query_with_into(&mut self, into: Option<&mut Option<String>>) -> PResult<Query> {
+        let mut body = self.parse_set_atom(into)?;
         loop {
             let op = if self.peek_kw("UNION") {
                 SetOp::Union
@@ -929,8 +930,8 @@ impl Parser {
             if self.eat_sym("*") {
                 projection.push(SelectItem::Star);
             } else if matches!(self.peek(), Some(Tok::Ident(_)))
-                && self.peek_at(1).map_or(false, |t| t.is_sym("."))
-                && self.peek_at(2).map_or(false, |t| t.is_sym("*"))
+                && self.peek_at(1).is_some_and(|t| t.is_sym("."))
+                && self.peek_at(2).is_some_and(|t| t.is_sym("*"))
             {
                 let t = self.ident()?;
                 self.pos += 2;
@@ -1082,7 +1083,9 @@ impl Parser {
                 continue;
             }
             let negated = self.peek_kw("NOT")
-                && (self.peek_kw_at(1, "LIKE") || self.peek_kw_at(1, "IN") || self.peek_kw_at(1, "BETWEEN"));
+                && (self.peek_kw_at(1, "LIKE")
+                    || self.peek_kw_at(1, "IN")
+                    || self.peek_kw_at(1, "BETWEEN"));
             if negated {
                 self.pos += 1;
             }
@@ -1110,7 +1113,12 @@ impl Parser {
                 let low = self.parse_add()?;
                 self.expect_kw("AND")?;
                 let high = self.parse_add()?;
-                l = Expr::Between { expr: Box::new(l), low: Box::new(low), high: Box::new(high), negated };
+                l = Expr::Between {
+                    expr: Box::new(l),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                    negated,
+                };
                 continue;
             }
             if negated {
@@ -1282,11 +1290,7 @@ impl Parser {
 
     fn parse_case(&mut self) -> PResult<Expr> {
         self.expect_kw("CASE")?;
-        let operand = if self.peek_kw("WHEN") {
-            None
-        } else {
-            Some(Box::new(self.parse_expr()?))
-        };
+        let operand = if self.peek_kw("WHEN") { None } else { Some(Box::new(self.parse_expr()?)) };
         let mut whens = Vec::new();
         while self.eat_kw("WHEN") {
             let w = self.parse_expr()?;
@@ -1355,7 +1359,9 @@ impl Parser {
             }
         }
         if self.peek_kw("ROWS") || self.peek_kw("RANGE") {
-            let unit = if self.eat_kw("ROWS") { FrameUnit::Rows } else {
+            let unit = if self.eat_kw("ROWS") {
+                FrameUnit::Rows
+            } else {
                 self.expect_kw("RANGE")?;
                 FrameUnit::Range
             };

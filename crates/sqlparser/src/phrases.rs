@@ -14,12 +14,47 @@ fn is_dedicated(k: StandaloneKind) -> bool {
     use StandaloneKind::*;
     matches!(
         k,
-        Select | SelectV | SelectInto | Values | Insert | Replace | Update | Delete | With
-            | Truncate | Copy | Grant | Revoke | Begin | StartTransaction | Commit | End
-            | Rollback | Abort | Savepoint | ReleaseSavepoint | RollbackToSavepoint | Set | Reset
-            | Show | Pragma | Analyze | Vacuum | Explain | Reindex | Checkpoint | Cluster
-            | Discard | Listen | Notify | Unlisten | LockTable | Comment | Call
-            | RefreshMaterializedView | CreateTableAs
+        Select
+            | SelectV
+            | SelectInto
+            | Values
+            | Insert
+            | Replace
+            | Update
+            | Delete
+            | With
+            | Truncate
+            | Copy
+            | Grant
+            | Revoke
+            | Begin
+            | StartTransaction
+            | Commit
+            | End
+            | Rollback
+            | Abort
+            | Savepoint
+            | ReleaseSavepoint
+            | RollbackToSavepoint
+            | Set
+            | Reset
+            | Show
+            | Pragma
+            | Analyze
+            | Vacuum
+            | Explain
+            | Reindex
+            | Checkpoint
+            | Cluster
+            | Discard
+            | Listen
+            | Notify
+            | Unlisten
+            | LockTable
+            | Comment
+            | Call
+            | RefreshMaterializedView
+            | CreateTableAs
     )
 }
 
@@ -33,7 +68,7 @@ fn misc_table() -> &'static Vec<(Vec<&'static str>, StandaloneKind)> {
             .map(|k| (words_of(k.name()), k))
             .collect();
         // Longest phrase first so `SET TRANSACTION` beats `SET`, etc.
-        v.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        v.sort_by_key(|e| std::cmp::Reverse(e.0.len()));
         v
     })
 }
@@ -41,12 +76,9 @@ fn misc_table() -> &'static Vec<(Vec<&'static str>, StandaloneKind)> {
 fn object_table() -> &'static Vec<(Vec<&'static str>, ObjectKind)> {
     static TABLE: OnceLock<Vec<(Vec<&'static str>, ObjectKind)>> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let mut v: Vec<_> = ObjectKind::ALL
-            .iter()
-            .copied()
-            .map(|k| (words_of(k.keyword()), k))
-            .collect();
-        v.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        let mut v: Vec<_> =
+            ObjectKind::ALL.iter().copied().map(|k| (words_of(k.keyword()), k)).collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.0.len()));
         v
     })
 }

@@ -33,7 +33,10 @@ fn main() {
     let mut all_new = Vec::new();
     for script in scripts {
         let case = lego_fuzz::sqlparser::parse_script(script).expect("parse");
-        println!("type sequence: {:?}", case.type_sequence().iter().map(|k| k.name()).collect::<Vec<_>>());
+        println!(
+            "type sequence: {:?}",
+            case.type_sequence().iter().map(|k| k.name()).collect::<Vec<_>>()
+        );
         let new = map.analyze(&case);
         for (a, b) in &new {
             println!("  new affinity: {} -> {}", a.name(), b.name());
@@ -66,19 +69,12 @@ fn main() {
     }
 
     // Instantiation: sequence -> executable SQL (with dependency fixing).
-    let longest = store
-        .sequences()
-        .iter()
-        .max_by_key(|s| s.len())
-        .expect("store is non-empty")
-        .clone();
+    let longest =
+        store.sequences().iter().max_by_key(|s| s.len()).expect("store is non-empty").clone();
     let mut rng = SmallRng::seed_from_u64(42);
     let lib = AstLibrary::new();
     let case = instantiate(&longest, &lib, Dialect::Postgres, &mut rng);
-    println!(
-        "\ninstantiating {:?}:",
-        longest.iter().map(|k| k.name()).collect::<Vec<_>>()
-    );
+    println!("\ninstantiating {:?}:", longest.iter().map(|k| k.name()).collect::<Vec<_>>());
     println!("{}", case.to_sql());
 
     // And it runs.

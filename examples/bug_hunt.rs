@@ -37,12 +37,7 @@ fn main() {
     println!("\n=== LEGO vs MariaDB (300k units) ===");
     let mut fuzzer = LegoFuzzer::new(Dialect::MariaDb, Config::default());
     let stats = run_campaign(&mut fuzzer, Dialect::MariaDb, Budget::units(300_000));
-    println!(
-        "{} executions, {} branches, {} bugs:",
-        stats.execs,
-        stats.branches,
-        stats.bugs.len()
-    );
+    println!("{} executions, {} branches, {} bugs:", stats.execs, stats.branches, stats.bugs.len());
     for bug in &stats.bugs {
         println!(
             "\n[{}] {} in {}, found at exec #{}; reproducer:",

@@ -9,10 +9,7 @@ use lego_fuzz::baselines::engine_by_name;
 use lego_fuzz::prelude::*;
 
 fn main() {
-    let units: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150_000);
+    let units: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150_000);
     let dialect = match std::env::args().nth(2).as_deref() {
         Some("mysql") => Dialect::MySql,
         Some("maria") => Dialect::MariaDb,
@@ -20,10 +17,7 @@ fn main() {
         _ => Dialect::Postgres,
     };
     println!("{} — {} statement units per engine\n", dialect.name(), units);
-    println!(
-        "{:<9} {:>9} {:>9} {:>11} {:>6}",
-        "fuzzer", "branches", "execs", "affinities", "bugs"
-    );
+    println!("{:<9} {:>9} {:>9} {:>11} {:>6}", "fuzzer", "branches", "execs", "affinities", "bugs");
     let mut names = vec!["LEGO", "LEGO-", "SQUIRREL", "SQLancer"];
     if dialect == Dialect::Postgres {
         names.push("SQLsmith");
@@ -33,7 +27,11 @@ fn main() {
         let stats = run_campaign(engine.as_mut(), dialect, Budget::units(units));
         println!(
             "{:<9} {:>9} {:>9} {:>11} {:>6}",
-            stats.fuzzer, stats.branches, stats.execs, stats.corpus_affinities, stats.bugs.len()
+            stats.fuzzer,
+            stats.branches,
+            stats.execs,
+            stats.corpus_affinities,
+            stats.bugs.len()
         );
     }
 }

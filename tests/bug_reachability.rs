@@ -8,7 +8,7 @@ use lego_fuzz::fuzzer::gen::{gen_statement, SchemaModel};
 use lego_fuzz::prelude::*;
 use lego_fuzz::sqlast::ast::*;
 use lego_fuzz::sqlast::expr::*;
-use lego_fuzz::sqlast::kind::{DdlVerb, ObjectKind, StandaloneKind};
+use lego_fuzz::sqlast::kind::StandaloneKind;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -20,14 +20,14 @@ fn stmt_for(
     dialect: Dialect,
     rng: &mut SmallRng,
 ) -> Statement {
-    let table = schema
-        .tables
-        .first()
-        .map(|t| t.name.clone())
-        .unwrap_or_else(|| "t0".into());
+    let table = schema.tables.first().map(|t| t.name.clone()).unwrap_or_else(|| "t0".into());
     let col = "a".to_string();
-    let simple_select = |proj: Vec<SelectItem>, where_: Option<Expr>, group_by: Vec<Expr>,
-                         order: Vec<OrderItem>, distinct: bool, from: Vec<TableRef>| {
+    let simple_select = |proj: Vec<SelectItem>,
+                         where_: Option<Expr>,
+                         group_by: Vec<Expr>,
+                         order: Vec<OrderItem>,
+                         distinct: bool,
+                         from: Vec<TableRef>| {
         Statement::Select(SelectStmt {
             query: Box::new(Query {
                 body: SetExpr::Select(Box::new(Select {
@@ -183,8 +183,9 @@ fn craft_and_run(bug: &BugSpec) -> Option<lego_fuzz::dbms::CrashReport> {
     let ct = lego_fuzz::sqlparser::parse_statement("CREATE TABLE t0 (a INT, b INT);").unwrap();
     schema.observe(&ct);
     statements.push(ct);
-    statements
-        .push(lego_fuzz::sqlparser::parse_statement("INSERT INTO t0 VALUES (1, 1), (2, 2);").unwrap());
+    statements.push(
+        lego_fuzz::sqlparser::parse_statement("INSERT INTO t0 VALUES (1, 1), (2, 2);").unwrap(),
+    );
 
     // State setup.
     match bug.state {
@@ -195,10 +196,8 @@ fn craft_and_run(bug: &BugSpec) -> Option<lego_fuzz::dbms::CrashReport> {
             .unwrap(),
         ),
         StateReq::RuleExists => statements.push(
-            lego_fuzz::sqlparser::parse_statement(
-                "CREATE RULE r0 AS ON DELETE TO t0 DO NOTHING;",
-            )
-            .unwrap(),
+            lego_fuzz::sqlparser::parse_statement("CREATE RULE r0 AS ON DELETE TO t0 DO NOTHING;")
+                .unwrap(),
         ),
         StateReq::InTransaction => statements.push(Statement::Begin),
         StateReq::IndexExists => statements
@@ -211,8 +210,7 @@ fn craft_and_run(bug: &BugSpec) -> Option<lego_fuzz::dbms::CrashReport> {
 
     // The pattern itself; the final statement carries the structural feature.
     for (i, &kind) in bug.pattern.iter().enumerate() {
-        let structural =
-            if i + 1 == bug.pattern.len() { bug.structural } else { Structural::Any };
+        let structural = if i + 1 == bug.pattern.len() { bug.structural } else { Structural::Any };
         let stmt = stmt_for(kind, structural, &schema, bug.dialect, &mut rng);
         schema.observe(&stmt);
         statements.push(stmt);

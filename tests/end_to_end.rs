@@ -72,10 +72,8 @@ fn every_engine_runs_on_every_dialect() {
 #[test]
 fn campaigns_are_deterministic_given_a_seed() {
     let run = || {
-        let mut fz = LegoFuzzer::new(
-            Dialect::MariaDb,
-            Config { rng_seed: 123, ..Config::default() },
-        );
+        let mut fz =
+            LegoFuzzer::new(Dialect::MariaDb, Config { rng_seed: 123, ..Config::default() });
         let stats = run_campaign(&mut fz, Dialect::MariaDb, Budget::units(20_000));
         (
             stats.branches,
@@ -119,9 +117,8 @@ fn crashing_case_sql_reproduces_its_bug() {
     assert!(!stats.bugs.is_empty(), "expected at least one MariaDB bug");
     for bug in stats.bugs.iter().take(3) {
         let r = Dbms::new(Dialect::MariaDb).execute_script(&bug.case_sql);
-        let crash = r.crash().unwrap_or_else(|| {
-            panic!("reproducer did not crash:\n{}", bug.case_sql)
-        });
+        let crash =
+            r.crash().unwrap_or_else(|| panic!("reproducer did not crash:\n{}", bug.case_sql));
         assert_eq!(crash.bug_id, bug.crash.bug_id);
     }
 }

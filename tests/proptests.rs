@@ -14,7 +14,9 @@ use rand::SeedableRng;
 
 fn schema() -> SchemaModel {
     let mut m = SchemaModel::new();
-    m.observe(&lego_fuzz::sqlparser::parse_statement("CREATE TABLE t1 (v1 INT, v2 TEXT);").unwrap());
+    m.observe(
+        &lego_fuzz::sqlparser::parse_statement("CREATE TABLE t1 (v1 INT, v2 TEXT);").unwrap(),
+    );
     m.observe(&lego_fuzz::sqlparser::parse_statement("CREATE TABLE t2 (a INT, b INT);").unwrap());
     m
 }

@@ -54,8 +54,7 @@ impl Criterion {
     /// Read a benchmark-name filter from argv (ignores harness flags like
     /// `--bench`).
     pub fn configure_from_args(mut self) -> Self {
-        let args: Vec<String> =
-            std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
         if let Some(f) = args.into_iter().next() {
             self.filter = Some(f);
         }
@@ -100,8 +99,7 @@ impl Criterion {
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-        let total_iters =
-            (self.measurement_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+        let total_iters = (self.measurement_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
         let iters_per_sample = (total_iters / self.sample_size as u64).max(1);
 
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);

@@ -276,11 +276,7 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
-            let n = if self.hi > self.lo {
-                rng.gen_range(self.lo..=self.hi)
-            } else {
-                self.lo
-            };
+            let n = if self.hi > self.lo { rng.gen_range(self.lo..=self.hi) } else { self.lo };
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
     }
@@ -303,8 +299,8 @@ pub fn test_seed(name: &str) -> u64 {
 
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
     };
 }
 

@@ -200,7 +200,7 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
         // Sort for deterministic output (serde_json iteration order is the
         // map's; determinism is load-bearing for this workspace's reports).
         let mut entries: Vec<_> = self.iter().collect();
-        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        entries.sort_by_key(|&(k, _)| k);
         write_map(entries.into_iter(), out);
     }
 }

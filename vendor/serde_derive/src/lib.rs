@@ -181,9 +181,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let mut arms = String::new();
             for (v, arity) in &variants {
                 match arity {
-                    0 => arms.push_str(&format!(
-                        "{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"
-                    )),
+                    0 => arms.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n")),
                     1 => arms.push_str(&format!(
                         "{name}::{v}(f0) => {{\n\
                              out.push_str(\"{{\\\"{v}\\\":\");\n\
@@ -193,9 +191,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     )),
                     n => {
                         let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
-                        let mut inner = format!(
-                            "out.push_str(\"{{\\\"{v}\\\":[\");\n"
-                        );
+                        let mut inner = format!("out.push_str(\"{{\\\"{v}\\\":[\");\n");
                         for (i, b) in binders.iter().enumerate() {
                             if i > 0 {
                                 inner.push_str("out.push(',');\n");

@@ -6,13 +6,18 @@
 //!   workers.
 //! * `sharded/*` — one campaign budget executed serially vs. sharded over 4
 //!   in-campaign workers.
+//! * `telemetry/*` — the same campaign with telemetry disabled vs. enabled
+//!   with a `NoopSink`: the observability acceptance gate (overhead within
+//!   noise).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use lego::campaign::{run_campaign_parallel, Budget, ParallelOpts};
+use lego::campaign::{run_campaign_observed, run_campaign_parallel, Budget, ParallelOpts};
+use lego::observe::{NoopSink, Telemetry};
 use lego_baselines::engine_by_name;
 use lego_bench::grid::run_grid;
 use lego_dbms::Dbms;
 use lego_sqlast::Dialect;
+use std::sync::Arc;
 use std::time::Duration;
 
 const SCRIPT: &str = "CREATE TABLE t1 (v1 INT, v2 INT, v3 VARCHAR(100));\n\
@@ -92,6 +97,25 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+fn observed_campaign(tel: &Telemetry) -> usize {
+    let mut engine = engine_by_name("LEGO", Dialect::MariaDb, 9);
+    run_campaign_observed(engine.as_mut(), Dialect::MariaDb, Budget::units(20_000), tel).branches
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("campaign_20k_disabled", |b| {
+        let tel = Telemetry::disabled();
+        b.iter(|| observed_campaign(&tel))
+    });
+    group.bench_function("campaign_20k_noop_sink", |b| {
+        let tel = Telemetry::builder().sink(Arc::new(NoopSink)).build();
+        b.iter(|| observed_campaign(&tel))
+    });
+    group.finish();
+}
+
 /// Short sampling windows, as in `microbench.rs`.
 fn quick() -> Criterion {
     Criterion::default()
@@ -104,6 +128,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = campaign_throughput;
     config = quick();
-    targets = bench_hot_path, bench_grid, bench_sharded
+    targets = bench_hot_path, bench_grid, bench_sharded, bench_telemetry_overhead
 }
 criterion_main!(campaign_throughput);

@@ -1,13 +1,18 @@
 //! Campaign throughput measurement: executions per second for the serial
-//! path and the sharded parallel path, plus the resulting speedup.
+//! path and the sharded parallel path, plus the resulting speedup and a
+//! per-stage wall-clock profile of each run.
 //!
-//! Usage: `bench_throughput [UNITS] [--workers N]`. Writes
-//! `BENCH_throughput.json` at the repository root.
+//! Usage: `bench_throughput [UNITS] [--workers N] [--telemetry PATH]
+//! [--heartbeat]`. Writes `BENCH_throughput.json` at the repository root.
+//! With `--telemetry ev.jsonl` the serial and parallel event streams land at
+//! `ev.serial.jsonl` and `ev.parallel.jsonl`.
 
+use lego::observe::{StageProfile, Telemetry};
 use lego_bench::grid::Cli;
 use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
+use std::path::Path;
 
 #[derive(Serialize)]
 struct Run {
@@ -17,6 +22,7 @@ struct Run {
     branches: usize,
     wall_ms: u64,
     execs_per_sec: f64,
+    stage_profile: Option<StageProfile>,
 }
 
 #[derive(Serialize)]
@@ -37,7 +43,42 @@ fn run_of(s: &lego::campaign::CampaignStats) -> Run {
         branches: s.branches,
         wall_ms: s.wall_ms,
         execs_per_sec: s.execs_per_sec,
+        stage_profile: s.stage_profile.clone(),
     }
+}
+
+/// One fresh telemetry handle per measured run: stage accumulators are
+/// cumulative per handle, so serial and parallel must not share one. With
+/// no telemetry flags the handle still profiles (events discarded).
+fn run_telemetry(cli: &Cli, tag: &str, workers: usize) -> (Telemetry, Option<TelemetryGuard>) {
+    if cli.telemetry.is_none() && !cli.heartbeat {
+        return (Telemetry::profile_only(), None);
+    }
+    let path = cli.telemetry.as_ref().map(|p| Path::new(p).with_extension(format!("{tag}.jsonl")));
+    let guard = telemetry_to(path.as_deref(), cli.heartbeat, workers, DEFAULT_SEED);
+    (guard.tel.clone(), Some(guard))
+}
+
+fn profiled(cli: &Cli, tag: &str, units: usize, workers: usize) -> lego::campaign::CampaignStats {
+    let dialect = Dialect::Postgres;
+    let (tel, guard) = run_telemetry(cli, tag, workers);
+    let stats = campaign_parallel_observed("LEGO", dialect, units, DEFAULT_SEED, workers, &tel);
+    if let Some(g) = guard {
+        g.finish();
+    }
+    stats
+}
+
+fn print_profile(label: &str, profile: &Option<StageProfile>) {
+    let Some(p) = profile else { return };
+    let line = p
+        .stages
+        .iter()
+        .filter(|s| s.total_ms > 0.0 || s.share_pct > 0.0)
+        .map(|s| format!("{} {:.0}%", s.stage, s.share_pct))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("  {label} stage profile: {line}");
 }
 
 fn main() {
@@ -47,16 +88,18 @@ fn main() {
     let dialect = Dialect::Postgres;
 
     println!("Campaign throughput — LEGO on {} ({units} units)\n", dialect.name());
-    let serial = campaign_parallel("LEGO", dialect, units, DEFAULT_SEED, 1);
+    let serial = profiled(&cli, "serial", units, 1);
     println!(
         "  serial   : {:>8} execs in {:>6} ms  ({:>8.0} execs/s)",
         serial.execs, serial.wall_ms, serial.execs_per_sec
     );
-    let parallel = campaign_parallel("LEGO", dialect, units, DEFAULT_SEED, workers);
+    let parallel = profiled(&cli, "parallel", units, workers);
     println!(
         "  {}-worker : {:>8} execs in {:>6} ms  ({:>8.0} execs/s)",
         workers, parallel.execs, parallel.wall_ms, parallel.execs_per_sec
     );
+    print_profile("serial", &serial.stage_profile);
+    print_profile("parallel", &parallel.stage_profile);
 
     let speedup = if serial.execs_per_sec > 0.0 {
         parallel.execs_per_sec / serial.execs_per_sec

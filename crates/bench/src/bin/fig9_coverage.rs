@@ -37,11 +37,16 @@ fn main() {
         .into_iter()
         .flat_map(|d| fuzzer_names(d).into_iter().map(move |f| (d, f)))
         .collect();
+    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let tel = &guard.tel;
     let jobs: Vec<_> = pairs
         .iter()
-        .map(|&(dialect, fuzzer)| move || campaign(fuzzer, dialect, units, DEFAULT_SEED))
+        .map(|&(dialect, fuzzer)| {
+            move || campaign_observed(fuzzer, dialect, units, DEFAULT_SEED, tel)
+        })
         .collect();
     let stats = run_grid(jobs, cli.workers);
+    guard.finish();
 
     let cells: Vec<Fig9Cell> = pairs
         .iter()

@@ -5,7 +5,7 @@
 //! Usage: `knob_ablation [UNITS] [--workers N]` — one grid cell per knob
 //! setting; results are identical for any worker count.
 
-use lego::campaign::{run_campaign, Budget};
+use lego::campaign::{run_campaign_observed, Budget};
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego_bench::grid::{run_grid, Cli};
 use lego_bench::*;
@@ -55,6 +55,8 @@ fn main() {
     specs.push(("no_split_long_seeds".into(), 0, Box::new(|c| c.split_long_seeds = false)));
     specs.push(("nonadjacent_affinities".into(), 0, Box::new(|c| c.nonadjacent_affinities = true)));
 
+    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()
         .map(|(_, _, mutate)| {
@@ -62,11 +64,12 @@ fn main() {
                 let mut cfg = Config { rng_seed: DEFAULT_SEED, ..Config::default() };
                 mutate(&mut cfg);
                 let mut fz = LegoFuzzer::new(Dialect::MariaDb, cfg);
-                run_campaign(&mut fz, Dialect::MariaDb, Budget::units(units))
+                run_campaign_observed(&mut fz, Dialect::MariaDb, Budget::units(units), tel)
             }
         })
         .collect();
     let stats = run_grid(jobs, cli.workers);
+    guard.finish();
 
     let mut out = Vec::new();
     let mut rows = Vec::new();

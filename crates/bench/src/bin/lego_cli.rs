@@ -3,17 +3,22 @@
 //! ```text
 //! lego_cli fuzz <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S]
 //!               [--out DIR] [--corpus DIR]   # --corpus: resume from saved seeds
+//!               [--telemetry PATH] [--heartbeat]
 //! lego_cli replay <pg|mysql|maria|comdb2> <script.sql>
 //! lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>
 //! lego_cli bugs  [pg|mysql|maria|comdb2]
 //! ```
+//!
+//! `--telemetry PATH` (or `LEGO_TELEMETRY`) streams structured events to
+//! `PATH` as JSONL and writes metrics exports next to it; `--heartbeat`
+//! prints a ~1 Hz live status line to stderr.
 //!
 //! A `fuzz --out DIR` run writes `campaign.json`, one reduced reproducer per
 //! bug, and the retained seed corpus under `DIR/corpus/`; a later run with
 //! `--corpus DIR/corpus` resumes from it (the paper's continuous-fuzzing
 //! workflow).
 
-use lego::campaign::{run_campaign, Budget, FuzzEngine};
+use lego::campaign::{run_campaign_observed, Budget, FuzzEngine};
 use lego::corpus_io::{load_corpus, save_corpus};
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego::reduce::reduce_case;
@@ -35,7 +40,7 @@ fn dialect_of(arg: &str) -> Option<Dialect> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
+        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
     );
     ExitCode::from(2)
 }
@@ -60,6 +65,9 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let mut seed = 0x1e60u64;
     let mut out: Option<PathBuf> = None;
     let mut corpus_dir: Option<PathBuf> = None;
+    let mut telemetry: Option<PathBuf> =
+        std::env::var("LEGO_TELEMETRY").ok().filter(|p| !p.is_empty()).map(PathBuf::from);
+    let mut heartbeat = false;
     let mut i = 1;
     while i + 1 < args.len() + 1 {
         match args.get(i).map(String::as_str) {
@@ -82,6 +90,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             Some("--corpus") => {
                 corpus_dir = args.get(i + 1).map(PathBuf::from);
                 i += 2;
+            }
+            Some("--telemetry") => {
+                telemetry = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--heartbeat") => {
+                heartbeat = true;
+                i += 1;
             }
             Some(other) => {
                 eprintln!("unknown flag {other}");
@@ -107,13 +123,16 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         }
         None => engine_by_name(&fuzzer, dialect, seed),
     };
-    let stats = run_campaign(engine.as_mut(), dialect, Budget::units(units));
+    let guard = lego_bench::telemetry_to(telemetry.as_deref(), heartbeat, 1, seed);
+    let stats = run_campaign_observed(engine.as_mut(), dialect, Budget::units(units), &guard.tel);
+    guard.finish();
     println!(
-        "executed {} cases | {} branches | {} affinities | {} retained seeds | {} bugs",
+        "executed {} cases | {} branches | {} affinities | {} retained seeds | {:.1}% valid stmts | {} bugs",
         stats.execs,
         stats.branches,
         stats.corpus_affinities,
         stats.corpus_size,
+        stats.validity_pct(),
         stats.bugs.len()
     );
     for bug in &stats.bugs {

@@ -8,7 +8,7 @@
 //! Usage: `len_ablation [UNITS] [SEEDS] [--workers N]` — one grid cell per
 //! (LEN, seed) pair; results are identical for any worker count.
 
-use lego::campaign::{run_campaign, Budget};
+use lego::campaign::{run_campaign_observed, Budget};
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego_bench::grid::{run_grid, Cli};
 use lego_bench::*;
@@ -35,6 +35,8 @@ fn main() {
 
     let specs: Vec<(usize, usize)> =
         [3usize, 5, 8].into_iter().flat_map(|len| (0..seeds).map(move |s| (len, s))).collect();
+    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()
         .map(|&(len, s)| {
@@ -47,11 +49,12 @@ fn main() {
                     ..Config::default()
                 };
                 let mut fz = LegoFuzzer::new(Dialect::MariaDb, cfg);
-                run_campaign(&mut fz, Dialect::MariaDb, Budget::units(units))
+                run_campaign_observed(&mut fz, Dialect::MariaDb, Budget::units(units), tel)
             }
         })
         .collect();
     let all_stats = run_grid(jobs, cli.workers);
+    guard.finish();
 
     let mut out = Vec::new();
     let mut rows = Vec::new();

@@ -34,13 +34,16 @@ fn main() {
     // core.
     let specs: Vec<(Dialect, usize)> =
         Dialect::ALL.into_iter().flat_map(|d| (0..seeds).map(move |s| (d, s))).collect();
+    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()
         .map(|&(dialect, s)| {
-            move || campaign("LEGO", dialect, units, DEFAULT_SEED + s as u64 * 7717)
+            move || campaign_observed("LEGO", dialect, units, DEFAULT_SEED + s as u64 * 7717, tel)
         })
         .collect();
     let all_stats = run_grid(jobs, cli.workers);
+    guard.finish();
 
     let mut found: Vec<Found> = Vec::new();
     let mut per: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();

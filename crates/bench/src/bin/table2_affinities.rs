@@ -31,11 +31,16 @@ fn main() {
         .into_iter()
         .flat_map(|d| ["SQLancer", "SQUIRREL", "LEGO"].into_iter().map(move |f| (d, f)))
         .collect();
+    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()
-        .map(|&(dialect, fuzzer)| move || campaign(fuzzer, dialect, units, DEFAULT_SEED))
+        .map(|&(dialect, fuzzer)| {
+            move || campaign_observed(fuzzer, dialect, units, DEFAULT_SEED, tel)
+        })
         .collect();
     let stats = run_grid(jobs, cli.workers);
+    guard.finish();
 
     let mut out = Vec::new();
     let mut rows = Vec::new();

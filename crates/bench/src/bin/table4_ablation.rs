@@ -10,7 +10,7 @@
 //! dialect×seed×variant cells run across a worker pool; results are
 //! identical for any worker count.
 
-use lego::campaign::{run_campaign, Budget};
+use lego::campaign::{run_campaign_observed, Budget};
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego_bench::grid::{run_grid, Cli};
 use lego_bench::*;
@@ -44,6 +44,8 @@ fn main() {
         .into_iter()
         .flat_map(|d| (0..seeds).flat_map(move |s| [(d, s, false), (d, s, true)]))
         .collect();
+    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()
         .map(|&(dialect, s, minus)| {
@@ -54,11 +56,12 @@ fn main() {
                 } else {
                     LegoFuzzer::new(dialect, cfg)
                 };
-                run_campaign(&mut engine, dialect, Budget::units(units))
+                run_campaign_observed(&mut engine, dialect, Budget::units(units), tel)
             }
         })
         .collect();
     let stats = run_grid(jobs, cli.workers);
+    guard.finish();
 
     let mut out = Vec::new();
     let mut rows = Vec::new();

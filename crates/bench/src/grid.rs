@@ -46,12 +46,21 @@ where
 }
 
 /// Command line shared by the experiment binaries: positional arguments plus
-/// an optional `--workers N` / `--workers=N` flag (any position). The worker
-/// count falls back to `LEGO_WORKERS`, then to the machine's parallelism.
+/// optional flags (any position):
+///
+/// - `--workers N` / `--workers=N` — grid thread count; falls back to
+///   `LEGO_WORKERS`, then to the machine's parallelism.
+/// - `--telemetry PATH` / `--telemetry=PATH` — JSONL event log destination;
+///   falls back to the `LEGO_TELEMETRY` env var. Metrics exports land next
+///   to the log (see [`crate::build_telemetry`]).
+/// - `--heartbeat` — ~1 Hz live status line on stderr.
 pub struct Cli {
-    /// Positional arguments, flag removed, program name excluded.
+    /// Positional arguments, flags removed, program name excluded.
     pub positional: Vec<String>,
     pub workers: usize,
+    /// JSONL event-log path, when telemetry was requested.
+    pub telemetry: Option<String>,
+    pub heartbeat: bool,
 }
 
 impl Cli {
@@ -62,12 +71,20 @@ impl Cli {
     fn from_args(args: impl Iterator<Item = String>) -> Self {
         let mut positional = Vec::new();
         let mut workers = None;
+        let mut telemetry = None;
+        let mut heartbeat = false;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             if a == "--workers" {
                 workers = args.next().and_then(|v| v.parse().ok());
             } else if let Some(v) = a.strip_prefix("--workers=") {
                 workers = v.parse().ok();
+            } else if a == "--telemetry" {
+                telemetry = args.next();
+            } else if let Some(v) = a.strip_prefix("--telemetry=") {
+                telemetry = Some(v.to_string());
+            } else if a == "--heartbeat" {
+                heartbeat = true;
             } else {
                 positional.push(a);
             }
@@ -75,6 +92,10 @@ impl Cli {
         Self {
             positional,
             workers: workers.filter(|&w| w >= 1).unwrap_or_else(lego::campaign::default_workers),
+            telemetry: telemetry
+                .or_else(|| std::env::var("LEGO_TELEMETRY").ok())
+                .filter(|p| !p.is_empty()),
+            heartbeat,
         }
     }
 
@@ -118,6 +139,22 @@ mod tests {
         let eq = Cli::from_args(["--workers=5"].into_iter().map(String::from));
         assert_eq!(eq.workers, 5);
         assert!(eq.positional.is_empty());
+    }
+
+    #[test]
+    fn cli_extracts_telemetry_and_heartbeat_flags() {
+        let cli = Cli::from_args(
+            ["9000", "--telemetry", "/tmp/ev.jsonl", "--heartbeat", "4"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(cli.telemetry.as_deref(), Some("/tmp/ev.jsonl"));
+        assert!(cli.heartbeat);
+        assert_eq!(cli.positional, vec!["9000", "4"]);
+
+        let eq = Cli::from_args(["--telemetry=x.jsonl"].into_iter().map(String::from));
+        assert_eq!(eq.telemetry.as_deref(), Some("x.jsonl"));
+        assert!(!eq.heartbeat);
     }
 
     #[test]

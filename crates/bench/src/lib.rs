@@ -7,11 +7,15 @@
 
 pub mod grid;
 
-use lego::campaign::{run_campaign, run_campaign_parallel, Budget, CampaignStats, ParallelOpts};
+use lego::campaign::{
+    run_campaign_observed, run_campaign_parallel_observed, Budget, CampaignStats, ParallelOpts,
+};
+use lego::observe::{MetricsRegistry, Telemetry};
 use lego_baselines::engine_by_name;
 use lego_sqlast::Dialect;
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The standard "24-hour" campaign budget, in statement-execution units.
 /// Chosen so a full fuzzer×DBMS grid runs in minutes on a laptop while the
@@ -35,8 +39,20 @@ pub fn fuzzer_names(dialect: Dialect) -> Vec<&'static str> {
 
 /// Run one fuzzer×dialect campaign with the standard seed.
 pub fn campaign(fuzzer: &str, dialect: Dialect, units: usize, seed: u64) -> CampaignStats {
+    campaign_observed(fuzzer, dialect, units, seed, &Telemetry::disabled())
+}
+
+/// [`campaign`] reporting through a telemetry handle (shareable across grid
+/// cells: sinks are line-atomic and metrics aggregate across cells).
+pub fn campaign_observed(
+    fuzzer: &str,
+    dialect: Dialect,
+    units: usize,
+    seed: u64,
+    tel: &Telemetry,
+) -> CampaignStats {
     let mut engine = engine_by_name(fuzzer, dialect, seed);
-    run_campaign(engine.as_mut(), dialect, Budget::units(units))
+    run_campaign_observed(engine.as_mut(), dialect, Budget::units(units), tel)
 }
 
 /// Run one fuzzer×dialect campaign sharded over `workers` threads. Worker
@@ -49,15 +65,95 @@ pub fn campaign_parallel(
     seed: u64,
     workers: usize,
 ) -> CampaignStats {
+    campaign_parallel_observed(fuzzer, dialect, units, seed, workers, &Telemetry::disabled())
+}
+
+/// [`campaign_parallel`] reporting through a telemetry handle.
+pub fn campaign_parallel_observed(
+    fuzzer: &str,
+    dialect: Dialect,
+    units: usize,
+    seed: u64,
+    workers: usize,
+    tel: &Telemetry,
+) -> CampaignStats {
     let fuzzer = fuzzer.to_string();
-    run_campaign_parallel(
+    run_campaign_parallel_observed(
         move |w| {
             engine_by_name(&fuzzer, dialect, seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
         },
         dialect,
         Budget::units(units),
         ParallelOpts { workers, ..ParallelOpts::default() },
+        tel,
     )
+}
+
+/// A configured telemetry handle plus the paths its aggregate exports go to
+/// when [`TelemetryGuard::finish`] is called at process exit.
+pub struct TelemetryGuard {
+    pub tel: Telemetry,
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// `<event log path minus extension>` — exports land at
+    /// `<base>.metrics.json` and `<base>.prom`.
+    export_base: Option<PathBuf>,
+}
+
+impl TelemetryGuard {
+    /// Flush sinks, print the final heartbeat, and write the metrics
+    /// exports next to the event log.
+    pub fn finish(&self) {
+        self.tel.finish();
+        if let (Some(m), Some(base)) = (&self.metrics, &self.export_base) {
+            let json = base.with_extension("metrics.json");
+            let prom = base.with_extension("prom");
+            if std::fs::write(&json, m.json()).is_ok() {
+                println!("[telemetry metrics written to {}]", json.display());
+            }
+            let _ = std::fs::write(&prom, m.prometheus_text());
+        }
+    }
+}
+
+/// Build the experiment-binary telemetry handle from the shared CLI flags:
+/// disabled unless `--telemetry`/`LEGO_TELEMETRY` or `--heartbeat` was
+/// given. With an event-log path, events stream to `<path>` as JSONL, a
+/// metrics registry aggregates them (exported by
+/// [`TelemetryGuard::finish`]), and deduplicated bug artifacts are dumped
+/// under `results/bugs/<dialect>/`.
+pub fn build_telemetry(cli: &grid::Cli, seed: u64) -> TelemetryGuard {
+    telemetry_to(cli.telemetry.as_deref().map(Path::new), cli.heartbeat, cli.workers, seed)
+}
+
+/// [`build_telemetry`] without the CLI: explicit event-log path and
+/// heartbeat switch.
+pub fn telemetry_to(
+    event_log: Option<&Path>,
+    heartbeat: bool,
+    workers: usize,
+    seed: u64,
+) -> TelemetryGuard {
+    if event_log.is_none() && !heartbeat {
+        return TelemetryGuard { tel: Telemetry::disabled(), metrics: None, export_base: None };
+    }
+    let mut builder = Telemetry::builder().seed(seed);
+    let mut metrics = None;
+    let mut export_base = None;
+    if let Some(path) = event_log {
+        builder = match builder.jsonl(path) {
+            Ok(b) => b,
+            Err(e) => panic!("cannot open telemetry log {}: {e}", path.display()),
+        };
+        let registry = Arc::new(MetricsRegistry::new());
+        builder = builder.metrics(registry.clone());
+        metrics = Some(registry);
+        export_base = Some(path.with_extension(""));
+        builder = builder.bug_artifacts(results_dir().join("bugs"));
+    }
+    if heartbeat {
+        builder = builder.heartbeat(workers);
+    }
+    TelemetryGuard { tel: builder.build(), metrics, export_base }
 }
 
 /// The repository root (where `BENCH_*.json` artifacts land).

@@ -5,6 +5,7 @@
 use crate::affinity::corpus_affinities;
 use lego_coverage::GlobalCoverage;
 use lego_dbms::{CrashReport, Dbms, ExecReport};
+use lego_observe::{Event, Stage, StageProfile, Telemetry};
 use lego_sqlast::{Dialect, TestCase};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
@@ -26,6 +27,11 @@ pub trait FuzzEngine {
     fn feedback(&mut self, case: &TestCase, report: &ExecReport, new_coverage: bool);
     /// The engine's retained corpus (for Table II affinity accounting).
     fn corpus(&self) -> Vec<TestCase>;
+    /// Give the engine a telemetry handle for engine-internal events
+    /// (mutations, affinity discoveries, synthesis steps). The default is a
+    /// no-op so baseline engines need no changes; the campaign always calls
+    /// this before the first `next_case`.
+    fn attach_telemetry(&mut self, _tel: Telemetry) {}
 }
 
 /// Execution budget, in *statement-execution units* — the stand-in for the
@@ -85,6 +91,11 @@ pub struct CampaignStats {
     /// Type-affinities contained in the engine's final corpus (Table II).
     pub corpus_affinities: usize,
     pub corpus_size: usize,
+    /// Statements the binder/executor accepted across the whole campaign
+    /// (the semantic-validity numerator). Deterministic; always counted.
+    pub stmts_ok: usize,
+    /// Statements the binder/executor rejected with a semantic error.
+    pub stmts_err: usize,
     /// Wall-clock duration of the campaign, in milliseconds. Timing fields
     /// are the only non-deterministic part of the stats; see
     /// [`CampaignStats::deterministic_json`].
@@ -93,6 +104,10 @@ pub struct CampaignStats {
     pub execs_per_sec: f64,
     /// Worker threads that executed the campaign (1 for the serial path).
     pub workers: usize,
+    /// Per-stage wall-clock breakdown and operator gain attribution, present
+    /// when the campaign ran with telemetry enabled. Timing-bearing, so
+    /// [`CampaignStats::deterministic_json`] strips it.
+    pub stage_profile: Option<StageProfile>,
 }
 
 impl CampaignStats {
@@ -100,13 +115,26 @@ impl CampaignStats {
         self.bugs.len()
     }
 
-    /// JSON with the wall-clock fields zeroed, leaving only the
-    /// deterministic campaign outcome. Two runs with the same engine seed
-    /// and worker count must produce byte-identical output here.
+    /// Semantic-validity ratio in percent: binder-accepted statements over
+    /// all attempted statements.
+    pub fn validity_pct(&self) -> f64 {
+        let total = self.stmts_ok + self.stmts_err;
+        if total == 0 {
+            100.0
+        } else {
+            self.stmts_ok as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// JSON with the wall-clock fields zeroed and the stage profile
+    /// stripped, leaving only the deterministic campaign outcome. Two runs
+    /// with the same engine seed and worker count must produce
+    /// byte-identical output here — with or without telemetry attached.
     pub fn deterministic_json(&self) -> String {
         let mut c = self.clone();
         c.wall_ms = 0;
         c.execs_per_sec = 0.0;
+        c.stage_profile = None;
         serde_json::to_string(&c).expect("stats serialize")
     }
 
@@ -118,13 +146,28 @@ impl CampaignStats {
     }
 }
 
-/// Run one engine against one DBMS for the budget (serial path).
+/// Run one engine against one DBMS for the budget (serial path, no
+/// telemetry). Exactly [`run_campaign_observed`] with a disabled handle.
 pub fn run_campaign(
     engine: &mut dyn FuzzEngine,
     dialect: Dialect,
     budget: Budget,
 ) -> CampaignStats {
+    run_campaign_observed(engine, dialect, budget, &Telemetry::disabled())
+}
+
+/// Run one engine against one DBMS for the budget (serial path), reporting
+/// progress through `tel`. Telemetry never influences the campaign: events
+/// carry only logical time, and with a disabled handle every instrument
+/// point is a single branch.
+pub fn run_campaign_observed(
+    engine: &mut dyn FuzzEngine,
+    dialect: Dialect,
+    budget: Budget,
+    tel: &Telemetry,
+) -> CampaignStats {
     let start = Instant::now();
+    engine.attach_telemetry(tel.clone());
     let mut global = GlobalCoverage::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
@@ -137,13 +180,34 @@ pub fn run_campaign(
     let mut db = Dbms::new(dialect);
     let mut units = 0usize;
     let mut execs = 0usize;
+    let mut stmts_ok = 0usize;
+    let mut stmts_err = 0usize;
     let mut next_snapshot = 0usize;
     while units < budget.units {
-        let case = engine.next_case();
+        let case = tel.time(Stage::Generation, || engine.next_case());
         db.reset();
-        let report = db.execute_case(&case);
+        tel.emit(|| Event::ExecStart { worker: 0, exec: execs as u64 });
+        let report = tel.time(Stage::Execution, || db.execute_case(&case));
         units += report.statements_executed + CASE_RESET_COST;
-        let new_coverage = global.merge(&report.coverage);
+        stmts_ok += report.stmts_ok;
+        stmts_err += report.stmts_err;
+        let prev_edges = global.edges_covered();
+        let new_coverage = tel.time(Stage::CoverageUnion, || global.merge(&report.coverage));
+        if new_coverage {
+            let edges = global.edges_covered();
+            // Stash the gain so the engine's feedback can attribute it to
+            // the operator that produced this case.
+            tel.set_pending_edges((edges - prev_edges) as u64);
+            tel.live_progress(edges as u64);
+        }
+        tel.emit(|| Event::ExecEnd {
+            worker: 0,
+            exec: execs as u64,
+            statements: report.statements_executed as u64,
+            ok: report.stmts_ok as u64,
+            err: report.stmts_err as u64,
+            new_coverage,
+        });
         if let Some(crash) = report.crash() {
             let h = crash.stack_hash();
             if let std::collections::hash_map::Entry::Vacant(e) = seen_stacks.entry(h) {
@@ -151,8 +215,15 @@ pub fn run_campaign(
                 // Triage: minimize the reproducer right away (the reduction
                 // executions are charged to the budget, like a real
                 // campaign's triage time).
-                let (reduced, spent) = crate::reduce::reduce_case(&case, dialect, crash);
+                let (reduced, spent) =
+                    tel.time(Stage::Dedup, || crate::reduce::reduce_case(&case, dialect, crash));
                 units += spent;
+                tel.emit(|| Event::BugFound {
+                    worker: 0,
+                    exec: execs as u64,
+                    identifier: crash.identifier.clone(),
+                    stack_hash: h,
+                });
                 bugs.push(BugFinding {
                     crash: crash.clone(),
                     first_exec: execs,
@@ -161,7 +232,7 @@ pub fn run_campaign(
                 });
             }
         }
-        engine.feedback(&case, &report, new_coverage);
+        tel.time(Stage::Feedback, || engine.feedback(&case, &report, new_coverage));
         db.recycle(report.coverage);
         execs += 1;
         if units >= next_snapshot {
@@ -181,13 +252,36 @@ pub fn run_campaign(
         branches: global.edges_covered(),
         corpus_affinities: corpus_affinities(&corpus).len(),
         corpus_size: corpus.len(),
+        stmts_ok,
+        stmts_err,
         bugs,
         wall_ms: 0,
         execs_per_sec: 0.0,
         workers: 1,
+        stage_profile: tel.stage_profile(),
     };
     stats.stamp_timing(start, 1);
+    finish_telemetry(tel, &stats);
     stats
+}
+
+/// End-of-campaign telemetry: dump replayable bug artifacts, publish the
+/// final gauges, flush the sinks and print the last heartbeat line.
+fn finish_telemetry(tel: &Telemetry, stats: &CampaignStats) {
+    if !tel.enabled() {
+        return;
+    }
+    for b in &stats.bugs {
+        tel.dump_bug_artifact(
+            &stats.fuzzer,
+            &stats.dialect.name().to_lowercase(),
+            &b.crash.identifier,
+            b.crash.stack_hash(),
+            &b.reduced_sql,
+        );
+    }
+    tel.set_live_gauges(stats.branches as u64, stats.corpus_size as u64);
+    tel.finish();
 }
 
 /// Options for [`run_campaign_parallel`].
@@ -224,12 +318,23 @@ struct WorkerOut {
     fuzzer: String,
     execs: usize,
     units: usize,
+    stmts_ok: usize,
+    stmts_err: usize,
     /// Local-shard snapshots, one per curve point (`budget.snapshots` of
     /// them), each paired with the units the worker had consumed when it was
     /// taken.
     snaps: Vec<(usize, GlobalCoverage)>,
     bugs: Vec<BugFinding>,
     corpus: Vec<TestCase>,
+}
+
+/// One worker's slice of a parallel campaign: its index, budget share, and
+/// the sync cadence it inherits from [`ParallelOpts`].
+struct Shard {
+    worker: usize,
+    sub_units: usize,
+    snapshots: usize,
+    sync_every: usize,
 }
 
 /// Run one engine shard for a slice of the budget.
@@ -242,12 +347,13 @@ struct WorkerOut {
 /// merged result is interleaving-independent too.
 fn run_worker(
     mut engine: Box<dyn FuzzEngine + Send>,
+    shard_cfg: Shard,
     dialect: Dialect,
-    sub_units: usize,
-    snapshots: usize,
-    sync_every: usize,
     sink: &Mutex<GlobalCoverage>,
+    tel: &Telemetry,
 ) -> WorkerOut {
+    let Shard { worker, sub_units, snapshots, sync_every } = shard_cfg;
+    engine.attach_telemetry(tel.clone());
     let mut shard = GlobalCoverage::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
@@ -257,20 +363,49 @@ fn run_worker(
     let mut db = Dbms::new(dialect);
     let mut units = 0usize;
     let mut execs = 0usize;
+    let mut stmts_ok = 0usize;
+    let mut stmts_err = 0usize;
     let mut next_snap = 1usize;
     let mut since_sync = 0usize;
     while units < sub_units {
-        let case = engine.next_case();
+        let case = tel.time(Stage::Generation, || engine.next_case());
         db.reset();
-        let report = db.execute_case(&case);
+        tel.emit(|| Event::ExecStart { worker, exec: execs as u64 });
+        let report = tel.time(Stage::Execution, || db.execute_case(&case));
         units += report.statements_executed + CASE_RESET_COST;
-        let new_coverage = shard.merge(&report.coverage);
+        stmts_ok += report.stmts_ok;
+        stmts_err += report.stmts_err;
+        // Novelty (and gain attribution) is judged against the local shard
+        // only, so the event stream of a worker depends solely on its own
+        // seed and budget slice — never on scheduler interleaving.
+        let prev_edges = shard.edges_covered();
+        let new_coverage = tel.time(Stage::CoverageUnion, || shard.merge(&report.coverage));
+        if new_coverage {
+            let edges = shard.edges_covered();
+            tel.set_pending_edges((edges - prev_edges) as u64);
+            tel.live_progress(edges as u64);
+        }
+        tel.emit(|| Event::ExecEnd {
+            worker,
+            exec: execs as u64,
+            statements: report.statements_executed as u64,
+            ok: report.stmts_ok as u64,
+            err: report.stmts_err as u64,
+            new_coverage,
+        });
         if let Some(crash) = report.crash() {
             let h = crash.stack_hash();
             if let std::collections::hash_map::Entry::Vacant(e) = seen_stacks.entry(h) {
                 e.insert(execs);
-                let (reduced, spent) = crate::reduce::reduce_case(&case, dialect, crash);
+                let (reduced, spent) =
+                    tel.time(Stage::Dedup, || crate::reduce::reduce_case(&case, dialect, crash));
                 units += spent;
+                tel.emit(|| Event::BugFound {
+                    worker,
+                    exec: execs as u64,
+                    identifier: crash.identifier.clone(),
+                    stack_hash: h,
+                });
                 bugs.push(BugFinding {
                     crash: crash.clone(),
                     first_exec: execs,
@@ -279,12 +414,15 @@ fn run_worker(
                 });
             }
         }
-        engine.feedback(&case, &report, new_coverage);
+        tel.time(Stage::Feedback, || engine.feedback(&case, &report, new_coverage));
         db.recycle(report.coverage);
         execs += 1;
         since_sync += 1;
         if since_sync >= sync_every.max(1) {
-            sink.lock().expect("coverage sink poisoned").union_with(&shard);
+            tel.time(Stage::CoverageUnion, || {
+                sink.lock().expect("coverage sink poisoned").union_with(&shard)
+            });
+            tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
             since_sync = 0;
         }
         while next_snap <= snapshots && units >= threshold(next_snap) {
@@ -299,12 +437,17 @@ fn run_worker(
         next_snap += 1;
     }
     // Final flush: after this, the sink holds everything the shard saw.
-    sink.lock().expect("coverage sink poisoned").union_with(&shard);
+    tel.time(Stage::CoverageUnion, || {
+        sink.lock().expect("coverage sink poisoned").union_with(&shard)
+    });
+    tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
 
     WorkerOut {
         fuzzer: engine.name().to_string(),
         execs,
         units,
+        stmts_ok,
+        stmts_err,
         snaps,
         bugs,
         corpus: engine.corpus(),
@@ -330,10 +473,29 @@ pub fn run_campaign_parallel<F>(
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
 {
+    run_campaign_parallel_observed(factory, dialect, budget, opts, &Telemetry::disabled())
+}
+
+/// [`run_campaign_parallel`] with telemetry. Each worker gets a
+/// [`Telemetry::worker_child`] that buffers its events privately (live
+/// counters are shared so the heartbeat sees all workers in real time); the
+/// join replays the buffers into the parent's sinks in worker-index order,
+/// so the merged event stream is deterministic for a fixed seed set and
+/// worker count.
+pub fn run_campaign_parallel_observed<F>(
+    factory: F,
+    dialect: Dialect,
+    budget: Budget,
+    opts: ParallelOpts,
+    tel: &Telemetry,
+) -> CampaignStats
+where
+    F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
+{
     let workers = opts.workers.max(1);
     if workers == 1 {
         let mut engine = factory(0);
-        return run_campaign(engine.as_mut(), dialect, budget);
+        return run_campaign_observed(engine.as_mut(), dialect, budget, tel);
     }
 
     let start = Instant::now();
@@ -342,14 +504,22 @@ where
     // first (units % N) workers. Deterministic for a given (units, N).
     let slice = |w: usize| budget.units / workers + usize::from(w < budget.units % workers);
 
+    let children: Vec<Telemetry> = (0..workers).map(|w| tel.worker_child(w)).collect();
     let sink = Mutex::new(GlobalCoverage::new());
     let outs: Vec<WorkerOut> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let sink = &sink;
                 let factory = &factory;
+                let wtel = &children[w];
                 s.spawn(move || {
-                    run_worker(factory(w), dialect, slice(w), snapshots, opts.sync_every, sink)
+                    let shard = Shard {
+                        worker: w,
+                        sub_units: slice(w),
+                        snapshots,
+                        sync_every: opts.sync_every,
+                    };
+                    run_worker(factory(w), shard, dialect, sink, wtel)
                 })
             })
             .collect();
@@ -358,6 +528,10 @@ where
         handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
     });
     let global = sink.into_inner().expect("coverage sink poisoned");
+    // Replay buffered worker events into the parent sinks, in worker order.
+    for child in &children {
+        tel.merge_worker(child);
+    }
 
     // Merged coverage curve: the i-th point unions every worker's i-th
     // local-shard snapshot; its x-coordinate is the units all workers had
@@ -401,12 +575,16 @@ where
         branches: global.edges_covered(),
         corpus_affinities: corpus_affinities(&corpus).len(),
         corpus_size: corpus.len(),
+        stmts_ok: outs.iter().map(|o| o.stmts_ok).sum(),
+        stmts_err: outs.iter().map(|o| o.stmts_err).sum(),
         bugs,
         wall_ms: 0,
         execs_per_sec: 0.0,
         workers: 1,
+        stage_profile: tel.stage_profile(),
     };
     stats.stamp_timing(start, workers);
+    finish_telemetry(tel, &stats);
     stats
 }
 

@@ -18,6 +18,7 @@ use crate::pool::SeedPool;
 use crate::seeds::initial_corpus;
 use crate::synthesis::SequenceStore;
 use lego_dbms::ExecReport;
+use lego_observe::{Event, MutOp, Telemetry};
 use lego_sqlast::{Dialect, StmtKind, TestCase};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -85,9 +86,26 @@ impl Default for Config {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Origin {
     Seed,
-    SeqMutation,
+    /// Algorithm 1 mutants, by operator (telemetry attributes coverage
+    /// gains to the specific operator that produced the case).
+    Substitution,
+    Insertion,
+    Deletion,
     Synthesized,
     Conventional,
+}
+
+impl Origin {
+    fn op(self) -> MutOp {
+        match self {
+            Origin::Seed => MutOp::Seed,
+            Origin::Substitution => MutOp::Substitution,
+            Origin::Insertion => MutOp::Insertion,
+            Origin::Deletion => MutOp::Deletion,
+            Origin::Synthesized => MutOp::Synthesis,
+            Origin::Conventional => MutOp::Conventional,
+        }
+    }
 }
 
 struct Pending {
@@ -117,6 +135,9 @@ pub struct LegoFuzzer {
     /// synthesized sequences offering no new n-gram are not re-instantiated.
     executed_ngrams: std::collections::HashSet<Vec<StmtKind>>,
     pending_origin: Origin,
+    /// Telemetry handle, attached by the campaign harness. Disabled by
+    /// default; never consulted for any fuzzing decision.
+    tel: Telemetry,
     pub stats: LegoStats,
 }
 
@@ -151,6 +172,7 @@ impl LegoFuzzer {
             kinds: dialect.supported_kinds(),
             executed_ngrams: std::collections::HashSet::new(),
             pending_origin: Origin::Seed,
+            tel: Telemetry::disabled(),
             stats: LegoStats::default(),
             cfg,
         };
@@ -221,7 +243,7 @@ impl LegoFuzzer {
     /// substitution / insertion / deletion mutants. (They are *executed*
     /// later by the campaign loop; affinity analysis happens in `feedback`
     /// for the ones that hit new branches.)
-    fn sequence_mutants(&mut self, seed: &TestCase) -> Vec<TestCase> {
+    fn sequence_mutants(&mut self, seed: &TestCase) -> Vec<(TestCase, Origin)> {
         let mut out = Vec::new();
         let n = seed.statements.len().min(12);
         for i in 0..n {
@@ -234,7 +256,7 @@ impl LegoFuzzer {
                 let mut q1 = seed.clone();
                 q1.statements[i] = stmt;
                 fix_case(&mut q1, &mut self.rng);
-                out.push(q1);
+                out.push((q1, Origin::Substitution));
             }
             // Insertion after (unless the seed is already at the length
             // cap). Insertion *extends* sequences — composition — so it
@@ -248,14 +270,14 @@ impl LegoFuzzer {
                 let mut q2 = seed.clone();
                 q2.statements.insert(i + 1, stmt);
                 fix_case(&mut q2, &mut self.rng);
-                out.push(q2);
+                out.push((q2, Origin::Insertion));
             }
             // Deletion.
             if seed.statements.len() > 1 {
                 let mut q3 = seed.clone();
                 q3.statements.remove(i);
                 fix_case(&mut q3, &mut self.rng);
-                out.push(q3);
+                out.push((q3, Origin::Deletion));
             }
         }
         self.stats.seq_mutants += out.len();
@@ -273,14 +295,16 @@ impl LegoFuzzer {
             }
         };
         if self.cfg.seq_mutation {
-            for mutant in self.sequence_mutants(&seed_case) {
-                self.push(mutant, Origin::SeqMutation);
+            for (mutant, origin) in self.sequence_mutants(&seed_case) {
+                self.tel.emit(|| Event::MutationApplied { op: origin.op() });
+                self.push(mutant, origin);
             }
         }
         for _ in 0..self.cfg.conventional_per_seed {
             let mutant =
                 conventional_mutate_stacked(&seed_case, &mut self.rng, self.cfg.mutation_stack);
             self.stats.conventional_mutants += 1;
+            self.tel.emit(|| Event::MutationApplied { op: MutOp::Conventional });
             self.push(mutant, Origin::Conventional);
         }
     }
@@ -295,7 +319,8 @@ impl LegoFuzzer {
                 self.cfg.synth_limit_per_affinity,
             );
             self.stats.sequences_synthesized += seqs.len();
-            for seq in seqs {
+            let instantiated_before = self.stats.cases_instantiated;
+            for seq in &seqs {
                 // Instantiate only sequences that would execute at least one
                 // type 2-gram or 3-gram never executed before; the rest
                 // re-cover known interactions and are skipped to keep seeds
@@ -311,11 +336,17 @@ impl LegoFuzzer {
                 // triples over known pairs get one shot.
                 let n_inst = if has_new_pair { self.cfg.instantiations_per_seq } else { 1 };
                 for _ in 0..n_inst {
-                    let case = instantiate(&seq, &self.library, self.dialect, &mut self.rng);
+                    let case = instantiate(seq, &self.library, self.dialect, &mut self.rng);
                     self.stats.cases_instantiated += 1;
                     self.push(case, Origin::Synthesized);
                 }
             }
+            self.tel.emit(|| Event::SynthesisStep {
+                t1: t1.name(),
+                t2: t2.name(),
+                sequences: seqs.len() as u64,
+                instantiated: (self.stats.cases_instantiated - instantiated_before) as u64,
+            });
         }
     }
 }
@@ -363,6 +394,9 @@ impl FuzzEngine for LegoFuzzer {
         if !new_coverage {
             return;
         }
+        // Attribute the coverage gain (edge delta stashed by the campaign
+        // loop) to the operator that produced this case.
+        self.tel.record_gain(self.pending_origin.op());
         // Retain the seed and harvest its AST structures.
         self.pool.add(case.clone(), report.statements_executed.max(1));
         self.library.add_case(case);
@@ -392,6 +426,11 @@ impl FuzzEngine for LegoFuzzer {
                 }
             }
             self.stats.affinities_found = self.affinities.len();
+            if self.tel.enabled() {
+                for &(t1, t2) in &new_affs {
+                    self.tel.emit(|| Event::AffinityDiscovered { t1: t1.name(), t2: t2.name() });
+                }
+            }
             if !new_affs.is_empty() {
                 self.synthesize_for(&new_affs);
             }
@@ -401,14 +440,9 @@ impl FuzzEngine for LegoFuzzer {
     fn corpus(&self) -> Vec<TestCase> {
         self.pool.cases().cloned().collect()
     }
-}
 
-// The trait needs somewhere to stash the origin between next_case/feedback;
-// kept as a plain field.
-impl LegoFuzzer {
-    #[allow(dead_code)]
-    fn origin_of_last(&self) -> Origin {
-        self.pending_origin
+    fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 }
 
@@ -452,7 +486,8 @@ mod tests {
         let seed = initial_corpus(Dialect::Postgres)[0].clone();
         let mutants = fz.sequence_mutants(&seed);
         assert!(!mutants.is_empty());
-        let changed = mutants.iter().filter(|m| m.type_sequence() != seed.type_sequence()).count();
+        let changed =
+            mutants.iter().filter(|(m, _)| m.type_sequence() != seed.type_sequence()).count();
         assert!(changed * 10 >= mutants.len() * 9, "{changed}/{}", mutants.len());
     }
 

@@ -39,8 +39,12 @@ pub mod seeds;
 pub mod synthesis;
 
 pub use affinity::AffinityMap;
-pub use campaign::{run_campaign, Budget, CampaignStats, FuzzEngine};
+pub use campaign::{
+    run_campaign, run_campaign_observed, run_campaign_parallel, run_campaign_parallel_observed,
+    Budget, CampaignStats, FuzzEngine, ParallelOpts,
+};
 pub use fuzzer::{Config, LegoFuzzer};
+pub use lego_observe as observe;
 pub use reduce::reduce_case;
 pub use synthesis::SequenceStore;
 

@@ -29,6 +29,11 @@ pub struct ExecReport {
     pub errors: Vec<String>,
     /// Rows returned by the last query statement.
     pub last_rows: usize,
+    /// Statements the binder/executor accepted (the semantic-validity
+    /// numerator; `stmts_ok + stmts_err == statements_executed`).
+    pub stmts_ok: usize,
+    /// Statements the binder/executor rejected with a semantic error.
+    pub stmts_err: usize,
 }
 
 impl ExecReport {
@@ -118,10 +123,13 @@ impl Dbms {
                 statements_executed: 0,
                 errors: vec!["server is down".into()],
                 last_rows: 0,
+                stmts_ok: 0,
+                stmts_err: 0,
             };
         }
         let mut errors = Vec::new();
         let mut executed = 0usize;
+        let mut ok_count = 0usize;
         for stmt in &case.statements {
             // Every statement re-enters through the same command dispatcher,
             // so the AFL edge chain re-synchronizes at the statement
@@ -131,7 +139,7 @@ impl Dbms {
             let kind = stmt.kind();
             ctx.trace.push(kind);
             match self.session.exec_statement(&mut ctx, stmt) {
-                Ok(_) => {}
+                Ok(_) => ok_count += 1,
                 Err(e) => errors.push(e),
             }
             executed += 1;
@@ -149,6 +157,8 @@ impl Dbms {
                     last_rows: ctx.last_row_count,
                     coverage: ctx.cov.into_map(),
                     statements_executed: executed,
+                    stmts_ok: ok_count,
+                    stmts_err: executed - ok_count,
                     errors,
                 };
             }
@@ -158,6 +168,8 @@ impl Dbms {
             last_rows: ctx.last_row_count,
             coverage: ctx.cov.into_map(),
             statements_executed: executed,
+            stmts_ok: ok_count,
+            stmts_err: executed - ok_count,
             errors,
         }
     }
@@ -181,6 +193,8 @@ impl Dbms {
                     statements_executed: 0,
                     errors: vec![e.to_string()],
                     last_rows: 0,
+                    stmts_ok: 0,
+                    stmts_err: 0,
                 }
             }
         }

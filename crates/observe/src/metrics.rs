@@ -1,0 +1,235 @@
+//! Aggregating metrics registry: counters, gauges, and histograms with
+//! Prometheus-text and JSON export.
+//!
+//! Metric keys embed their labels Prometheus-style
+//! (`lego_coverage_gains_total{op="insertion"}`), and every map is a
+//! `BTreeMap`, so exports are deterministically ordered.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Fixed bucket upper bounds for the statements-per-case histogram.
+const STMT_BUCKETS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+#[derive(Clone, Debug, Default)]
+struct Histogram {
+    /// Cumulative counts per bucket in [`STMT_BUCKETS`] order, plus +Inf.
+    buckets: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; STMT_BUCKETS.len() + 1];
+        }
+        for (i, &le) in STMT_BUCKETS.iter().enumerate() {
+            if v <= le {
+                self.buckets[i] += 1;
+            }
+        }
+        *self.buckets.last_mut().expect("+Inf bucket") += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe metrics store. One registry typically serves a whole process
+/// (all grid cells of an experiment binary feed the same registry).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registry>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut r = self.inner.lock().expect("metrics poisoned");
+        *r.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let mut r = self.inner.lock().expect("metrics poisoned");
+        r.gauges.insert(name.to_string(), v);
+    }
+
+    pub fn observe_histogram(&self, name: &str, v: u64) {
+        let mut r = self.inner.lock().expect("metrics poisoned");
+        r.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().expect("metrics poisoned").counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().expect("metrics poisoned").gauges.get(name).copied()
+    }
+
+    /// Fold one event into the standard campaign metrics.
+    pub fn observe_event(&self, ev: &Event) {
+        self.inc(&format!("lego_events_total{{type=\"{}\"}}", ev.type_name()), 1);
+        match ev {
+            Event::ExecEnd { statements, ok, err, new_coverage, .. } => {
+                self.inc("lego_execs_total", 1);
+                self.inc("lego_statements_total", *statements);
+                self.inc("lego_statements_ok_total", *ok);
+                self.inc("lego_statements_err_total", *err);
+                if *new_coverage {
+                    self.inc("lego_interesting_cases_total", 1);
+                }
+                self.observe_histogram("lego_statements_per_case", *statements);
+            }
+            Event::MutationApplied { op } => {
+                self.inc(&format!("lego_mutations_total{{op=\"{}\"}}", op.name()), 1);
+            }
+            Event::AffinityDiscovered { .. } => self.inc("lego_affinities_total", 1),
+            Event::SynthesisStep { sequences, instantiated, .. } => {
+                self.inc("lego_synthesized_sequences_total", *sequences);
+                self.inc("lego_instantiated_cases_total", *instantiated);
+            }
+            Event::CoverageGain { op, edges } => {
+                self.inc(&format!("lego_coverage_gains_total{{op=\"{}\"}}", op.name()), 1);
+                self.inc(
+                    &format!("lego_coverage_gain_edges_total{{op=\"{}\"}}", op.name()),
+                    *edges,
+                );
+            }
+            Event::BugFound { .. } => self.inc("lego_bugs_total", 1),
+            Event::WorkerSync { .. } => self.inc("lego_worker_syncs_total", 1),
+            Event::ExecStart { .. } => {}
+        }
+    }
+
+    /// Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        let r = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        for (k, v) in &r.counters {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        for (k, v) in &r.gauges {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        for (k, h) in &r.histograms {
+            for (i, &le) in STMT_BUCKETS.iter().enumerate() {
+                out.push_str(&format!(
+                    "{k}_bucket{{le=\"{le}\"}} {}\n",
+                    h.buckets.get(i).copied().unwrap_or(0)
+                ));
+            }
+            out.push_str(&format!(
+                "{k}_bucket{{le=\"+Inf\"}} {}\n",
+                h.buckets.last().copied().unwrap_or(0)
+            ));
+            out.push_str(&format!("{k}_sum {}\n", h.sum));
+            out.push_str(&format!("{k}_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// JSON export: `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn json(&self) -> String {
+        let r = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in r.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(k, &mut out);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in r.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(k, &mut out);
+            out.push(':');
+            serde::Serialize::serialize_json(v, &mut out);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in r.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(k, &mut out);
+            out.push_str(&format!(":{{\"sum\":{},\"count\":{},\"buckets\":[", h.sum, h.count));
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MutOp;
+
+    #[test]
+    fn exec_end_updates_counters_and_histogram() {
+        let m = MetricsRegistry::new();
+        m.observe_event(&Event::ExecEnd {
+            worker: 0,
+            exec: 0,
+            statements: 5,
+            ok: 4,
+            err: 1,
+            new_coverage: true,
+        });
+        assert_eq!(m.counter("lego_execs_total"), 1);
+        assert_eq!(m.counter("lego_statements_ok_total"), 4);
+        assert_eq!(m.counter("lego_statements_err_total"), 1);
+        assert_eq!(m.counter("lego_interesting_cases_total"), 1);
+        let prom = m.prometheus_text();
+        assert!(prom.contains("lego_statements_per_case_bucket{le=\"8\"} 1"));
+        assert!(prom.contains("lego_statements_per_case_sum 5"));
+    }
+
+    #[test]
+    fn labeled_counters_and_json_export() {
+        let m = MetricsRegistry::new();
+        m.observe_event(&Event::CoverageGain { op: MutOp::Insertion, edges: 7 });
+        m.set_gauge("lego_branches", 42.0);
+        assert_eq!(m.counter("lego_coverage_gains_total{op=\"insertion\"}"), 1);
+        let json = m.json();
+        assert!(json.contains("\"lego_coverage_gain_edges_total{op=\\\"insertion\\\"}\":7"));
+        assert!(json.contains("\"lego_branches\":42.0"));
+    }
+
+    #[test]
+    fn exports_are_deterministically_ordered() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        for m in [&a, &b] {
+            m.inc("z_total", 1);
+            m.inc("a_total", 2);
+            m.set_gauge("m_gauge", 1.5);
+        }
+        assert_eq!(a.prometheus_text(), b.prometheus_text());
+        assert_eq!(a.json(), b.json());
+        assert!(
+            a.prometheus_text().find("a_total").unwrap()
+                < a.prometheus_text().find("z_total").unwrap()
+        );
+    }
+}

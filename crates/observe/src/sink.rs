@@ -1,0 +1,137 @@
+//! Pluggable event sinks.
+//!
+//! A sink receives every emitted [`Event`] behind a shared reference, so
+//! implementations synchronize internally (one `Mutex` per sink; the hot
+//! path never takes a lock when telemetry is disabled — see
+//! [`crate::Telemetry`]).
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Where events go. `emit` must be cheap and must never panic the campaign:
+/// I/O errors are swallowed after the first failure.
+pub trait EventSink: Send + Sync {
+    fn emit(&self, ev: &Event);
+    /// Flush any buffered output (end of campaign).
+    fn flush(&self) {}
+}
+
+/// The disabled sink: does nothing. A campaign built with only `NoopSink`
+/// behaves exactly like one with telemetry off; the campaign hot path
+/// short-circuits before even constructing events (zero-cost guarantee).
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    #[inline]
+    fn emit(&self, _ev: &Event) {}
+}
+
+/// Append-only JSONL event log: one `Event::to_json` object per line.
+pub struct JsonlSink {
+    out: Mutex<Option<BufWriter<File>>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the log file. Parent directories are created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(Self { out: Mutex::new(Some(BufWriter::new(file))) })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, ev: &Event) {
+        let mut guard = self.out.lock().expect("jsonl sink poisoned");
+        if let Some(w) = guard.as_mut() {
+            let mut line = ev.to_json();
+            line.push('\n');
+            if w.write_all(line.as_bytes()).is_err() {
+                // Disk trouble must not kill a long campaign: drop the writer
+                // and keep fuzzing without the event log.
+                *guard = None;
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let mut guard = self.out.lock().expect("jsonl sink poisoned");
+        if let Some(w) = guard.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// In-memory sink: buffers events for later inspection (tests) or for the
+/// deterministic per-worker merge of the parallel campaign path.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take all buffered events, leaving the sink empty.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Copy of the buffered events.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, ev: &Event) {
+        self.events.lock().expect("memory sink poisoned").push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let sink = MemorySink::new();
+        sink.emit(&Event::ExecStart { worker: 0, exec: 0 });
+        sink.emit(&Event::WorkerSync { worker: 0, execs: 1 });
+        assert_eq!(sink.len(), 2);
+        let evs = sink.drain();
+        assert_eq!(evs.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let path = std::env::temp_dir().join("lego_observe_sink_test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Event::ExecStart { worker: 0, exec: 0 });
+        sink.emit(&Event::CoverageGain { op: crate::MutOp::Synthesis, edges: 3 });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with("{\"type\":\"") && l.ends_with('}')));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -14,6 +14,7 @@ pub use lego as fuzzer;
 pub use lego_baselines as baselines;
 pub use lego_coverage as coverage;
 pub use lego_dbms as dbms;
+pub use lego_observe as observe;
 pub use lego_sqlast as sqlast;
 pub use lego_sqlparser as sqlparser;
 

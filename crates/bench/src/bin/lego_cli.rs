@@ -3,7 +3,7 @@
 //! ```text
 //! lego_cli fuzz <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S]
 //!               [--out DIR] [--corpus DIR]   # --corpus: resume from saved seeds
-//!               [--telemetry PATH] [--heartbeat]
+//!               [--telemetry PATH] [--heartbeat] [--oracles[=LIST]]
 //! lego_cli replay <pg|mysql|maria|comdb2> <script.sql>
 //! lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>
 //! lego_cli bugs  [pg|mysql|maria|comdb2]
@@ -13,16 +13,24 @@
 //! `PATH` as JSONL and writes metrics exports next to it; `--heartbeat`
 //! prints a ~1 Hz live status line to stderr.
 //!
+//! `--oracles` enables the wrong-result correctness oracles (TLP, NoREC and
+//! cross-dialect differential replay) on every corpus-accepted case;
+//! `--oracles=tlp,norec,differential` selects a subset. Deduplicated logic
+//! bugs are reported next to crash bugs and written as reproducers with
+//! `--out`.
+//!
 //! A `fuzz --out DIR` run writes `campaign.json`, one reduced reproducer per
 //! bug, and the retained seed corpus under `DIR/corpus/`; a later run with
 //! `--corpus DIR/corpus` resumes from it (the paper's continuous-fuzzing
 //! workflow).
 
-use lego::campaign::{run_campaign_observed, Budget, FuzzEngine};
+use lego::campaign::{run_campaign_with_oracles, Budget, FuzzEngine};
 use lego::corpus_io::{load_corpus, save_corpus};
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego::reduce::reduce_case;
+use lego::OracleConfig;
 use lego_baselines::engine_by_name;
+use lego_bench::grid::parse_oracles;
 use lego_dbms::{bugs, Dbms};
 use lego_sqlast::Dialect;
 use std::path::PathBuf;
@@ -40,7 +48,7 @@ fn dialect_of(arg: &str) -> Option<Dialect> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
+        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat] [--oracles[=tlp,norec,differential]]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
     );
     ExitCode::from(2)
 }
@@ -68,6 +76,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let mut telemetry: Option<PathBuf> =
         std::env::var("LEGO_TELEMETRY").ok().filter(|p| !p.is_empty()).map(PathBuf::from);
     let mut heartbeat = false;
+    let mut oracles = OracleConfig::disabled();
     let mut i = 1;
     while i + 1 < args.len() + 1 {
         match args.get(i).map(String::as_str) {
@@ -99,6 +108,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 heartbeat = true;
                 i += 1;
             }
+            Some("--oracles") => {
+                oracles = OracleConfig::all();
+                i += 1;
+            }
+            Some(spec) if spec.starts_with("--oracles=") => {
+                oracles = parse_oracles(&spec["--oracles=".len()..]);
+                i += 1;
+            }
             Some(other) => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -123,8 +140,27 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         }
         None => engine_by_name(&fuzzer, dialect, seed),
     };
+    if oracles.enabled() {
+        let mut kinds = Vec::new();
+        if oracles.tlp {
+            kinds.push("TLP");
+        }
+        if oracles.norec {
+            kinds.push("NoREC");
+        }
+        if oracles.differential {
+            kinds.push("differential");
+        }
+        println!("correctness oracles enabled: {}", kinds.join(", "));
+    }
     let guard = lego_bench::telemetry_to(telemetry.as_deref(), heartbeat, 1, seed);
-    let stats = run_campaign_observed(engine.as_mut(), dialect, Budget::units(units), &guard.tel);
+    let stats = run_campaign_with_oracles(
+        engine.as_mut(),
+        dialect,
+        Budget::units(units),
+        &guard.tel,
+        oracles,
+    );
     guard.finish();
     println!(
         "executed {} cases | {} branches | {} affinities | {} retained seeds | {:.1}% valid stmts | {} bugs",
@@ -144,6 +180,18 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             bug.first_exec
         );
     }
+    if oracles.enabled() {
+        println!("oracle checks: {} | logic bugs: {}", stats.oracle_checks, stats.logic_bugs.len());
+        for lb in &stats.logic_bugs {
+            println!(
+                "  [{}] {} at exec #{}: {}",
+                lb.bug.oracle.name(),
+                lb.bug.identifier(),
+                lb.first_exec,
+                lb.bug.detail
+            );
+        }
+    }
     if let Some(dir) = out {
         std::fs::create_dir_all(&dir).expect("create out dir");
         let report = serde_json::to_string_pretty(&stats).expect("serialize");
@@ -152,6 +200,15 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             let name = bug.crash.identifier.replace([' ', '#', '/'], "_").to_ascii_lowercase();
             std::fs::write(dir.join(format!("{name}.sql")), &bug.reduced_sql)
                 .expect("write reproducer");
+        }
+        for lb in &stats.logic_bugs {
+            let name = format!(
+                "logic_{}_{:016x}",
+                lb.bug.oracle.name().to_ascii_lowercase(),
+                lb.fingerprint()
+            );
+            std::fs::write(dir.join(format!("{name}.sql")), &lb.reduced_sql)
+                .expect("write logic-bug reproducer");
         }
         let n = save_corpus(&dir.join("corpus"), &engine.corpus()).expect("save corpus");
         println!("reports + {n}-seed corpus written to {}", dir.display());

@@ -36,10 +36,20 @@ fn main() {
         Dialect::ALL.into_iter().flat_map(|d| (0..seeds).map(move |s| (d, s))).collect();
     let guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
+    let oracles = cli.oracles;
     let jobs: Vec<_> = specs
         .iter()
         .map(|&(dialect, s)| {
-            move || campaign_observed("LEGO", dialect, units, DEFAULT_SEED + s as u64 * 7717, tel)
+            move || {
+                campaign_with_oracles(
+                    "LEGO",
+                    dialect,
+                    units,
+                    DEFAULT_SEED + s as u64 * 7717,
+                    tel,
+                    oracles,
+                )
+            }
         })
         .collect();
     let all_stats = run_grid(jobs, cli.workers);
@@ -83,6 +93,14 @@ fn main() {
         "\nFound {total} distinct bugs ({cves} CVE-identified) out of {} planted.",
         bugs::manifest().len()
     );
+    if oracles.enabled() {
+        let checks: usize = all_stats.iter().map(|s| s.oracle_checks).sum();
+        let logic: usize = all_stats.iter().map(|s| s.logic_bugs.len()).sum();
+        println!(
+            "Correctness oracles: {checks} checks, {logic} wrong-result findings \
+             (0 expected on the clean engine)."
+        );
+    }
     for (d, n) in &per_dbms {
         let planted = match d.as_str() {
             "PostgreSQL" => 6,

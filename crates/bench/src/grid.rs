@@ -54,6 +54,9 @@ where
 ///   falls back to the `LEGO_TELEMETRY` env var. Metrics exports land next
 ///   to the log (see [`crate::build_telemetry`]).
 /// - `--heartbeat` — ~1 Hz live status line on stderr.
+/// - `--oracles[=LIST]` — enable the correctness oracles. Bare `--oracles`
+///   turns on all three; `--oracles=tlp,norec,differential` selects a
+///   subset.
 pub struct Cli {
     /// Positional arguments, flags removed, program name excluded.
     pub positional: Vec<String>,
@@ -61,6 +64,25 @@ pub struct Cli {
     /// JSONL event-log path, when telemetry was requested.
     pub telemetry: Option<String>,
     pub heartbeat: bool,
+    /// Correctness-oracle selection (disabled unless `--oracles` is given).
+    pub oracles: lego::OracleConfig,
+}
+
+/// Parse an `--oracles` value: a comma-separated subset of
+/// `tlp`/`norec`/`differential` (`diff` accepted). Unknown names are
+/// ignored rather than fatal — experiment binaries treat flags leniently.
+pub fn parse_oracles(spec: &str) -> lego::OracleConfig {
+    let mut cfg = lego::OracleConfig::disabled();
+    for name in spec.split(',') {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "tlp" => cfg.tlp = true,
+            "norec" => cfg.norec = true,
+            "differential" | "diff" => cfg.differential = true,
+            "all" => cfg = lego::OracleConfig::all(),
+            _ => {}
+        }
+    }
+    cfg
 }
 
 impl Cli {
@@ -73,6 +95,7 @@ impl Cli {
         let mut workers = None;
         let mut telemetry = None;
         let mut heartbeat = false;
+        let mut oracles = lego::OracleConfig::disabled();
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             if a == "--workers" {
@@ -85,6 +108,10 @@ impl Cli {
                 telemetry = Some(v.to_string());
             } else if a == "--heartbeat" {
                 heartbeat = true;
+            } else if a == "--oracles" {
+                oracles = lego::OracleConfig::all();
+            } else if let Some(v) = a.strip_prefix("--oracles=") {
+                oracles = parse_oracles(v);
             } else {
                 positional.push(a);
             }
@@ -96,6 +123,7 @@ impl Cli {
                 .or_else(|| std::env::var("LEGO_TELEMETRY").ok())
                 .filter(|p| !p.is_empty()),
             heartbeat,
+            oracles,
         }
     }
 
@@ -161,5 +189,28 @@ mod tests {
     fn cli_rejects_zero_workers() {
         let cli = Cli::from_args(["--workers", "0"].into_iter().map(String::from));
         assert!(cli.workers >= 1);
+    }
+
+    #[test]
+    fn cli_extracts_oracles_flag() {
+        let off = Cli::from_args(["9000"].into_iter().map(String::from));
+        assert!(!off.oracles.enabled());
+
+        let all = Cli::from_args(["--oracles", "9000"].into_iter().map(String::from));
+        assert_eq!(all.oracles, lego::OracleConfig::all());
+        assert_eq!(all.positional, vec!["9000"]);
+
+        let subset = Cli::from_args(["--oracles=tlp,norec"].into_iter().map(String::from));
+        assert!(subset.oracles.tlp && subset.oracles.norec && !subset.oracles.differential);
+    }
+
+    #[test]
+    fn oracle_spec_parsing() {
+        assert_eq!(parse_oracles("all"), lego::OracleConfig::all());
+        let d = parse_oracles("diff");
+        assert!(d.differential && !d.tlp && !d.norec);
+        assert!(!parse_oracles("bogus").enabled());
+        let spaced = parse_oracles(" tlp , differential ");
+        assert!(spaced.tlp && spaced.differential && !spaced.norec);
     }
 }

@@ -8,9 +8,11 @@
 pub mod grid;
 
 use lego::campaign::{
-    run_campaign_observed, run_campaign_parallel_observed, Budget, CampaignStats, ParallelOpts,
+    run_campaign_observed, run_campaign_parallel_observed, run_campaign_parallel_with_oracles,
+    run_campaign_with_oracles, Budget, CampaignStats, ParallelOpts,
 };
 use lego::observe::{MetricsRegistry, Telemetry};
+use lego::OracleConfig;
 use lego_baselines::engine_by_name;
 use lego_sqlast::Dialect;
 use serde::Serialize;
@@ -55,6 +57,20 @@ pub fn campaign_observed(
     run_campaign_observed(engine.as_mut(), dialect, Budget::units(units), tel)
 }
 
+/// [`campaign_observed`] with the correctness oracles enabled per `oracles`
+/// (checked after every corpus-accepted case; see `lego::campaign`).
+pub fn campaign_with_oracles(
+    fuzzer: &str,
+    dialect: Dialect,
+    units: usize,
+    seed: u64,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+) -> CampaignStats {
+    let mut engine = engine_by_name(fuzzer, dialect, seed);
+    run_campaign_with_oracles(engine.as_mut(), dialect, Budget::units(units), tel, oracles)
+}
+
 /// Run one fuzzer×dialect campaign sharded over `workers` threads. Worker
 /// `w` gets seed `seed ^ w·φ`, so worker 0 reproduces the serial stream and
 /// `workers == 1` is byte-identical to [`campaign`].
@@ -86,6 +102,29 @@ pub fn campaign_parallel_observed(
         Budget::units(units),
         ParallelOpts { workers, ..ParallelOpts::default() },
         tel,
+    )
+}
+
+/// [`campaign_parallel_observed`] with the correctness oracles enabled.
+pub fn campaign_parallel_with_oracles(
+    fuzzer: &str,
+    dialect: Dialect,
+    units: usize,
+    seed: u64,
+    workers: usize,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+) -> CampaignStats {
+    let fuzzer = fuzzer.to_string();
+    run_campaign_parallel_with_oracles(
+        move |w| {
+            engine_by_name(&fuzzer, dialect, seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        },
+        dialect,
+        Budget::units(units),
+        ParallelOpts { workers, ..ParallelOpts::default() },
+        tel,
+        oracles,
     )
 }
 

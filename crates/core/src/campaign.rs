@@ -6,6 +6,7 @@ use crate::affinity::corpus_affinities;
 use lego_coverage::GlobalCoverage;
 use lego_dbms::{CrashReport, Dbms, ExecReport};
 use lego_observe::{Event, Stage, StageProfile, Telemetry};
+use lego_oracle::{reduce::reduce_logic_bug, LogicBug, OracleConfig, OracleSuite};
 use lego_sqlast::{Dialect, TestCase};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
@@ -73,6 +74,25 @@ pub struct BugFinding {
     pub reduced_sql: String,
 }
 
+/// One deduplicated wrong-result (logic) bug found by a correctness oracle.
+#[derive(Clone, Debug, Serialize)]
+pub struct LogicBugFinding {
+    pub bug: LogicBug,
+    /// Execution index of the corpus-accepted case that first tripped the
+    /// oracle.
+    pub first_exec: usize,
+    /// The triggering test case, as SQL.
+    pub case_sql: String,
+    /// Delta-debugged minimal reproducer (same oracle fingerprint), as SQL.
+    pub reduced_sql: String,
+}
+
+impl LogicBugFinding {
+    pub fn fingerprint(&self) -> u64 {
+        self.bug.fingerprint()
+    }
+}
+
 /// Everything a campaign measured.
 #[derive(Clone, Debug, Serialize)]
 pub struct CampaignStats {
@@ -88,6 +108,12 @@ pub struct CampaignStats {
     pub branches: usize,
     /// Deduplicated bugs in discovery order.
     pub bugs: Vec<BugFinding>,
+    /// Deduplicated oracle-flagged wrong-result bugs in discovery order
+    /// (empty unless the campaign ran with oracles enabled).
+    pub logic_bugs: Vec<LogicBugFinding>,
+    /// Oracle comparisons performed (TLP + NoREC + differential; 0 with
+    /// oracles disabled).
+    pub oracle_checks: usize,
     /// Type-affinities contained in the engine's final corpus (Table II).
     pub corpus_affinities: usize,
     pub corpus_size: usize,
@@ -146,6 +172,60 @@ impl CampaignStats {
     }
 }
 
+/// Per-campaign (or per-worker) logic-bug oracle state: the replay suite,
+/// fingerprint dedup, findings, and the check counter. With oracles disabled
+/// every call is a no-op costing one branch, keeping the hot loop unchanged.
+struct OracleRuntime {
+    suite: Option<OracleSuite>,
+    seen: HashMap<u64, usize>,
+    findings: Vec<LogicBugFinding>,
+    checks: usize,
+}
+
+impl OracleRuntime {
+    fn new(dialect: Dialect, cfg: OracleConfig) -> Self {
+        Self {
+            suite: cfg.enabled().then(|| OracleSuite::new(dialect, cfg)),
+            seen: HashMap::new(),
+            findings: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    /// Run the configured oracles over one corpus-accepted case. New
+    /// (fingerprint-deduplicated) findings are reduced immediately, like
+    /// crash triage. Returns the statement units consumed, which the caller
+    /// charges to the campaign budget.
+    fn check(&mut self, case: &TestCase, worker: usize, exec: usize, tel: &Telemetry) -> usize {
+        let Some(suite) = self.suite.as_mut() else { return 0 };
+        let out = tel.time(Stage::Oracle, || suite.check_case(case));
+        let mut spent = out.execs;
+        self.checks += out.checks;
+        for bug in out.bugs {
+            let fp = bug.fingerprint();
+            if let std::collections::hash_map::Entry::Vacant(e) = self.seen.entry(fp) {
+                e.insert(exec);
+                let (reduced, evals) =
+                    tel.time(Stage::Oracle, || reduce_logic_bug(case, suite, &bug));
+                spent += evals;
+                tel.emit(|| Event::LogicBugFound {
+                    worker,
+                    exec: exec as u64,
+                    oracle: bug.oracle.name().to_string(),
+                    fingerprint: fp,
+                });
+                self.findings.push(LogicBugFinding {
+                    bug,
+                    first_exec: exec,
+                    case_sql: case.to_sql(),
+                    reduced_sql: reduced.to_sql(),
+                });
+            }
+        }
+        spent
+    }
+}
+
 /// Run one engine against one DBMS for the budget (serial path, no
 /// telemetry). Exactly [`run_campaign_observed`] with a disabled handle.
 pub fn run_campaign(
@@ -166,11 +246,31 @@ pub fn run_campaign_observed(
     budget: Budget,
     tel: &Telemetry,
 ) -> CampaignStats {
+    run_campaign_with_oracles(engine, dialect, budget, tel, OracleConfig::disabled())
+}
+
+/// [`run_campaign_observed`] plus correctness oracles: after every
+/// corpus-accepted (new-coverage, non-crashing) case, the configured oracles
+/// replay it on dedicated DBMS instances; deduplicated wrong-result findings
+/// go through the same reduce/report pipeline as crashes. Oracle replays
+/// never feed coverage back into the campaign, and their statement
+/// executions are charged to the unit budget like crash-triage executions —
+/// an oracle-enabled campaign trades some fuzzing throughput for checking,
+/// exactly as a real one would. The run stays a deterministic function of
+/// (engine seed, worker count, oracle config).
+pub fn run_campaign_with_oracles(
+    engine: &mut dyn FuzzEngine,
+    dialect: Dialect,
+    budget: Budget,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+) -> CampaignStats {
     let start = Instant::now();
     engine.attach_telemetry(tel.clone());
     let mut global = GlobalCoverage::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
+    let mut oracle_rt = OracleRuntime::new(dialect, oracles);
     let mut curve = Vec::with_capacity(budget.snapshots + 1);
     let every = (budget.units / budget.snapshots.max(1)).max(1);
 
@@ -232,6 +332,9 @@ pub fn run_campaign_observed(
                 });
             }
         }
+        if new_coverage && report.crash().is_none() {
+            units += oracle_rt.check(&case, 0, execs, tel);
+        }
         tel.time(Stage::Feedback, || engine.feedback(&case, &report, new_coverage));
         db.recycle(report.coverage);
         execs += 1;
@@ -255,6 +358,8 @@ pub fn run_campaign_observed(
         stmts_ok,
         stmts_err,
         bugs,
+        logic_bugs: oracle_rt.findings,
+        oracle_checks: oracle_rt.checks,
         wall_ms: 0,
         execs_per_sec: 0.0,
         workers: 1,
@@ -277,6 +382,16 @@ fn finish_telemetry(tel: &Telemetry, stats: &CampaignStats) {
             &stats.dialect.name().to_lowercase(),
             &b.crash.identifier,
             b.crash.stack_hash(),
+            &b.reduced_sql,
+        );
+    }
+    for b in &stats.logic_bugs {
+        tel.dump_logic_bug_artifact(
+            &stats.fuzzer,
+            &stats.dialect.name().to_lowercase(),
+            b.bug.oracle.name(),
+            b.fingerprint(),
+            &b.bug.detail,
             &b.reduced_sql,
         );
     }
@@ -325,6 +440,8 @@ struct WorkerOut {
     /// taken.
     snaps: Vec<(usize, GlobalCoverage)>,
     bugs: Vec<BugFinding>,
+    logic_bugs: Vec<LogicBugFinding>,
+    oracle_checks: usize,
     corpus: Vec<TestCase>,
 }
 
@@ -351,12 +468,14 @@ fn run_worker(
     dialect: Dialect,
     sink: &Mutex<GlobalCoverage>,
     tel: &Telemetry,
+    oracles: OracleConfig,
 ) -> WorkerOut {
     let Shard { worker, sub_units, snapshots, sync_every } = shard_cfg;
     engine.attach_telemetry(tel.clone());
     let mut shard = GlobalCoverage::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
+    let mut oracle_rt = OracleRuntime::new(dialect, oracles);
     let mut snaps: Vec<(usize, GlobalCoverage)> = Vec::with_capacity(snapshots);
     let threshold = |i: usize| sub_units * i / snapshots.max(1);
 
@@ -414,6 +533,9 @@ fn run_worker(
                 });
             }
         }
+        if new_coverage && report.crash().is_none() {
+            units += oracle_rt.check(&case, worker, execs, tel);
+        }
         tel.time(Stage::Feedback, || engine.feedback(&case, &report, new_coverage));
         db.recycle(report.coverage);
         execs += 1;
@@ -450,6 +572,8 @@ fn run_worker(
         stmts_err,
         snaps,
         bugs,
+        logic_bugs: oracle_rt.findings,
+        oracle_checks: oracle_rt.checks,
         corpus: engine.corpus(),
     }
 }
@@ -492,10 +616,36 @@ pub fn run_campaign_parallel_observed<F>(
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
 {
+    run_campaign_parallel_with_oracles(
+        factory,
+        dialect,
+        budget,
+        opts,
+        tel,
+        OracleConfig::disabled(),
+    )
+}
+
+/// [`run_campaign_parallel_observed`] plus correctness oracles. Every worker
+/// owns a private [`OracleSuite`] and deduplicates locally; the join merges
+/// logic bugs across workers by fingerprint in `(first_exec, worker)` order,
+/// exactly like crash dedup, so the merged report is a deterministic
+/// function of (factory seeds, worker count, oracle config).
+pub fn run_campaign_parallel_with_oracles<F>(
+    factory: F,
+    dialect: Dialect,
+    budget: Budget,
+    opts: ParallelOpts,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+) -> CampaignStats
+where
+    F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
+{
     let workers = opts.workers.max(1);
     if workers == 1 {
         let mut engine = factory(0);
-        return run_campaign_observed(engine.as_mut(), dialect, budget, tel);
+        return run_campaign_with_oracles(engine.as_mut(), dialect, budget, tel, oracles);
     }
 
     let start = Instant::now();
@@ -519,7 +669,7 @@ where
                         snapshots,
                         sync_every: opts.sync_every,
                     };
-                    run_worker(factory(w), shard, dialect, sink, wtel)
+                    run_worker(factory(w), shard, dialect, sink, wtel, oracles)
                 })
             })
             .collect();
@@ -565,6 +715,20 @@ where
         .map(|(_, b)| b)
         .collect();
 
+    // Merged logic-bug list: same scheme, keyed by oracle fingerprint.
+    let mut tagged_logic: Vec<(usize, LogicBugFinding)> = outs
+        .iter()
+        .enumerate()
+        .flat_map(|(w, out)| out.logic_bugs.iter().cloned().map(move |b| (w, b)))
+        .collect();
+    tagged_logic.sort_by_key(|&(w, ref b)| (b.first_exec, w));
+    let mut seen_fps = HashSet::new();
+    let logic_bugs: Vec<LogicBugFinding> = tagged_logic
+        .into_iter()
+        .filter(|(_, b)| seen_fps.insert(b.fingerprint()))
+        .map(|(_, b)| b)
+        .collect();
+
     let corpus: Vec<TestCase> = outs.iter().flat_map(|o| o.corpus.iter().cloned()).collect();
     let mut stats = CampaignStats {
         fuzzer: outs[0].fuzzer.clone(),
@@ -578,6 +742,8 @@ where
         stmts_ok: outs.iter().map(|o| o.stmts_ok).sum(),
         stmts_err: outs.iter().map(|o| o.stmts_err).sum(),
         bugs,
+        logic_bugs,
+        oracle_checks: outs.iter().map(|o| o.oracle_checks).sum(),
         wall_ms: 0,
         execs_per_sec: 0.0,
         workers: 1,

@@ -41,10 +41,13 @@ pub mod synthesis;
 pub use affinity::AffinityMap;
 pub use campaign::{
     run_campaign, run_campaign_observed, run_campaign_parallel, run_campaign_parallel_observed,
-    Budget, CampaignStats, FuzzEngine, ParallelOpts,
+    run_campaign_parallel_with_oracles, run_campaign_with_oracles, Budget, CampaignStats,
+    FuzzEngine, LogicBugFinding, ParallelOpts,
 };
 pub use fuzzer::{Config, LegoFuzzer};
 pub use lego_observe as observe;
+pub use lego_oracle as oracle;
+pub use lego_oracle::{LogicBug, OracleConfig};
 pub use reduce::reduce_case;
 pub use synthesis::SequenceStore;
 

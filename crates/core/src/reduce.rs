@@ -7,10 +7,14 @@
 //!
 //! 1. statement-level delta debugging (drop chunks, then single statements),
 //! 2. literal simplification (replace literals with canonical small values).
+//!
+//! The shrink algorithm itself lives in [`lego_oracle::reduce::reduce_with`],
+//! parameterized over an arbitrary "still fails" predicate; this module
+//! instantiates it with the crash predicate. The logic-bug instantiation is
+//! [`lego_oracle::reduce::reduce_logic_bug`].
 
 use lego_dbms::{CrashReport, Dbms};
-use lego_sqlast::expr::Expr;
-use lego_sqlast::skeleton::rebind;
+use lego_oracle::reduce::reduce_with;
 use lego_sqlast::{Dialect, TestCase};
 
 /// Does this case still produce the same crash? Resets and reuses the one
@@ -28,73 +32,9 @@ fn still_crashes(db: &mut Dbms, case: &TestCase, want: u64) -> bool {
 /// reduced case and the number of executions spent.
 pub fn reduce_case(case: &TestCase, dialect: Dialect, crash: &CrashReport) -> (TestCase, usize) {
     let want = crash.stack_hash();
-    let mut execs = 0usize;
     let mut db = Dbms::new(dialect);
     debug_assert!(still_crashes(&mut db, case, want), "input must reproduce the crash");
-    let mut current = case.clone();
-
-    // Phase 1: statement-level ddmin — try dropping halves, then quarters,
-    // … then single statements, iterating to a fixed point.
-    let mut chunk = (current.len() / 2).max(1);
-    while chunk >= 1 {
-        let mut progress = false;
-        let mut start = 0;
-        while start < current.len() && current.len() > 1 {
-            let end = (start + chunk).min(current.len());
-            let mut candidate = current.clone();
-            candidate.statements.drain(start..end);
-            if candidate.is_empty() {
-                start = end;
-                continue;
-            }
-            execs += 1;
-            if still_crashes(&mut db, &candidate, want) {
-                current = candidate;
-                progress = true;
-                // Retry the same offset: the next chunk shifted into place.
-            } else {
-                start = end;
-            }
-        }
-        if chunk == 1 && !progress {
-            break;
-        }
-        if !progress {
-            chunk /= 2;
-        }
-    }
-
-    // Phase 2: literal simplification — canonicalize literals one statement
-    // at a time, keeping changes that preserve the crash.
-    for i in 0..current.len() {
-        let mut candidate = current.clone();
-        let mut changed = false;
-        rebind(
-            &mut candidate.statements[i],
-            |_t| {},
-            |_c| {},
-            |l| {
-                let simple = match l {
-                    Expr::Integer(v) if *v != 0 && *v != 1 => Some(Expr::Integer(1)),
-                    Expr::Float(_) => Some(Expr::Integer(1)),
-                    Expr::Str(s) if !s.is_empty() && s != "x" => Some(Expr::Str("x".into())),
-                    _ => None,
-                };
-                if let Some(sv) = simple {
-                    *l = sv;
-                    changed = true;
-                }
-            },
-        );
-        if changed {
-            execs += 1;
-            if still_crashes(&mut db, &candidate, want) {
-                current = candidate;
-            }
-        }
-    }
-
-    (current, execs)
+    reduce_with(case, |candidate| still_crashes(&mut db, candidate, want))
 }
 
 #[cfg(test)]

@@ -1,0 +1,107 @@
+//! Determinism contracts of oracle-enabled campaigns (acceptance criteria):
+//! same seed → same reports, and the parallel path stays byte-for-byte
+//! reproducible with oracles on. Runs against the clean engine (no injected
+//! fault), so these tests coexist with the default multithreaded runner.
+
+use lego::campaign::{
+    run_campaign_parallel_with_oracles, run_campaign_with_oracles, Budget, FuzzEngine, ParallelOpts,
+};
+use lego::fuzzer::{Config, LegoFuzzer};
+use lego::OracleConfig;
+use lego_observe::Telemetry;
+use lego_sqlast::Dialect;
+
+fn lego_factory(
+    dialect: Dialect,
+    base_seed: u64,
+) -> impl Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync {
+    move |worker| {
+        let rng_seed = base_seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let cfg = Config { rng_seed, ..Config::default() };
+        Box::new(LegoFuzzer::new(dialect, cfg))
+    }
+}
+
+fn opts(workers: usize) -> ParallelOpts {
+    ParallelOpts { workers, sync_every: 4 }
+}
+
+const BUDGET: Budget = Budget { units: 20_000, snapshots: 10 };
+
+#[test]
+fn serial_oracle_campaign_is_deterministic() {
+    let run = || {
+        let cfg = Config { rng_seed: 0x0dac1e, ..Config::default() };
+        let mut engine = LegoFuzzer::new(Dialect::Postgres, cfg);
+        run_campaign_with_oracles(
+            &mut engine,
+            Dialect::Postgres,
+            BUDGET,
+            &Telemetry::disabled(),
+            OracleConfig::all(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    assert!(a.oracle_checks > 0, "campaign never reached an oracle-eligible query");
+}
+
+#[test]
+fn workers1_oracle_campaign_matches_serial() {
+    let cfg = Config { rng_seed: 0x5eed, ..Config::default() };
+    let mut engine = LegoFuzzer::new(Dialect::MySql, cfg);
+    let serial = run_campaign_with_oracles(
+        &mut engine,
+        Dialect::MySql,
+        BUDGET,
+        &Telemetry::disabled(),
+        OracleConfig::all(),
+    );
+    let parallel = run_campaign_parallel_with_oracles(
+        lego_factory(Dialect::MySql, 0x5eed),
+        Dialect::MySql,
+        BUDGET,
+        opts(1),
+        &Telemetry::disabled(),
+        OracleConfig::all(),
+    );
+    assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+}
+
+#[test]
+fn three_worker_oracle_campaign_is_byte_for_byte_reproducible() {
+    let run = || {
+        run_campaign_parallel_with_oracles(
+            lego_factory(Dialect::Postgres, 42),
+            Dialect::Postgres,
+            BUDGET,
+            opts(3),
+            &Telemetry::disabled(),
+            OracleConfig::all(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    assert_eq!(a.workers, 3);
+}
+
+#[test]
+fn oracles_disabled_is_byte_identical_to_the_plain_campaign() {
+    // The oracle hook must be a strict no-op when disabled: the pre-oracle
+    // entry points are wrappers passing `OracleConfig::disabled()`.
+    let mk = || {
+        let cfg = Config { rng_seed: 7, ..Config::default() };
+        LegoFuzzer::new(Dialect::Comdb2, cfg)
+    };
+    let plain = lego::run_campaign(&mut mk(), Dialect::Comdb2, BUDGET);
+    let disabled = run_campaign_with_oracles(
+        &mut mk(),
+        Dialect::Comdb2,
+        BUDGET,
+        &Telemetry::disabled(),
+        OracleConfig::disabled(),
+    );
+    assert_eq!(plain.deterministic_json(), disabled.deterministic_json());
+}

@@ -174,6 +174,21 @@ impl Dbms {
         }
     }
 
+    /// Execute a read-only query against the current database state,
+    /// outside the fuzzing pipeline: no coverage accounting, no trace, no
+    /// crash-oracle check. This is the oracle layer's window into actual
+    /// result sets (the normal execution path only reports row counts).
+    pub fn run_query(
+        &mut self,
+        q: &lego_sqlast::ast::Query,
+    ) -> Result<crate::query::ResultSet, String> {
+        if self.poisoned.is_some() {
+            return Err("server is down".into());
+        }
+        let mut ctx = ExecCtx::new();
+        self.session.run_query(&mut ctx, q)
+    }
+
     /// Parse and execute a SQL script.
     pub fn execute_script(&mut self, sql: &str) -> ExecReport {
         match lego_sqlparser::parse_script(sql) {

@@ -105,6 +105,17 @@ impl Session {
         QueryEnv::new(&self.cat, &self.prof, &self.user)
     }
 
+    /// Run a query against the session's current state and hand back the
+    /// actual result set (the statement dispatcher only reports row counts).
+    /// Used by the oracle layer via [`crate::Dbms::run_query`].
+    pub fn run_query(
+        &self,
+        ctx: &mut ExecCtx,
+        q: &lego_sqlast::ast::Query,
+    ) -> Result<crate::query::ResultSet, String> {
+        run_query(&self.qenv(), ctx, q)
+    }
+
     fn check_privilege(
         &mut self,
         ctx: &mut ExecCtx,

@@ -1,0 +1,45 @@
+//! Test-only logic-fault injection.
+//!
+//! The metamorphic oracles (`lego-oracle`) can only be integration-tested
+//! against an engine that is actually wrong, so this module provides a
+//! process-global switch that plants a *silent wrong-result* bug in the read
+//! path: when enabled, the `WHERE` filter drops the last qualifying row —
+//! the classic shape of an optimizer/scan bug that never crashes and never
+//! errors, exactly the class TLP and NoREC exist to catch.
+//!
+//! The switch is off by default and is only meant to be flipped from tests
+//! (keep fault-enabled tests in their own test binary: the flag is global to
+//! the process and test binaries run their `#[test]`s on multiple threads).
+//! The hot-path cost when disabled is one relaxed atomic load per filtered
+//! scan.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static WHERE_DROPS_LAST_ROW: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the planted wrong-result fault (test-only).
+pub fn set_where_drops_last_row(enabled: bool) {
+    WHERE_DROPS_LAST_ROW.store(enabled, Ordering::Relaxed);
+}
+
+/// Is the planted wrong-result fault enabled?
+pub(crate) fn where_drops_last_row() -> bool {
+    WHERE_DROPS_LAST_ROW.load(Ordering::Relaxed)
+}
+
+/// RAII guard that enables the fault for a scope and always disables it on
+/// drop, so a panicking test cannot leak the fault into later tests.
+pub struct FaultGuard(());
+
+impl FaultGuard {
+    pub fn enable_where_drops_last_row() -> Self {
+        set_where_drops_last_row(true);
+        FaultGuard(())
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        set_where_drops_last_row(false);
+    }
+}

@@ -41,6 +41,7 @@ pub mod ctx;
 pub mod engine;
 pub mod eval;
 pub mod exec;
+pub mod faults;
 pub mod profile;
 pub mod query;
 pub mod value;
@@ -48,6 +49,7 @@ pub mod value;
 pub use bugs::{BugSpec, BugType, CrashReport};
 pub use engine::{Dbms, ExecReport, Outcome};
 pub use profile::{Component, Profile};
+pub use query::ResultSet;
 pub use value::{Row, Value};
 
 /// Commonly used items.

@@ -24,6 +24,55 @@ pub struct ResultSet {
     pub rows: Vec<Row>,
 }
 
+impl ResultSet {
+    /// The rows in a deterministic canonical order (total order via
+    /// [`Value::sort_cmp`], lexicographic across columns), independent of
+    /// scan/evaluation order. Oracles compare result *multisets*, so two
+    /// result sets are equivalent iff their canonical rows are equal.
+    pub fn canonical_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.sort_cmp(y);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.len().cmp(&b.len())
+        });
+        rows
+    }
+
+    /// An order-insensitive 64-bit digest of the result multiset
+    /// (FNV-1a over the canonical rows' [`Value::key_repr`] encodings plus
+    /// the column count). Equal digests ⇒ equal multisets for oracle
+    /// purposes; used for cross-dialect result comparison.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(&(self.columns.len() as u64).to_le_bytes());
+        for row in self.canonical_rows() {
+            mix(b"\x02");
+            for v in &row {
+                mix(b"\x01");
+                mix(v.key_repr().as_bytes());
+            }
+        }
+        h
+    }
+
+    /// How many rows are truthy in a single-column result (the NoREC scan
+    /// count). Rows whose value is NULL or false do not count.
+    pub fn truthy_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.first().map(|v| v.is_truthy()).unwrap_or(false)).count()
+    }
+}
+
 /// Read-path environment.
 pub struct QueryEnv<'a> {
     pub cat: &'a Catalog,
@@ -393,6 +442,11 @@ fn run_select(
             if eval(w, &mut eenv)?.is_truthy() {
                 kept.push(row);
             }
+        }
+        if crate::faults::where_drops_last_row() && !kept.is_empty() {
+            // Planted wrong-result fault (test-only, see `crate::faults`):
+            // the filtered scan silently loses its last qualifying row.
+            kept.pop();
         }
         rel.rows = kept;
         if rel.rows.is_empty() {

@@ -1,0 +1,254 @@
+//! Property-based tests for expression evaluation semantics.
+//!
+//! The correctness oracles (TLP/NoREC in `lego-oracle`) are only as sound as
+//! the engine's NULL and comparison semantics: TLP's partition identity
+//! assumes exact three-valued logic, and NoREC assumes the predicate
+//! evaluates identically in WHERE position and projection position. These
+//! properties pin the laws those oracles rely on:
+//!
+//! - NULL propagates through every scalar operator (arithmetic, comparison,
+//!   concatenation) — only AND/OR may absorb it,
+//! - AND/OR implement Kleene three-valued logic exactly,
+//! - `Value::sort_cmp` is a total order (reflexive, antisymmetric,
+//!   transitive) with NULLs first,
+//! - the expression layer's comparison operators agree with the value
+//!   layer's `sql_cmp`/`sql_eq`.
+
+use lego_dbms::ctx::ExecCtx;
+use lego_dbms::eval::{eval, Bindings, EvalEnv};
+use lego_dbms::value::Value;
+use lego_sqlast::expr::{BinOp, Expr, UnaryOp};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+
+/// Evaluate a constant expression (no rows, no subqueries).
+fn eval_const(e: &Expr) -> Value {
+    let mut ctx = ExecCtx::new();
+    let cols: Bindings = vec![];
+    let row: Vec<Value> = vec![];
+    let mut env = EvalEnv { cols: &cols, row: &row, ctx: &mut ctx, subquery: None };
+    eval(e, &mut env).expect("constant expression evaluates")
+}
+
+/// A random runtime value. Floats are kept finite: NaN is unreachable
+/// through SQL literals and would void the total-order contract by
+/// construction. Blob (which has no literal syntax) appears only when
+/// `allow_blob` is set — value-layer properties cover it, expression-layer
+/// properties can't.
+fn rand_value(rng: &mut SmallRng, allow_blob: bool) -> Value {
+    match rng.gen_range(0..if allow_blob { 6 } else { 5 }) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen()),
+        2 => Value::Float(rng.gen_range(-1_000_000_000i64..1_000_000_000) as f64 / 1024.0),
+        3 => {
+            let n = rng.gen_range(0..8);
+            Value::Text((0..n).map(|_| rng.gen_range(b'a'..=b'z') as char).collect())
+        }
+        4 => Value::Bool(rng.gen_bool(0.5)),
+        _ => {
+            let n = rng.gen_range(0..8);
+            Value::Blob((0..n).map(|_| (rng.gen::<u32>() & 0xff) as u8).collect())
+        }
+    }
+}
+
+fn rand_nonnull(rng: &mut SmallRng, allow_blob: bool) -> Value {
+    loop {
+        let v = rand_value(rng, allow_blob);
+        if !v.is_null() {
+            return v;
+        }
+    }
+}
+
+/// The literal expression that evaluates to `v`.
+fn lit(v: &Value) -> Expr {
+    match v {
+        Value::Null => Expr::Null,
+        Value::Int(i) => Expr::int(*i),
+        Value::Float(f) => Expr::Float(*f),
+        Value::Text(s) => Expr::str(s.clone()),
+        Value::Bool(b) => Expr::Bool(*b),
+        Value::Blob(_) => unreachable!("blobs have no literal syntax"),
+    }
+}
+
+/// Every scalar binary operator that must propagate NULL (all but AND/OR).
+const STRICT_OPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Mod,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Concat,
+];
+
+/// SQL truth value: `Some(bool)` or `None` for unknown.
+fn tri(v: &Value) -> Option<bool> {
+    if v.is_null() {
+        None
+    } else {
+        Some(v.is_truthy())
+    }
+}
+
+/// TRUE, FALSE, or NULL as a literal expression.
+fn tri_expr(t: Option<bool>) -> Expr {
+    match t {
+        None => Expr::Null,
+        Some(b) => Expr::Bool(b),
+    }
+}
+
+const TRI: [Option<bool>; 3] = [None, Some(false), Some(true)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NULL is contagious: any strict operator with a NULL operand yields
+    /// NULL, regardless of the other side's type or value.
+    #[test]
+    fn null_propagates_through_strict_operators(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = rand_value(&mut rng, false);
+        for &op in STRICT_OPS {
+            let left = Expr::binary(Expr::Null, op, lit(&v));
+            let right = Expr::binary(lit(&v), op, Expr::Null);
+            prop_assert_eq!(eval_const(&left), Value::Null, "NULL {:?} {:?}", op, v);
+            prop_assert_eq!(eval_const(&right), Value::Null, "{:?} {:?} NULL", v, op);
+        }
+    }
+
+    /// AND and OR follow Kleene's three-valued truth tables: FALSE dominates
+    /// AND, TRUE dominates OR, and everything else involving unknown stays
+    /// unknown. Operands are arbitrary values, not just booleans — SQL
+    /// truthiness coerces them first.
+    #[test]
+    fn and_or_match_kleene_truth_tables(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (va, vb) = (rand_value(&mut rng, false), rand_value(&mut rng, false));
+        let (a, b) = (tri(&va), tri(&vb));
+        let and = eval_const(&Expr::binary(lit(&va), BinOp::And, lit(&vb)));
+        let or = eval_const(&Expr::binary(lit(&va), BinOp::Or, lit(&vb)));
+        let expect_and = match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        };
+        let expect_or = match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        };
+        prop_assert_eq!(tri(&and), expect_and, "{:?} AND {:?}", va, vb);
+        prop_assert_eq!(tri(&or), expect_or, "{:?} OR {:?}", va, vb);
+    }
+
+    /// Exhaustive tri-valued table as a degenerate property: all nine
+    /// TRUE/FALSE/NULL operand pairs, associativity-free ground truth.
+    #[test]
+    fn and_or_literal_truth_table(_seed in any::<u64>()) {
+        for a in TRI {
+            for b in TRI {
+                let and = eval_const(&Expr::binary(tri_expr(a), BinOp::And, tri_expr(b)));
+                let or = eval_const(&Expr::binary(tri_expr(a), BinOp::Or, tri_expr(b)));
+                prop_assert_eq!(tri(&and), [a, b].contains(&Some(false)).then_some(false)
+                    .or(if a == Some(true) && b == Some(true) { Some(true) } else { None }));
+                prop_assert_eq!(tri(&or), [a, b].contains(&Some(true)).then_some(true)
+                    .or(if a == Some(false) && b == Some(false) { Some(false) } else { None }));
+            }
+        }
+    }
+
+    /// NOT maps unknown to unknown and otherwise inverts truthiness — the
+    /// identity TLP leans on when it partitions by `p` / `NOT p` /
+    /// `p IS NULL`.
+    #[test]
+    fn not_negates_in_three_valued_logic(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = rand_value(&mut rng, false);
+        let negated = eval_const(&Expr::Unary(UnaryOp::Not, Box::new(lit(&v))));
+        prop_assert_eq!(tri(&negated), tri(&v).map(|b| !b), "NOT {:?}", v);
+    }
+
+    /// Exactly one of `p`, `NOT p`, `p IS NULL` holds for any operand — the
+    /// TLP partition covers each row exactly once.
+    #[test]
+    fn tlp_partition_branches_are_exhaustive_and_disjoint(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = rand_value(&mut rng, false);
+        let p = lit(&v);
+        let not_p = Expr::Unary(UnaryOp::Not, Box::new(p.clone()));
+        let is_null = Expr::IsNull { expr: Box::new(p.clone()), negated: false };
+        let holds = [eval_const(&p), eval_const(&not_p), eval_const(&is_null)]
+            .iter()
+            .filter(|r| r.is_truthy())
+            .count();
+        prop_assert_eq!(holds, 1, "partition of {:?}", v);
+    }
+
+    /// `sort_cmp` is reflexive and antisymmetric across all type classes.
+    #[test]
+    fn sort_cmp_is_reflexive_and_antisymmetric(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b) = (rand_value(&mut rng, true), rand_value(&mut rng, true));
+        prop_assert_eq!(a.sort_cmp(&a), Ordering::Equal, "{:?}", a);
+        prop_assert_eq!(a.sort_cmp(&b), b.sort_cmp(&a).reverse(), "{:?} vs {:?}", a, b);
+    }
+
+    /// `sort_cmp` is transitive: the ORDER BY / index-key order is a genuine
+    /// total order even across type classes.
+    #[test]
+    fn sort_cmp_is_transitive(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut vals = [
+            rand_value(&mut rng, true),
+            rand_value(&mut rng, true),
+            rand_value(&mut rng, true),
+        ];
+        vals.sort_by(|x, y| x.sort_cmp(y));
+        prop_assert_ne!(vals[0].sort_cmp(&vals[1]), Ordering::Greater);
+        prop_assert_ne!(vals[1].sort_cmp(&vals[2]), Ordering::Greater);
+        prop_assert_ne!(vals[0].sort_cmp(&vals[2]), Ordering::Greater);
+    }
+
+    /// NULLs sort first, and `sql_cmp` refuses to compare them: the ordering
+    /// comparison is defined exactly on non-NULL pairs.
+    #[test]
+    fn nulls_sort_first_and_never_compare(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = rand_value(&mut rng, true);
+        if !v.is_null() {
+            prop_assert_eq!(Value::Null.sort_cmp(&v), Ordering::Less, "{:?}", v);
+        }
+        prop_assert_eq!(Value::Null.sql_cmp(&v), None);
+        prop_assert_eq!(v.sql_cmp(&Value::Null), None);
+        prop_assert_eq!(v.sql_cmp(&v).is_some(), !v.is_null());
+    }
+
+    /// The expression layer's `<`/`<=`/`>`/`>=` agree with `Value::sql_cmp`
+    /// and with each other (`<=` is exactly "not >", `>=` is "not <"), and
+    /// `=`/`<>` agree with `Value::sql_eq`.
+    #[test]
+    fn comparison_operators_agree_with_value_layer(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b) = (rand_nonnull(&mut rng, false), rand_nonnull(&mut rng, false));
+        let run = |op| eval_const(&Expr::binary(lit(&a), op, lit(&b)));
+        let cmp = a.sql_cmp(&b).expect("non-null operands compare");
+        prop_assert_eq!(run(BinOp::Lt), Value::Bool(cmp == Ordering::Less), "{:?} < {:?}", a, b);
+        prop_assert_eq!(run(BinOp::Gt), Value::Bool(cmp == Ordering::Greater), "{:?} > {:?}", a, b);
+        prop_assert_eq!(run(BinOp::Le), Value::Bool(cmp != Ordering::Greater), "{:?} <= {:?}", a, b);
+        prop_assert_eq!(run(BinOp::Ge), Value::Bool(cmp != Ordering::Less), "{:?} >= {:?}", a, b);
+        let eq = a.sql_eq(&b).expect("non-null operands equate");
+        prop_assert_eq!(run(BinOp::Eq), Value::Bool(eq), "{:?} = {:?}", a, b);
+        prop_assert_eq!(run(BinOp::Ne), Value::Bool(!eq), "{:?} <> {:?}", a, b);
+    }
+}

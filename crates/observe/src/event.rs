@@ -77,6 +77,9 @@ pub enum Event {
     CoverageGain { op: MutOp, edges: u64 },
     /// A deduplicated bug was recorded.
     BugFound { worker: usize, exec: u64, identifier: String, stack_hash: u64 },
+    /// A correctness oracle (TLP / NoREC / differential) flagged a
+    /// deduplicated wrong-result bug.
+    LogicBugFound { worker: usize, exec: u64, oracle: String, fingerprint: u64 },
     /// A worker flushed its local coverage shard into the shared map.
     WorkerSync { worker: usize, execs: u64 },
 }
@@ -92,6 +95,7 @@ impl Event {
             Event::SynthesisStep { .. } => "SynthesisStep",
             Event::CoverageGain { .. } => "CoverageGain",
             Event::BugFound { .. } => "BugFound",
+            Event::LogicBugFound { .. } => "LogicBugFound",
             Event::WorkerSync { .. } => "WorkerSync",
         }
     }
@@ -138,6 +142,12 @@ impl Event {
                 push_num(&mut s, "exec", *exec);
                 push_str(&mut s, "identifier", identifier);
                 push_num(&mut s, "stack_hash", *stack_hash);
+            }
+            Event::LogicBugFound { worker, exec, oracle, fingerprint } => {
+                push_num(&mut s, "worker", *worker as u64);
+                push_num(&mut s, "exec", *exec);
+                push_str(&mut s, "oracle", oracle);
+                push_num(&mut s, "fingerprint", *fingerprint);
             }
             Event::WorkerSync { worker, execs } => {
                 push_num(&mut s, "worker", *worker as u64);

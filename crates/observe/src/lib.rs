@@ -100,7 +100,7 @@ impl Telemetry {
                         hb.tick(&inner.live);
                     }
                 }
-                Event::BugFound { .. } => inner.live.record_bug(),
+                Event::BugFound { .. } | Event::LogicBugFound { .. } => inner.live.record_bug(),
                 _ => {}
             }
             inner.forward(&ev);
@@ -263,6 +263,45 @@ impl Telemetry {
         body.push_str(&format!("-- fuzzer: {fuzzer}\n"));
         body.push_str(&format!("-- seed: {:#x}\n", inner.meta.seed));
         body.push_str(&format!("-- stack_hash: {stack_hash:#018x}\n"));
+        body.push_str(reduced_sql);
+        if !reduced_sql.ends_with('\n') {
+            body.push('\n');
+        }
+        std::fs::write(&path, body).ok()?;
+        Some(path)
+    }
+
+    /// Write a replayable logic-bug artifact under
+    /// `<bug_dir>/<dialect>/logic-<fingerprint>.sql` and return its path.
+    /// The `logic-` prefix keeps wrong-result findings from colliding with
+    /// crash artifacts (both key on a 64-bit hash). No-op unless
+    /// `bug_artifacts` was configured.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dump_logic_bug_artifact(
+        &self,
+        fuzzer: &str,
+        dialect: &str,
+        oracle: &str,
+        fingerprint: u64,
+        detail: &str,
+        reduced_sql: &str,
+    ) -> Option<PathBuf> {
+        let inner = self.inner.as_ref()?;
+        let dir = inner.bug_dir.as_ref()?;
+        let dialect = if dialect.is_empty() { "unknown" } else { dialect };
+        let subdir = dir.join(dialect);
+        std::fs::create_dir_all(&subdir).ok()?;
+        let path = subdir.join(format!("logic-{fingerprint:016x}.sql"));
+        let mut body = String::with_capacity(reduced_sql.len() + 200);
+        body.push_str("-- lego logic-bug artifact\n");
+        body.push_str(&format!("-- oracle: {oracle}\n"));
+        body.push_str(&format!("-- dialect: {dialect}\n"));
+        body.push_str(&format!("-- fuzzer: {fuzzer}\n"));
+        body.push_str(&format!("-- seed: {:#x}\n", inner.meta.seed));
+        body.push_str(&format!("-- fingerprint: {fingerprint:#018x}\n"));
+        for line in detail.lines() {
+            body.push_str(&format!("-- {line}\n"));
+        }
         body.push_str(reduced_sql);
         if !reduced_sql.ends_with('\n') {
             body.push('\n');

@@ -108,6 +108,7 @@ impl MetricsRegistry {
                 );
             }
             Event::BugFound { .. } => self.inc("lego_bugs_total", 1),
+            Event::LogicBugFound { .. } => self.inc("lego_logic_bugs_total", 1),
             Event::WorkerSync { .. } => self.inc("lego_worker_syncs_total", 1),
             Event::ExecStart { .. } => {}
         }

@@ -31,9 +31,12 @@ pub enum Stage {
     Dedup,
     /// `FuzzEngine::feedback` — affinity analysis and synthesis.
     Feedback,
+    /// Logic-bug oracle checks (TLP / NoREC / differential replays) plus
+    /// logic-bug reduction.
+    Oracle,
 }
 
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 7;
 
 impl Stage {
     pub const ALL: [Stage; STAGE_COUNT] = [
@@ -43,6 +46,7 @@ impl Stage {
         Stage::CoverageUnion,
         Stage::Dedup,
         Stage::Feedback,
+        Stage::Oracle,
     ];
 
     pub fn name(self) -> &'static str {
@@ -53,6 +57,7 @@ impl Stage {
             Stage::CoverageUnion => "coverage_union",
             Stage::Dedup => "dedup",
             Stage::Feedback => "feedback",
+            Stage::Oracle => "oracle",
         }
     }
 
@@ -64,6 +69,7 @@ impl Stage {
             Stage::CoverageUnion => 3,
             Stage::Dedup => 4,
             Stage::Feedback => 5,
+            Stage::Oracle => 6,
         }
     }
 

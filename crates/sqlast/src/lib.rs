@@ -19,6 +19,7 @@ pub mod ast;
 pub mod dialect;
 pub mod expr;
 pub mod kind;
+pub mod rewrite;
 pub mod skeleton;
 pub mod visit;
 

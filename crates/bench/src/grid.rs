@@ -12,6 +12,13 @@ use std::sync::Mutex;
 
 /// Run every job on a pool of `workers` threads, returning results in job
 /// order. `workers <= 1` runs the jobs inline, in order, on this thread.
+///
+/// A panicking cell does not tear down the pool: the panic is caught at the
+/// job boundary, the worker moves on to the next cell, and every remaining
+/// cell still runs to completion. The first captured panic is re-raised
+/// afterwards (with its cell index), so a grid failure is still loud — it
+/// just can't silently discard the other cells' side effects (telemetry,
+/// written reports) or poison the job slots.
 pub fn run_grid<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
 where
     T: Send,
@@ -24,6 +31,7 @@ where
 
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<T>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -32,16 +40,30 @@ where
                 if i >= slots.len() {
                     break;
                 }
-                let job =
-                    slots[i].lock().expect("job slot poisoned").take().expect("job claimed twice");
-                let out = job();
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                let job = slots[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("job claimed twice");
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+                    Ok(out) => {
+                        *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    }
+                    Err(payload) => {
+                        panics.lock().unwrap_or_else(|e| e.into_inner()).push((i, payload));
+                    }
+                }
             });
         }
     });
+    let mut panics = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+    if let Some((i, payload)) = panics.drain(..).next() {
+        eprintln!("grid cell {i} panicked; re-raising after the remaining cells completed");
+        std::panic::resume_unwind(payload);
+    }
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("result slot poisoned").expect("job did not finish"))
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()).expect("job did not finish"))
         .collect()
 }
 
@@ -147,6 +169,32 @@ mod tests {
     fn grid_runs_serially_with_one_worker() {
         let jobs: Vec<_> = (0..5).map(|i| move || i).collect();
         assert_eq!(run_grid(jobs, 1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn grid_panic_finishes_remaining_cells_before_reraising() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..12usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("injected grid cell failure");
+                    }
+                    DONE.fetch_add(1, Ordering::Relaxed);
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_grid(jobs, 4)));
+        let payload = caught.expect_err("grid panic must still surface");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected grid cell failure"), "unexpected payload: {msg}");
+        assert_eq!(DONE.load(Ordering::Relaxed), 11, "surviving cells must all run");
     }
 
     #[test]

@@ -3,13 +3,18 @@
 //! (branch coverage over time, deduplicated bugs, corpus affinities).
 
 use crate::affinity::corpus_affinities;
+use crate::checkpoint::{
+    self, CheckpointCfg, CheckpointMeta, FindingCk, LogicFindingCk, SnapCk, WorkerCheckpoint,
+    WorkerResume, CHECKPOINT_VERSION,
+};
 use lego_coverage::GlobalCoverage;
-use lego_dbms::{CrashReport, Dbms, ExecReport};
+use lego_dbms::{CrashReport, Dbms, ExecReport, PANIC_BUG_ID};
 use lego_observe::{Event, Stage, StageProfile, Telemetry};
 use lego_oracle::{reduce::reduce_logic_bug, LogicBug, OracleConfig, OracleSuite};
 use lego_sqlast::{Dialect, TestCase};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -33,6 +38,22 @@ pub trait FuzzEngine {
     /// no-op so baseline engines need no changes; the campaign always calls
     /// this before the first `next_case`.
     fn attach_telemetry(&mut self, _tel: Telemetry) {}
+    /// Serialize the engine's complete fuzzing state for a campaign
+    /// checkpoint. This is a *reseed barrier*: implementations draw one
+    /// value from their RNG, reseed themselves from it, and record it — so
+    /// an uninterrupted run that calls `checkpoint()` at the same boundary
+    /// has the identical RNG stream afterwards. Returns `None` if the
+    /// engine does not support checkpointing (the default); the campaign
+    /// then skips persistence but still calls this at every boundary.
+    fn checkpoint(&mut self) -> Option<String> {
+        None
+    }
+    /// Restore state from a [`FuzzEngine::checkpoint`] payload. The engine
+    /// must have been constructed with the same configuration (dialect,
+    /// seed, knobs) as the one that produced the payload.
+    fn restore(&mut self, _snapshot: &str) -> Result<(), String> {
+        Err(format!("engine '{}' does not support checkpoint/resume", self.name()))
+    }
 }
 
 /// Execution budget, in *statement-execution units* — the stand-in for the
@@ -122,6 +143,14 @@ pub struct CampaignStats {
     pub stmts_ok: usize,
     /// Statements the binder/executor rejected with a semantic error.
     pub stmts_err: usize,
+    /// Cases cut short by a per-case execution budget (statement, row, or
+    /// eval-depth limit). Aborted cases are never admitted to the corpus and
+    /// their partial coverage is discarded.
+    pub cases_aborted: usize,
+    /// Worker threads that died mid-campaign (panicked outside the per-case
+    /// isolation boundary). Their completed work up to the last shard sync is
+    /// merged; their remaining budget slice is forfeited.
+    pub workers_lost: usize,
     /// Wall-clock duration of the campaign, in milliseconds. Timing fields
     /// are the only non-deterministic part of the stats; see
     /// [`CampaignStats::deterministic_json`].
@@ -224,6 +253,124 @@ impl OracleRuntime {
         }
         spent
     }
+
+    /// Restore dedup state and findings from a checkpoint. `findings` must
+    /// already be re-derived (see [`rebuild_logic_bugs`]); `checks` overwrites
+    /// whatever the re-derivation replays cost, since those replays are
+    /// bookkeeping, not campaign work.
+    fn restore(&mut self, seen: &[(u64, usize)], findings: Vec<LogicBugFinding>, checks: usize) {
+        self.seen = seen.iter().copied().collect();
+        self.findings = findings;
+        self.checks = checks;
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Execute one case with panic isolation: an engine panic is converted into
+/// a synthetic [`CrashReport`] (bug id [`PANIC_BUG_ID`], stack keyed by the
+/// panic message) instead of unwinding through the campaign loop. The DBMS
+/// instance is left in an unspecified state; the campaign's per-case
+/// `db.reset()` restores it to a fresh one before its next use.
+pub(crate) fn execute_case_isolated(
+    db: &mut Dbms,
+    dialect: Dialect,
+    case: &TestCase,
+) -> ExecReport {
+    match catch_unwind(AssertUnwindSafe(|| db.execute_case(case))) {
+        Ok(report) => report,
+        Err(payload) => ExecReport::engine_panic(dialect, &panic_message(payload.as_ref())),
+    }
+}
+
+/// Crash triage for one deduplicated finding. Panic findings skip delta
+/// debugging: re-executing prefixes of a panicking case would re-trip the
+/// panic for *every* candidate, so the reproducer is kept whole.
+fn triage_crash(
+    case: &TestCase,
+    dialect: Dialect,
+    crash: &CrashReport,
+    tel: &Telemetry,
+) -> (String, usize) {
+    if crash.bug_id == PANIC_BUG_ID {
+        return (case.to_sql(), 0);
+    }
+    let (reduced, spent) =
+        tel.time(Stage::Dedup, || crate::reduce::reduce_case(case, dialect, crash));
+    (reduced.to_sql(), spent)
+}
+
+/// Re-derive full [`BugFinding`]s from checkpointed reproducers by replaying
+/// each stored case through the isolated executor. Fails loudly if a stored
+/// crash no longer reproduces (the environment changed under the checkpoint).
+/// Replay executions are bookkeeping, not campaign work — nothing is charged
+/// to the unit budget.
+fn rebuild_bugs(dialect: Dialect, findings: &[FindingCk]) -> Result<Vec<BugFinding>, String> {
+    let mut db = Dbms::new(dialect);
+    findings
+        .iter()
+        .map(|f| {
+            let case = lego_sqlparser::parse_script(&f.case_sql)
+                .map_err(|e| format!("checkpointed crash case re-parse: {e:?}"))?;
+            db.reset();
+            let report = execute_case_isolated(&mut db, dialect, &case);
+            let crash = report.crash().cloned().ok_or_else(|| {
+                format!("checkpointed crash no longer reproduces: {}", f.case_sql)
+            })?;
+            Ok(BugFinding {
+                crash,
+                first_exec: f.first_exec,
+                case_sql: f.case_sql.clone(),
+                reduced_sql: f.reduced_sql.clone(),
+            })
+        })
+        .collect()
+}
+
+/// Re-derive [`LogicBugFinding`]s by replaying each stored case through the
+/// oracle suite and matching the checkpointed fingerprint.
+fn rebuild_logic_bugs(
+    oracle_rt: &mut OracleRuntime,
+    findings: &[LogicFindingCk],
+) -> Result<Vec<LogicBugFinding>, String> {
+    if findings.is_empty() {
+        return Ok(Vec::new());
+    }
+    let suite = oracle_rt
+        .suite
+        .as_mut()
+        .ok_or("checkpoint has logic-bug findings but oracles are disabled")?;
+    findings
+        .iter()
+        .map(|f| {
+            let case = lego_sqlparser::parse_script(&f.case_sql)
+                .map_err(|e| format!("checkpointed logic-bug case re-parse: {e:?}"))?;
+            let out = suite.check_case(&case);
+            let bug = out.bugs.into_iter().find(|b| b.fingerprint() == f.fingerprint).ok_or_else(
+                || {
+                    format!(
+                        "checkpointed logic bug {:#x} no longer reproduces: {}",
+                        f.fingerprint, f.case_sql
+                    )
+                },
+            )?;
+            Ok(LogicBugFinding {
+                bug,
+                first_exec: f.first_exec,
+                case_sql: f.case_sql.clone(),
+                reduced_sql: f.reduced_sql.clone(),
+            })
+        })
+        .collect()
 }
 
 /// Run one engine against one DBMS for the budget (serial path, no
@@ -265,6 +412,31 @@ pub fn run_campaign_with_oracles(
     tel: &Telemetry,
     oracles: OracleConfig,
 ) -> CampaignStats {
+    run_campaign_resilient(engine, dialect, budget, tel, oracles, &CheckpointCfg::disabled())
+        .expect("campaign with checkpointing disabled cannot fail")
+}
+
+/// [`run_campaign_with_oracles`] plus fault tolerance and checkpoint/resume.
+///
+/// * Every case executes behind a panic-isolation boundary
+///   ([`execute_case_isolated`]): an engine panic becomes a deduplicated
+///   synthetic crash finding instead of killing the campaign.
+/// * With `ckpt.every_units > 0`, the campaign performs a reseed barrier and
+///   (if `ckpt.dir` is set) persists its complete state every `every_units`
+///   statement units. A run resumed from such a checkpoint produces the
+///   byte-identical [`CampaignStats::deterministic_json`] of an uninterrupted
+///   run *with the same cadence* — the cadence is part of the campaign
+///   configuration because each barrier reseeds the engine RNG.
+///
+/// Errors only on checkpoint I/O failure or an inconsistent resume.
+pub fn run_campaign_resilient(
+    engine: &mut dyn FuzzEngine,
+    dialect: Dialect,
+    budget: Budget,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+) -> Result<CampaignStats, String> {
     let start = Instant::now();
     engine.attach_telemetry(tel.clone());
     let mut global = GlobalCoverage::new();
@@ -274,25 +446,84 @@ pub fn run_campaign_with_oracles(
     let mut curve = Vec::with_capacity(budget.snapshots + 1);
     let every = (budget.units / budget.snapshots.max(1)).max(1);
 
-    // One DBMS instance for the whole campaign, reset between cases; its
-    // coverage map is recycled back after feedback so the hot loop does not
-    // allocate per case.
-    let mut db = Dbms::new(dialect);
     let mut units = 0usize;
     let mut execs = 0usize;
     let mut stmts_ok = 0usize;
     let mut stmts_err = 0usize;
+    let mut cases_aborted = 0usize;
     let mut next_snapshot = 0usize;
+    let mut next_ckpt = if ckpt.active() { ckpt.every_units } else { usize::MAX };
+    let mut ckpt_seq = 0usize;
+
+    if let Some(resume) = &ckpt.resume {
+        if resume.meta.workers != 1 {
+            return Err(format!(
+                "checkpoint was taken with {} workers; the serial path resumes only single-worker runs",
+                resume.meta.workers
+            ));
+        }
+        let w = &resume.workers[0];
+        engine.restore(&w.engine)?;
+        global = GlobalCoverage::from_sparse(&w.coverage);
+        seen_stacks = w.seen_stacks.iter().copied().collect();
+        bugs = rebuild_bugs(dialect, &w.bugs)?;
+        let logic = rebuild_logic_bugs(&mut oracle_rt, &w.logic_bugs)?;
+        oracle_rt.restore(&w.oracle_seen, logic, w.oracle_checks);
+        curve = w.curve.clone();
+        units = w.units;
+        execs = w.execs;
+        stmts_ok = w.stmts_ok;
+        stmts_err = w.stmts_err;
+        cases_aborted = w.cases_aborted;
+        next_snapshot = w.next_snapshot;
+        next_ckpt = w.next_ckpt;
+        ckpt_seq = w.seq;
+    }
+    if let Some(dir) = &ckpt.dir {
+        checkpoint::write_meta(
+            dir,
+            &CheckpointMeta {
+                version: CHECKPOINT_VERSION,
+                fuzzer: engine.name().to_string(),
+                dialect: dialect.name().to_string(),
+                budget_units: budget.units,
+                snapshots: budget.snapshots,
+                workers: 1,
+                sync_every: 0,
+                every_units: ckpt.every_units,
+                oracles: (oracles.tlp, oracles.norec, oracles.differential),
+            },
+        )
+        .map_err(|e| format!("write checkpoint meta: {e}"))?;
+    }
+
+    // One DBMS instance for the whole campaign, reset between cases; its
+    // coverage map is recycled back after feedback so the hot loop does not
+    // allocate per case.
+    let mut db = Dbms::new(dialect);
     while units < budget.units {
         let case = tel.time(Stage::Generation, || engine.next_case());
         db.reset();
         tel.emit(|| Event::ExecStart { worker: 0, exec: execs as u64 });
-        let report = tel.time(Stage::Execution, || db.execute_case(&case));
+        let report = tel.time(Stage::Execution, || execute_case_isolated(&mut db, dialect, &case));
         units += report.statements_executed + CASE_RESET_COST;
         stmts_ok += report.stmts_ok;
         stmts_err += report.stmts_err;
+        // A budget-tripped case never enters the corpus and its partial
+        // coverage is discarded (like AFL's timeout inputs): retaining it
+        // would reward runaway behaviour with novelty.
+        let aborted = report.aborted();
+        if let Some(reason) = aborted {
+            cases_aborted += 1;
+            tel.emit(|| Event::CaseAborted {
+                worker: 0,
+                exec: execs as u64,
+                reason: reason.name().to_string(),
+            });
+        }
         let prev_edges = global.edges_covered();
-        let new_coverage = tel.time(Stage::CoverageUnion, || global.merge(&report.coverage));
+        let new_coverage =
+            aborted.is_none() && tel.time(Stage::CoverageUnion, || global.merge(&report.coverage));
         if new_coverage {
             let edges = global.edges_covered();
             // Stash the gain so the engine's feedback can attribute it to
@@ -315,8 +546,7 @@ pub fn run_campaign_with_oracles(
                 // Triage: minimize the reproducer right away (the reduction
                 // executions are charged to the budget, like a real
                 // campaign's triage time).
-                let (reduced, spent) =
-                    tel.time(Stage::Dedup, || crate::reduce::reduce_case(&case, dialect, crash));
+                let (reduced_sql, spent) = triage_crash(&case, dialect, crash, tel);
                 units += spent;
                 tel.emit(|| Event::BugFound {
                     worker: 0,
@@ -328,7 +558,7 @@ pub fn run_campaign_with_oracles(
                     crash: crash.clone(),
                     first_exec: execs,
                     case_sql: case.to_sql(),
-                    reduced_sql: reduced.to_sql(),
+                    reduced_sql,
                 });
             }
         }
@@ -341,6 +571,66 @@ pub fn run_campaign_with_oracles(
         if units >= next_snapshot {
             curve.push((units, global.edges_covered()));
             next_snapshot += every;
+        }
+        if units >= next_ckpt {
+            while units >= next_ckpt {
+                next_ckpt += ckpt.every_units;
+            }
+            ckpt_seq += 1;
+            // Reseed barrier first (state-changing even when nothing is
+            // persisted), then snapshot the post-barrier state.
+            let engine_snap = engine.checkpoint();
+            if let Some(dir) = &ckpt.dir {
+                let engine_snap = engine_snap.ok_or_else(|| {
+                    format!("engine '{}' does not support checkpointing", engine.name())
+                })?;
+                let ck = WorkerCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    worker: 0,
+                    seq: ckpt_seq,
+                    units,
+                    execs,
+                    stmts_ok,
+                    stmts_err,
+                    cases_aborted,
+                    next_snapshot,
+                    next_ckpt,
+                    since_sync: 0,
+                    curve: curve.clone(),
+                    snaps: Vec::new(),
+                    coverage: checkpoint::sparse_out(&global.to_sparse()),
+                    seen_stacks: sorted_pairs(&seen_stacks),
+                    bugs: bugs
+                        .iter()
+                        .map(|b| FindingCk {
+                            first_exec: b.first_exec,
+                            case_sql: b.case_sql.clone(),
+                            reduced_sql: b.reduced_sql.clone(),
+                        })
+                        .collect(),
+                    logic_bugs: oracle_rt
+                        .findings
+                        .iter()
+                        .map(|b| LogicFindingCk {
+                            first_exec: b.first_exec,
+                            fingerprint: b.fingerprint(),
+                            case_sql: b.case_sql.clone(),
+                            reduced_sql: b.reduced_sql.clone(),
+                        })
+                        .collect(),
+                    oracle_seen: sorted_pairs(&oracle_rt.seen),
+                    oracle_checks: oracle_rt.checks,
+                    engine: engine_snap,
+                };
+                let path = checkpoint::write_worker(dir, &ck)
+                    .map_err(|e| format!("write checkpoint: {e}"))?;
+                tel.emit(|| Event::CheckpointWritten {
+                    worker: 0,
+                    seq: ckpt_seq as u64,
+                    units: units as u64,
+                    path: path.display().to_string(),
+                });
+            }
         }
     }
     curve.push((units, global.edges_covered()));
@@ -357,6 +647,8 @@ pub fn run_campaign_with_oracles(
         corpus_size: corpus.len(),
         stmts_ok,
         stmts_err,
+        cases_aborted,
+        workers_lost: 0,
         bugs,
         logic_bugs: oracle_rt.findings,
         oracle_checks: oracle_rt.checks,
@@ -367,7 +659,14 @@ pub fn run_campaign_with_oracles(
     };
     stats.stamp_timing(start, 1);
     finish_telemetry(tel, &stats);
-    stats
+    Ok(stats)
+}
+
+/// Hash-map dedup state as a deterministically ordered pair list.
+fn sorted_pairs(m: &HashMap<u64, usize>) -> Vec<(u64, usize)> {
+    let mut v: Vec<(u64, usize)> = m.iter().map(|(&k, &e)| (k, e)).collect();
+    v.sort_unstable();
+    v
 }
 
 /// End-of-campaign telemetry: dump replayable bug artifacts, publish the
@@ -435,6 +734,7 @@ struct WorkerOut {
     units: usize,
     stmts_ok: usize,
     stmts_err: usize,
+    cases_aborted: usize,
     /// Local-shard snapshots, one per curve point (`budget.snapshots` of
     /// them), each paired with the units the worker had consumed when it was
     /// taken.
@@ -462,6 +762,7 @@ struct Shard {
 /// shared map is a write-only sink the shard is batch-unioned into every
 /// `sync_every` cases; because the union is commutative and idempotent, the
 /// merged result is interleaving-independent too.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     mut engine: Box<dyn FuzzEngine + Send>,
     shard_cfg: Shard,
@@ -469,7 +770,9 @@ fn run_worker(
     sink: &Mutex<GlobalCoverage>,
     tel: &Telemetry,
     oracles: OracleConfig,
-) -> WorkerOut {
+    ckpt: &CheckpointCfg,
+    resume: Option<&WorkerResume>,
+) -> Result<WorkerOut, String> {
     let Shard { worker, sub_units, snapshots, sync_every } = shard_cfg;
     engine.attach_telemetry(tel.clone());
     let mut shard = GlobalCoverage::new();
@@ -479,26 +782,63 @@ fn run_worker(
     let mut snaps: Vec<(usize, GlobalCoverage)> = Vec::with_capacity(snapshots);
     let threshold = |i: usize| sub_units * i / snapshots.max(1);
 
-    let mut db = Dbms::new(dialect);
     let mut units = 0usize;
     let mut execs = 0usize;
     let mut stmts_ok = 0usize;
     let mut stmts_err = 0usize;
+    let mut cases_aborted = 0usize;
     let mut next_snap = 1usize;
     let mut since_sync = 0usize;
+    let mut next_ckpt = if ckpt.active() { ckpt.every_units } else { usize::MAX };
+    let mut ckpt_seq = 0usize;
+
+    if let Some(w) = resume {
+        engine.restore(&w.engine)?;
+        shard = GlobalCoverage::from_sparse(&w.coverage);
+        seen_stacks = w.seen_stacks.iter().copied().collect();
+        bugs = rebuild_bugs(dialect, &w.bugs)?;
+        let logic = rebuild_logic_bugs(&mut oracle_rt, &w.logic_bugs)?;
+        oracle_rt.restore(&w.oracle_seen, logic, w.oracle_checks);
+        snaps = w.snaps.iter().map(|(u, cov)| (*u, GlobalCoverage::from_sparse(cov))).collect();
+        units = w.units;
+        execs = w.execs;
+        stmts_ok = w.stmts_ok;
+        stmts_err = w.stmts_err;
+        cases_aborted = w.cases_aborted;
+        next_snap = w.next_snapshot;
+        since_sync = w.since_sync;
+        next_ckpt = w.next_ckpt;
+        ckpt_seq = w.seq;
+        // The sink starts empty on a resumed campaign; re-seed it with
+        // everything this shard had already synced.
+        sink.lock().unwrap_or_else(|e| e.into_inner()).union_with(&shard);
+    }
+
+    let mut db = Dbms::new(dialect);
     while units < sub_units {
         let case = tel.time(Stage::Generation, || engine.next_case());
         db.reset();
         tel.emit(|| Event::ExecStart { worker, exec: execs as u64 });
-        let report = tel.time(Stage::Execution, || db.execute_case(&case));
+        let report = tel.time(Stage::Execution, || execute_case_isolated(&mut db, dialect, &case));
         units += report.statements_executed + CASE_RESET_COST;
         stmts_ok += report.stmts_ok;
         stmts_err += report.stmts_err;
+        let aborted = report.aborted();
+        if let Some(reason) = aborted {
+            cases_aborted += 1;
+            tel.emit(|| Event::CaseAborted {
+                worker,
+                exec: execs as u64,
+                reason: reason.name().to_string(),
+            });
+        }
         // Novelty (and gain attribution) is judged against the local shard
         // only, so the event stream of a worker depends solely on its own
-        // seed and budget slice — never on scheduler interleaving.
+        // seed and budget slice — never on scheduler interleaving. Aborted
+        // cases contribute no coverage (see the serial loop).
         let prev_edges = shard.edges_covered();
-        let new_coverage = tel.time(Stage::CoverageUnion, || shard.merge(&report.coverage));
+        let new_coverage =
+            aborted.is_none() && tel.time(Stage::CoverageUnion, || shard.merge(&report.coverage));
         if new_coverage {
             let edges = shard.edges_covered();
             tel.set_pending_edges((edges - prev_edges) as u64);
@@ -516,8 +856,7 @@ fn run_worker(
             let h = crash.stack_hash();
             if let std::collections::hash_map::Entry::Vacant(e) = seen_stacks.entry(h) {
                 e.insert(execs);
-                let (reduced, spent) =
-                    tel.time(Stage::Dedup, || crate::reduce::reduce_case(&case, dialect, crash));
+                let (reduced_sql, spent) = triage_crash(&case, dialect, crash, tel);
                 units += spent;
                 tel.emit(|| Event::BugFound {
                     worker,
@@ -529,7 +868,7 @@ fn run_worker(
                     crash: crash.clone(),
                     first_exec: execs,
                     case_sql: case.to_sql(),
-                    reduced_sql: reduced.to_sql(),
+                    reduced_sql,
                 });
             }
         }
@@ -542,7 +881,7 @@ fn run_worker(
         since_sync += 1;
         if since_sync >= sync_every.max(1) {
             tel.time(Stage::CoverageUnion, || {
-                sink.lock().expect("coverage sink poisoned").union_with(&shard)
+                sink.lock().unwrap_or_else(|e| e.into_inner()).union_with(&shard)
             });
             tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
             since_sync = 0;
@@ -550,6 +889,70 @@ fn run_worker(
         while next_snap <= snapshots && units >= threshold(next_snap) {
             snaps.push((units, shard.clone()));
             next_snap += 1;
+        }
+        if units >= next_ckpt {
+            while units >= next_ckpt {
+                next_ckpt += ckpt.every_units;
+            }
+            ckpt_seq += 1;
+            let engine_snap = engine.checkpoint();
+            if let Some(dir) = &ckpt.dir {
+                let engine_snap = engine_snap.ok_or_else(|| {
+                    format!("engine '{}' does not support checkpointing", engine.name())
+                })?;
+                let ck = WorkerCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    worker,
+                    seq: ckpt_seq,
+                    units,
+                    execs,
+                    stmts_ok,
+                    stmts_err,
+                    cases_aborted,
+                    next_snapshot: next_snap,
+                    next_ckpt,
+                    since_sync,
+                    curve: Vec::new(),
+                    snaps: snaps
+                        .iter()
+                        .map(|(u, cov)| SnapCk {
+                            units: *u,
+                            coverage: checkpoint::sparse_out(&cov.to_sparse()),
+                        })
+                        .collect(),
+                    coverage: checkpoint::sparse_out(&shard.to_sparse()),
+                    seen_stacks: sorted_pairs(&seen_stacks),
+                    bugs: bugs
+                        .iter()
+                        .map(|b| FindingCk {
+                            first_exec: b.first_exec,
+                            case_sql: b.case_sql.clone(),
+                            reduced_sql: b.reduced_sql.clone(),
+                        })
+                        .collect(),
+                    logic_bugs: oracle_rt
+                        .findings
+                        .iter()
+                        .map(|b| LogicFindingCk {
+                            first_exec: b.first_exec,
+                            fingerprint: b.fingerprint(),
+                            case_sql: b.case_sql.clone(),
+                            reduced_sql: b.reduced_sql.clone(),
+                        })
+                        .collect(),
+                    oracle_seen: sorted_pairs(&oracle_rt.seen),
+                    oracle_checks: oracle_rt.checks,
+                    engine: engine_snap,
+                };
+                let path = checkpoint::write_worker(dir, &ck)
+                    .map_err(|e| format!("write checkpoint: {e}"))?;
+                tel.emit(|| Event::CheckpointWritten {
+                    worker,
+                    seq: ckpt_seq as u64,
+                    units: units as u64,
+                    path: path.display().to_string(),
+                });
+            }
         }
     }
     // Pad to exactly `snapshots` points so the join can union the workers'
@@ -560,22 +963,23 @@ fn run_worker(
     }
     // Final flush: after this, the sink holds everything the shard saw.
     tel.time(Stage::CoverageUnion, || {
-        sink.lock().expect("coverage sink poisoned").union_with(&shard)
+        sink.lock().unwrap_or_else(|e| e.into_inner()).union_with(&shard)
     });
     tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
 
-    WorkerOut {
+    Ok(WorkerOut {
         fuzzer: engine.name().to_string(),
         execs,
         units,
         stmts_ok,
         stmts_err,
+        cases_aborted,
         snaps,
         bugs,
         logic_bugs: oracle_rt.findings,
         oracle_checks: oracle_rt.checks,
         corpus: engine.corpus(),
-    }
+    })
 }
 
 /// Run one campaign across `opts.workers` threads.
@@ -642,10 +1046,46 @@ pub fn run_campaign_parallel_with_oracles<F>(
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
 {
+    run_campaign_parallel_resilient(
+        factory,
+        dialect,
+        budget,
+        opts,
+        tel,
+        oracles,
+        &CheckpointCfg::disabled(),
+    )
+    .expect("campaign with checkpointing disabled cannot fail")
+}
+
+/// [`run_campaign_parallel_with_oracles`] plus fault tolerance and
+/// checkpoint/resume — the parallel counterpart of
+/// [`run_campaign_resilient`].
+///
+/// A worker that panics *outside* the per-case isolation boundary no longer
+/// brings the whole campaign down: the join records a
+/// [`Event::WorkerDied`], counts it in [`CampaignStats::workers_lost`], and
+/// merges the surviving workers' results (the shared coverage sink keeps
+/// whatever the dead worker had synced before dying). Each worker
+/// checkpoints independently at its own unit boundaries; resume picks the
+/// newest sequence number complete across *all* workers and requires the
+/// same worker count the checkpoint was taken with.
+pub fn run_campaign_parallel_resilient<F>(
+    factory: F,
+    dialect: Dialect,
+    budget: Budget,
+    opts: ParallelOpts,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+) -> Result<CampaignStats, String>
+where
+    F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
+{
     let workers = opts.workers.max(1);
     if workers == 1 {
         let mut engine = factory(0);
-        return run_campaign_with_oracles(engine.as_mut(), dialect, budget, tel, oracles);
+        return run_campaign_resilient(engine.as_mut(), dialect, budget, tel, oracles, ckpt);
     }
 
     let start = Instant::now();
@@ -654,14 +1094,45 @@ where
     // first (units % N) workers. Deterministic for a given (units, N).
     let slice = |w: usize| budget.units / workers + usize::from(w < budget.units % workers);
 
+    if let Some(resume) = &ckpt.resume {
+        if resume.meta.workers != workers {
+            return Err(format!(
+                "checkpoint was taken with {} workers, this campaign has {workers}; \
+                 resume requires the same worker count",
+                resume.meta.workers
+            ));
+        }
+    }
+    if let Some(dir) = &ckpt.dir {
+        checkpoint::write_meta(
+            dir,
+            &CheckpointMeta {
+                version: CHECKPOINT_VERSION,
+                fuzzer: factory(0).name().to_string(),
+                dialect: dialect.name().to_string(),
+                budget_units: budget.units,
+                snapshots: budget.snapshots,
+                workers,
+                sync_every: opts.sync_every,
+                every_units: ckpt.every_units,
+                oracles: (oracles.tlp, oracles.norec, oracles.differential),
+            },
+        )
+        .map_err(|e| format!("write checkpoint meta: {e}"))?;
+    }
+
     let children: Vec<Telemetry> = (0..workers).map(|w| tel.worker_child(w)).collect();
     let sink = Mutex::new(GlobalCoverage::new());
-    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+    // Each slot: Ok(Ok) = survivor, Ok(Err) = fatal campaign error
+    // (checkpoint I/O, bad resume), Err(msg) = worker died by panic.
+    type Joined = Result<Result<WorkerOut, String>, String>;
+    let joined: Vec<Joined> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let sink = &sink;
                 let factory = &factory;
                 let wtel = &children[w];
+                let resume_w = ckpt.resume.as_ref().map(|r| &r.workers[w]);
                 s.spawn(move || {
                     let shard = Shard {
                         worker: w,
@@ -669,29 +1140,50 @@ where
                         snapshots,
                         sync_every: opts.sync_every,
                     };
-                    run_worker(factory(w), shard, dialect, sink, wtel, oracles)
+                    run_worker(factory(w), shard, dialect, sink, wtel, oracles, ckpt, resume_w)
                 })
             })
             .collect();
         // Join in spawn order: every downstream merge sees workers in index
         // order regardless of which thread finished first.
-        handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|payload| panic_message(payload.as_ref())))
+            .collect()
     });
-    let global = sink.into_inner().expect("coverage sink poisoned");
+    let global = sink.into_inner().unwrap_or_else(|e| e.into_inner());
     // Replay buffered worker events into the parent sinks, in worker order.
     for child in &children {
         tel.merge_worker(child);
     }
+    let mut outs: Vec<Option<WorkerOut>> = Vec::with_capacity(workers);
+    let mut workers_lost = 0usize;
+    for (w, slot) in joined.into_iter().enumerate() {
+        match slot {
+            Ok(Ok(out)) => outs.push(Some(out)),
+            // An explicit error is a campaign-configuration or I/O failure,
+            // not a crash-resilience event: surface it.
+            Ok(Err(e)) => return Err(format!("worker {w}: {e}")),
+            Err(panic_msg) => {
+                workers_lost += 1;
+                tel.emit(|| Event::WorkerDied { worker: w, error: panic_msg.clone() });
+                outs.push(None);
+            }
+        }
+    }
+    if outs.iter().all(Option::is_none) {
+        return Err("every campaign worker died".to_string());
+    }
 
-    // Merged coverage curve: the i-th point unions every worker's i-th
-    // local-shard snapshot; its x-coordinate is the units all workers had
+    // Merged coverage curve: the i-th point unions every surviving worker's
+    // i-th local-shard snapshot; its x-coordinate is the units they had
     // consumed by then.
     let mut curve = Vec::with_capacity(snapshots + 1);
     curve.push((0, 0));
     for i in 0..snapshots {
         let mut merged = GlobalCoverage::new();
         let mut x = 0usize;
-        for out in &outs {
+        for out in outs.iter().flatten() {
             let (u, shard) = &out.snaps[i];
             x += *u;
             merged.union_with(shard);
@@ -705,6 +1197,7 @@ where
     let mut tagged: Vec<(usize, BugFinding)> = outs
         .iter()
         .enumerate()
+        .filter_map(|(w, out)| out.as_ref().map(|o| (w, o)))
         .flat_map(|(w, out)| out.bugs.iter().cloned().map(move |b| (w, b)))
         .collect();
     tagged.sort_by_key(|&(w, ref b)| (b.first_exec, w));
@@ -719,6 +1212,7 @@ where
     let mut tagged_logic: Vec<(usize, LogicBugFinding)> = outs
         .iter()
         .enumerate()
+        .filter_map(|(w, out)| out.as_ref().map(|o| (w, o)))
         .flat_map(|(w, out)| out.logic_bugs.iter().cloned().map(move |b| (w, b)))
         .collect();
     tagged_logic.sort_by_key(|&(w, ref b)| (b.first_exec, w));
@@ -729,21 +1223,24 @@ where
         .map(|(_, b)| b)
         .collect();
 
-    let corpus: Vec<TestCase> = outs.iter().flat_map(|o| o.corpus.iter().cloned()).collect();
+    let survivors = || outs.iter().flatten();
+    let corpus: Vec<TestCase> = survivors().flat_map(|o| o.corpus.iter().cloned()).collect();
     let mut stats = CampaignStats {
-        fuzzer: outs[0].fuzzer.clone(),
+        fuzzer: survivors().next().map(|o| o.fuzzer.clone()).unwrap_or_else(|| "unknown".into()),
         dialect,
-        execs: outs.iter().map(|o| o.execs).sum(),
-        units: outs.iter().map(|o| o.units).sum(),
+        execs: survivors().map(|o| o.execs).sum(),
+        units: survivors().map(|o| o.units).sum(),
         coverage_curve: curve,
         branches: global.edges_covered(),
         corpus_affinities: corpus_affinities(&corpus).len(),
         corpus_size: corpus.len(),
-        stmts_ok: outs.iter().map(|o| o.stmts_ok).sum(),
-        stmts_err: outs.iter().map(|o| o.stmts_err).sum(),
+        stmts_ok: survivors().map(|o| o.stmts_ok).sum(),
+        stmts_err: survivors().map(|o| o.stmts_err).sum(),
+        cases_aborted: survivors().map(|o| o.cases_aborted).sum(),
+        workers_lost,
         bugs,
         logic_bugs,
-        oracle_checks: outs.iter().map(|o| o.oracle_checks).sum(),
+        oracle_checks: survivors().map(|o| o.oracle_checks).sum(),
         wall_ms: 0,
         execs_per_sec: 0.0,
         workers: 1,
@@ -751,7 +1248,7 @@ where
     };
     stats.stamp_timing(start, workers);
     finish_telemetry(tel, &stats);
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]

@@ -7,8 +7,25 @@ use std::io;
 use std::path::Path;
 
 /// Write every test case as `seed_NNNN.sql` under `dir` (created if needed).
+///
+/// Stale `seed_*.sql` files from a previous, larger save are removed first —
+/// otherwise a shrunken corpus would silently resurrect old seeds on the
+/// next [`load_corpus`]. Only the harness's own `seed_*.sql` naming pattern
+/// is touched; any other `.sql` files a user dropped in the directory
+/// survive.
 pub fn save_corpus(dir: &Path, corpus: &[TestCase]) -> io::Result<usize> {
     std::fs::create_dir_all(dir)?;
+    for entry in std::fs::read_dir(dir)?.filter_map(Result::ok) {
+        let path = entry.path();
+        let stale = path.file_name().and_then(|n| n.to_str()).is_some_and(|name| {
+            name.strip_prefix("seed_")
+                .and_then(|rest| rest.strip_suffix(".sql"))
+                .is_some_and(|mid| !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit()))
+        });
+        if stale {
+            std::fs::remove_file(&path)?;
+        }
+    }
     for (i, case) in corpus.iter().enumerate() {
         std::fs::write(dir.join(format!("seed_{i:04}.sql")), case.to_sql())?;
     }
@@ -58,6 +75,29 @@ mod tests {
         let (loaded, skipped) = load_corpus(&dir).unwrap();
         assert!(skipped.is_empty());
         assert_eq!(loaded, corpus);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shrinking_resave_removes_stale_seed_files() {
+        let dir = tmpdir("shrink");
+        let big = vec![
+            parse_script("CREATE TABLE t (a INT);").unwrap(),
+            parse_script("SELECT 1;").unwrap(),
+            parse_script("SELECT 2;").unwrap(),
+        ];
+        assert_eq!(save_corpus(&dir, &big).unwrap(), 3);
+        // A user-provided extra seed must survive the cleanup.
+        std::fs::write(dir.join("extra.sql"), "SELECT 99;").unwrap();
+        let small = vec![parse_script("SELECT 3;").unwrap()];
+        assert_eq!(save_corpus(&dir, &small).unwrap(), 1);
+        let (loaded, skipped) = load_corpus(&dir).unwrap();
+        assert!(skipped.is_empty());
+        // Exactly seed_0000.sql + extra.sql: the old seed_0001/0002 are gone.
+        assert_eq!(loaded.len(), 2);
+        assert!(!dir.join("seed_0001.sql").exists());
+        assert!(!dir.join("seed_0002.sql").exists());
+        assert!(dir.join("extra.sql").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -26,7 +26,7 @@ use std::collections::VecDeque;
 
 /// Tuning knobs. Defaults follow the paper where it gives numbers
 /// (`LEN = 5`; the length-ablation experiment uses 3/5/8).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct Config {
     /// Maximum synthesized sequence length (the paper's `LEN`).
     pub max_seq_len: usize,
@@ -105,6 +105,29 @@ impl Origin {
             Origin::Synthesized => MutOp::Synthesis,
             Origin::Conventional => MutOp::Conventional,
         }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Origin::Seed => "seed",
+            Origin::Substitution => "substitution",
+            Origin::Insertion => "insertion",
+            Origin::Deletion => "deletion",
+            Origin::Synthesized => "synthesized",
+            Origin::Conventional => "conventional",
+        }
+    }
+
+    fn from_name(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "seed" => Origin::Seed,
+            "substitution" => Origin::Substitution,
+            "insertion" => Origin::Insertion,
+            "deletion" => Origin::Deletion,
+            "synthesized" => Origin::Synthesized,
+            "conventional" => Origin::Conventional,
+            other => return Err(format!("unknown case origin '{other}'")),
+        })
     }
 }
 
@@ -351,6 +374,258 @@ impl LegoFuzzer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint/resume: the engine half of `crate::checkpoint`
+// ---------------------------------------------------------------------------
+
+/// One retained seed, as persisted.
+#[derive(serde::Serialize)]
+struct SeedCk {
+    sql: String,
+    cost: usize,
+    scheduled: usize,
+}
+
+/// One queued pending case, as persisted.
+#[derive(serde::Serialize)]
+struct PendingCk {
+    sql: String,
+    origin: String,
+}
+
+/// One AST-library bucket, as persisted (kind code + statement scripts).
+#[derive(serde::Serialize)]
+struct BucketCk {
+    kind: u16,
+    stmts: Vec<String>,
+}
+
+/// The complete serialized state of a [`LegoFuzzer`]. Test cases and
+/// statements round-trip through SQL text (`to_sql` → `parse_script`), RNG
+/// state through the reseed barrier, and `StmtKind`s through their stable
+/// codes. Every collection is emitted in a deterministic order, so two
+/// engines with equal state produce byte-identical snapshots.
+#[derive(serde::Serialize)]
+struct FuzzerSnapshot {
+    name: String,
+    /// The engine `Config` as JSON; restore compares it verbatim against the
+    /// receiving engine's config, catching any seed/knob mismatch.
+    cfg: String,
+    rng_reseed: u64,
+    schedule_tick: usize,
+    pending_origin: String,
+    pool: Vec<SeedCk>,
+    affinities: Vec<(u16, u16)>,
+    seqs: Vec<Vec<u16>>,
+    store_truncated: usize,
+    library: Vec<BucketCk>,
+    library_keys: Vec<u64>,
+    queue: Vec<PendingCk>,
+    synth_queue: Vec<PendingCk>,
+    executed_ngrams: Vec<Vec<u16>>,
+    /// `LegoStats` counters in declaration order.
+    stats: Vec<usize>,
+}
+
+fn stmt_to_sql(stmt: &lego_sqlast::ast::Statement) -> String {
+    TestCase::new(vec![stmt.clone()]).to_sql()
+}
+
+fn parse_case(sql: &str) -> Result<TestCase, String> {
+    lego_sqlparser::parse_script(sql).map_err(|e| format!("checkpointed case re-parse: {e:?}"))
+}
+
+fn parse_stmt(sql: &str) -> Result<lego_sqlast::ast::Statement, String> {
+    let mut case = parse_case(sql)?;
+    if case.statements.len() != 1 {
+        return Err(format!("expected one statement, got {}", case.statements.len()));
+    }
+    Ok(case.statements.remove(0))
+}
+
+fn kind_from_code(code: u64) -> Result<StmtKind, String> {
+    u16::try_from(code)
+        .ok()
+        .and_then(StmtKind::from_code)
+        .ok_or_else(|| format!("unknown statement-kind code {code}"))
+}
+
+fn pending_out(q: &VecDeque<Pending>) -> Vec<PendingCk> {
+    q.iter()
+        .map(|p| PendingCk { sql: p.case.to_sql(), origin: p.origin.name().to_string() })
+        .collect()
+}
+
+fn pending_in(v: &serde_json::Value, key: &str) -> Result<VecDeque<Pending>, String> {
+    crate::checkpoint::get(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field '{key}' must be an array"))?
+        .iter()
+        .map(|p| {
+            Ok(Pending {
+                case: parse_case(&crate::checkpoint::get_string(p, "sql")?)?,
+                origin: Origin::from_name(&crate::checkpoint::get_string(p, "origin")?)?,
+            })
+        })
+        .collect()
+}
+
+/// Parse a JSON array of arrays of kind codes.
+fn code_seqs_in(v: &serde_json::Value, key: &str) -> Result<Vec<Vec<StmtKind>>, String> {
+    crate::checkpoint::get(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field '{key}' must be an array"))?
+        .iter()
+        .map(|seq| {
+            seq.as_array()
+                .ok_or("sequence must be an array")?
+                .iter()
+                .map(|c| kind_from_code(c.as_u64().ok_or("kind code must be an integer")?))
+                .collect()
+        })
+        .collect()
+}
+
+impl LegoFuzzer {
+    /// Build the serialized snapshot, performing the RNG reseed barrier.
+    fn snapshot(&mut self) -> FuzzerSnapshot {
+        let reseed: u64 = self.rng.gen();
+        self.rng = SmallRng::seed_from_u64(reseed);
+        let mut ngrams: Vec<Vec<u16>> =
+            self.executed_ngrams.iter().map(|g| g.iter().map(|k| k.code()).collect()).collect();
+        ngrams.sort_unstable();
+        FuzzerSnapshot {
+            name: self.name().to_string(),
+            cfg: serde_json::to_string(&self.cfg).expect("config serialize"),
+            rng_reseed: reseed,
+            schedule_tick: self.schedule_tick,
+            pending_origin: self.pending_origin.name().to_string(),
+            pool: self
+                .pool
+                .seeds()
+                .map(|s| SeedCk { sql: s.case.to_sql(), cost: s.cost, scheduled: s.scheduled })
+                .collect(),
+            affinities: self.affinities.iter().map(|(a, b)| (a.code(), b.code())).collect(),
+            seqs: self
+                .store
+                .sequences()
+                .iter()
+                .map(|s| s.iter().map(|k| k.code()).collect())
+                .collect(),
+            store_truncated: self.store.truncated,
+            library: self
+                .library
+                .buckets_sorted()
+                .into_iter()
+                .map(|(k, stmts)| BucketCk {
+                    kind: k.code(),
+                    stmts: stmts.iter().map(stmt_to_sql).collect(),
+                })
+                .collect(),
+            library_keys: self.library.keys_sorted(),
+            queue: pending_out(&self.queue),
+            synth_queue: pending_out(&self.synth_queue),
+            executed_ngrams: ngrams,
+            stats: vec![
+                self.stats.affinities_found,
+                self.stats.sequences_synthesized,
+                self.stats.cases_instantiated,
+                self.stats.sequences_skipped_covered,
+                self.stats.queue_dropped,
+                self.stats.seq_mutants,
+                self.stats.conventional_mutants,
+            ],
+        }
+    }
+
+    /// Apply a parsed snapshot. `self` must have been constructed with the
+    /// same dialect and config as the engine that produced it.
+    fn apply_snapshot(&mut self, v: &serde_json::Value) -> Result<(), String> {
+        use crate::checkpoint::{get, get_string, get_u64, get_usize};
+        let name = get_string(v, "name")?;
+        if name != self.name() {
+            return Err(format!(
+                "snapshot is for engine '{name}', this engine is '{}'",
+                self.name()
+            ));
+        }
+        let cfg = get_string(v, "cfg")?;
+        let own_cfg = serde_json::to_string(&self.cfg).expect("config serialize");
+        if cfg != own_cfg {
+            return Err(format!(
+                "snapshot config does not match this engine's config:\n  snapshot: {cfg}\n  engine:   {own_cfg}"
+            ));
+        }
+        self.rng = SmallRng::seed_from_u64(get_u64(v, "rng_reseed")?);
+        self.schedule_tick = get_usize(v, "schedule_tick")?;
+        self.pending_origin = Origin::from_name(&get_string(v, "pending_origin")?)?;
+        let seeds = get(v, "pool")?
+            .as_array()
+            .ok_or("field 'pool' must be an array")?
+            .iter()
+            .map(|s| {
+                Ok((
+                    parse_case(&get_string(s, "sql")?)?,
+                    get_usize(s, "cost")?,
+                    get_usize(s, "scheduled")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        self.pool = SeedPool::from_parts(seeds);
+        self.affinities = AffinityMap::new();
+        for (a, b) in crate::checkpoint::pairs_u64_usize(get(v, "affinities")?)? {
+            self.affinities.insert(kind_from_code(a)?, kind_from_code(b as u64)?);
+        }
+        self.store = SequenceStore::from_parts(
+            self.cfg.max_seq_len,
+            code_seqs_in(v, "seqs")?,
+            get_usize(v, "store_truncated")?,
+        );
+        let buckets = get(v, "library")?
+            .as_array()
+            .ok_or("field 'library' must be an array")?
+            .iter()
+            .map(|b| {
+                let kind = kind_from_code(get_u64(b, "kind")?)?;
+                let stmts = get(b, "stmts")?
+                    .as_array()
+                    .ok_or("field 'stmts' must be an array")?
+                    .iter()
+                    .map(|s| parse_stmt(s.as_str().ok_or("statement must be a string")?))
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok((kind, stmts))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let keys = get(v, "library_keys")?
+            .as_array()
+            .ok_or("field 'library_keys' must be an array")?
+            .iter()
+            .map(|k| k.as_u64().ok_or_else(|| "library key must be a u64".to_string()))
+            .collect::<Result<Vec<_>, String>>()?;
+        self.library = AstLibrary::from_parts(buckets, keys);
+        self.queue = pending_in(v, "queue")?;
+        self.synth_queue = pending_in(v, "synth_queue")?;
+        self.executed_ngrams = code_seqs_in(v, "executed_ngrams")?.into_iter().collect();
+        let stats = get(v, "stats")?.as_array().ok_or("field 'stats' must be an array")?;
+        if stats.len() != 7 {
+            return Err(format!("expected 7 stats counters, got {}", stats.len()));
+        }
+        let counter = |i: usize| -> Result<usize, String> {
+            stats[i].as_usize().ok_or_else(|| "stats counter must be an integer".to_string())
+        };
+        self.stats = LegoStats {
+            affinities_found: counter(0)?,
+            sequences_synthesized: counter(1)?,
+            cases_instantiated: counter(2)?,
+            sequences_skipped_covered: counter(3)?,
+            queue_dropped: counter(4)?,
+            seq_mutants: counter(5)?,
+            conventional_mutants: counter(6)?,
+        };
+        Ok(())
+    }
+}
+
 impl FuzzEngine for LegoFuzzer {
     fn name(&self) -> &'static str {
         if self.cfg.sequence_oriented {
@@ -358,6 +633,16 @@ impl FuzzEngine for LegoFuzzer {
         } else {
             "LEGO-"
         }
+    }
+
+    fn checkpoint(&mut self) -> Option<String> {
+        Some(serde_json::to_string(&self.snapshot()).expect("snapshot serialize"))
+    }
+
+    fn restore(&mut self, snapshot: &str) -> Result<(), String> {
+        let v = serde_json::from_str(snapshot)
+            .map_err(|e| format!("engine snapshot is not valid JSON: {e}"))?;
+        self.apply_snapshot(&v)
     }
 
     fn next_case(&mut self) -> TestCase {
@@ -545,5 +830,80 @@ mod tests {
         let report2 = db2.execute_case(&case2);
         fz.feedback(&case2, &report2, true);
         assert!(fz.stats.cases_instantiated > 0);
+    }
+
+    /// Drive `fz` for `n` cases against a live engine with real coverage
+    /// feedback, returning the SQL of every case scheduled.
+    fn drive(
+        fz: &mut LegoFuzzer,
+        db: &mut lego_dbms::Dbms,
+        global: &mut lego_coverage::GlobalCoverage,
+        n: usize,
+    ) -> Vec<String> {
+        let mut sqls = Vec::with_capacity(n);
+        for _ in 0..n {
+            let case = fz.next_case();
+            db.reset();
+            let report = db.execute_case(&case);
+            let new_coverage = global.merge(&report.coverage);
+            fz.feedback(&case, &report, new_coverage);
+            sqls.push(case.to_sql());
+        }
+        sqls
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identical_case_stream() {
+        let cfg = Config::default();
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let mut global = lego_coverage::GlobalCoverage::new();
+
+        // Run a warm-up burst so the pool, affinity map, sequence store, AST
+        // library, and both queues all carry non-trivial state.
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, cfg.clone());
+        drive(&mut fz, &mut db, &mut global, 60);
+        let snapshot = fz.checkpoint().expect("LEGO supports checkpointing");
+
+        // Continue the original engine...
+        let mut db_a = lego_dbms::Dbms::new(Dialect::Postgres);
+        let mut global_a = lego_coverage::GlobalCoverage::from_sparse(&global.to_sparse());
+        let ahead = drive(&mut fz, &mut db_a, &mut global_a, 30);
+
+        // ...and a fresh engine restored from the snapshot, with a clone of
+        // the coverage map as it stood at the checkpoint.
+        let mut fresh = LegoFuzzer::new(Dialect::Postgres, cfg);
+        fresh.restore(&snapshot).expect("restore");
+        let mut db_b = lego_dbms::Dbms::new(Dialect::Postgres);
+        let mut global_b = lego_coverage::GlobalCoverage::from_sparse(&global.to_sparse());
+        let resumed = drive(&mut fresh, &mut db_b, &mut global_b, 30);
+
+        assert_eq!(ahead, resumed, "resumed engine must replay the exact case stream");
+    }
+
+    #[test]
+    fn checkpoint_is_idempotent_after_restore() {
+        let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+        let mut global = lego_coverage::GlobalCoverage::new();
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, Config::default());
+        drive(&mut fz, &mut db, &mut global, 40);
+        let snap_a = fz.checkpoint().unwrap();
+
+        let mut twin = LegoFuzzer::new(Dialect::Postgres, Config::default());
+        twin.restore(&snap_a).expect("restore");
+        // Both engines now hold identical state *and* identically-reseeded
+        // RNGs, so their next snapshots must agree byte-for-byte.
+        let snap_b = twin.checkpoint().unwrap();
+        let snap_c = fz.checkpoint().unwrap();
+        assert_eq!(snap_b, snap_c);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let mut fz = LegoFuzzer::new(Dialect::Postgres, Config::default());
+        let snap = fz.checkpoint().unwrap();
+        let other_cfg = Config { rng_seed: Config::default().rng_seed ^ 1, ..Config::default() };
+        let mut other = LegoFuzzer::new(Dialect::Postgres, other_cfg);
+        let err = other.restore(&snap).unwrap_err();
+        assert!(err.contains("config"), "unexpected error: {err}");
     }
 }

@@ -41,6 +41,34 @@ impl AstLibrary {
         }
     }
 
+    /// Rebuild a library from checkpointed buckets. The per-bucket statement
+    /// order matters ([`AstLibrary::pick`] indexes into it with the RNG);
+    /// `keys` must be the full structural-dedup set, which can be larger
+    /// than the stored statements (keys of statements dropped by the
+    /// per-kind cap are still remembered).
+    pub fn from_parts(buckets: Vec<(StmtKind, Vec<Statement>)>, keys: Vec<u64>) -> Self {
+        Self {
+            by_kind: buckets.into_iter().collect(),
+            keys: keys.into_iter().collect(),
+            per_kind_cap: 32,
+        }
+    }
+
+    /// Buckets sorted by kind code, for deterministic serialization.
+    pub fn buckets_sorted(&self) -> Vec<(StmtKind, &[Statement])> {
+        let mut v: Vec<(StmtKind, &[Statement])> =
+            self.by_kind.iter().map(|(k, stmts)| (*k, stmts.as_slice())).collect();
+        v.sort_by_key(|(k, _)| k.code());
+        v
+    }
+
+    /// The structural-dedup key set, sorted (checkpoint serialization).
+    pub fn keys_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.keys.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Pick a random type-matched structure.
     pub fn pick(&self, kind: StmtKind, rng: &mut SmallRng) -> Option<Statement> {
         self.by_kind.get(&kind).and_then(|v| {

@@ -34,6 +34,23 @@ impl SeedPool {
         id
     }
 
+    /// Rebuild a pool from checkpointed seeds. Ids are re-assigned by
+    /// position, which matches how [`SeedPool::add`] assigned them.
+    pub fn from_parts(seeds: Vec<(TestCase, usize, usize)>) -> Self {
+        Self {
+            seeds: seeds
+                .into_iter()
+                .enumerate()
+                .map(|(id, (case, cost, scheduled))| Seed { case, id, cost, scheduled })
+                .collect(),
+        }
+    }
+
+    /// Iterate retained seeds in insertion order (checkpoint serialization).
+    pub fn seeds(&self) -> impl Iterator<Item = &Seed> {
+        self.seeds.iter()
+    }
+
     pub fn len(&self) -> usize {
         self.seeds.len()
     }
@@ -53,7 +70,7 @@ impl SeedPool {
             return None;
         }
         let n = self.seeds.len();
-        let idx = if rng.gen_bool(0.3) && n > 4 {
+        let idx = if rng.gen_bool(0.6) && n > 4 {
             rng.gen_range(n - n / 4..n)
         } else {
             // Two tries, keep the cheaper seed.
@@ -109,6 +126,26 @@ mod tests {
             }
         }
         assert!(cheap > 380, "cheap picked only {cheap}/600");
+    }
+
+    #[test]
+    fn recency_arm_fires_sixty_percent() {
+        // 8 seeds; the newest quarter (ids 6, 7) is deliberately expensive,
+        // so the cost-weighted arm almost never lands there (it picks an
+        // expensive seed only when both of its draws are expensive:
+        // (2/8)^2 ≈ 6%). Hits in the newest quarter therefore estimate the
+        // recency-arm rate: 0.6 + 0.4·0.0625 ≈ 62.5% of 1000 draws. The old
+        // 0.3 rate would put the expectation near 325 — far below the band.
+        let mut pool = SeedPool::new();
+        for _ in 0..6 {
+            pool.add(case("SELECT 1;"), 1);
+        }
+        for _ in 0..2 {
+            pool.add(case("SELECT 1; SELECT 2; SELECT 3;"), 100);
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let newest = (0..1000).filter(|_| pool.pick(&mut rng).unwrap().id >= 6).count();
+        assert!((540..=710).contains(&newest), "newest-quarter picks = {newest}/1000");
     }
 
     #[test]

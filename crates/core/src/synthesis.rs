@@ -7,13 +7,17 @@
 
 use crate::affinity::AffinityMap;
 use lego_sqlast::StmtKind;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The synthesized-sequence store: `S`, `PS`, and the length limit `LEN`.
 #[derive(Clone, Debug)]
 pub struct SequenceStore {
     seqs: Vec<Vec<StmtKind>>,
     ps: HashMap<(StmtKind, usize), Vec<usize>>,
+    /// Every sequence ever recorded; [`SequenceStore::record`] uses it to
+    /// drop duplicates, so re-discovering an affinity (or reaching the same
+    /// sequence through two synthesis paths) never re-instantiates it.
+    seen: HashSet<Vec<StmtKind>>,
     max_len: usize,
     /// Global cap on stored sequences (state-explosion guard, § II C1).
     cap: usize,
@@ -27,11 +31,38 @@ impl SequenceStore {
     /// specific starting statement types, e.g. CREATE TABLE").
     pub fn new(max_len: usize, starters: &[StmtKind]) -> Self {
         assert!(max_len >= 2, "LEN must allow at least one affinity");
-        let mut store =
-            Self { seqs: Vec::new(), ps: HashMap::new(), max_len, cap: 200_000, truncated: 0 };
+        let mut store = Self {
+            seqs: Vec::new(),
+            ps: HashMap::new(),
+            seen: HashSet::new(),
+            max_len,
+            cap: 200_000,
+            truncated: 0,
+        };
         for &s in starters {
             store.record(vec![s]);
         }
+        store
+    }
+
+    /// Rebuild a store from a checkpointed sequence list (in original record
+    /// order, which reconstructs the `PS` index exactly) plus the truncation
+    /// counter. The starters are already part of `seqs`, so the caller passes
+    /// the full list and no separate starter set.
+    pub fn from_parts(max_len: usize, seqs: Vec<Vec<StmtKind>>, truncated: usize) -> Self {
+        assert!(max_len >= 2, "LEN must allow at least one affinity");
+        let mut store = Self {
+            seqs: Vec::new(),
+            ps: HashMap::new(),
+            seen: HashSet::new(),
+            max_len,
+            cap: 200_000,
+            truncated: 0,
+        };
+        for seq in seqs {
+            store.record(seq);
+        }
+        store.truncated = truncated;
         store
     }
 
@@ -52,10 +83,18 @@ impl SequenceStore {
     }
 
     fn record(&mut self, seq: Vec<StmtKind>) -> Option<usize> {
+        // Duplicate guard: the same sequence can be reached through several
+        // synthesis paths (and `on_new_affinity` re-extends every matching
+        // prefix each call); recording it again would double its `PS` entry
+        // and re-instantiate it forever.
+        if self.seen.contains(&seq) {
+            return None;
+        }
         if self.seqs.len() >= self.cap {
             self.truncated += 1;
             return None;
         }
+        self.seen.insert(seq.clone());
         let idx = self.seqs.len();
         let key = (*seq.last().expect("sequences are non-empty"), seq.len());
         self.ps.entry(key).or_default().push(idx);
@@ -212,6 +251,39 @@ mod tests {
         let got = store.on_new_affinity(CT, INS, &map, 16);
         assert!(got.len() <= 16);
         assert!(store.truncated > 0);
+    }
+
+    #[test]
+    fn repeated_affinity_discovery_is_idempotent() {
+        // `on_new_affinity` called twice for the same pair must not record
+        // (and hence never re-instantiate) the same sequences again.
+        let mut map = AffinityMap::new();
+        let mut store = SequenceStore::new(3, &[CT]);
+        map.insert(CT, INS);
+        let first = store.on_new_affinity(CT, INS, &map, 1000);
+        assert!(!first.is_empty());
+        let before = store.len();
+        let again = store.on_new_affinity(CT, INS, &map, 1000);
+        assert!(again.is_empty(), "duplicate discovery synthesized {again:?}");
+        assert_eq!(store.len(), before);
+    }
+
+    #[test]
+    fn from_parts_reconstructs_the_prefix_index() {
+        let mut map = AffinityMap::new();
+        let mut store = SequenceStore::new(3, &[CT]);
+        map.insert(CT, INS);
+        store.on_new_affinity(CT, INS, &map, 1000);
+        let rebuilt = SequenceStore::from_parts(3, store.sequences().to_vec(), store.truncated);
+        assert_eq!(rebuilt.sequences(), store.sequences());
+        // The rebuilt PS index must extend prefixes exactly like the
+        // original would.
+        map.insert(INS, SEL);
+        let (mut a, mut b) = (store, rebuilt);
+        assert_eq!(
+            a.on_new_affinity(INS, SEL, &map, 1000),
+            b.on_new_affinity(INS, SEL, &map, 1000)
+        );
     }
 
     #[test]

@@ -107,6 +107,29 @@ impl GlobalCoverage {
         self.virgin.iter_mut().for_each(|b| *b = 0);
         self.edges_covered = 0;
     }
+
+    /// Sparse `(edge index, bucket bits)` dump of the virgin map, in index
+    /// order. Campaign checkpoints persist this instead of the raw 64 KiB
+    /// map: covered edges are a small fraction of `MAP_SIZE`.
+    pub fn to_sparse(&self) -> Vec<(usize, u8)> {
+        self.virgin.iter().enumerate().filter(|(_, &v)| v != 0).map(|(i, &v)| (i, v)).collect()
+    }
+
+    /// Rebuild an accumulator from a [`GlobalCoverage::to_sparse`] dump.
+    /// Out-of-range indexes are ignored (corrupt checkpoints fail novelty
+    /// checks rather than panicking).
+    pub fn from_sparse(entries: &[(usize, u8)]) -> Self {
+        let mut g = Self::new();
+        for &(i, v) in entries {
+            if i < MAP_SIZE && v != 0 && g.virgin[i] == 0 {
+                g.edges_covered += 1;
+            }
+            if i < MAP_SIZE {
+                g.virgin[i] |= v;
+            }
+        }
+        g
+    }
 }
 
 /// Compile-time instrumentation-site id.
@@ -243,6 +266,26 @@ mod tests {
         // Re-merging the same map adds nothing.
         g.merge(&run_with(&[1, 2]));
         assert_eq!(g.edges_covered(), n);
+    }
+
+    #[test]
+    fn sparse_roundtrip_is_lossless() {
+        let mut g = GlobalCoverage::new();
+        g.merge(&run_with(&[1, 2, 3, 900, 65_000]));
+        g.merge(&run_with(&[3, 2, 1]));
+        let entries = g.to_sparse();
+        assert!(!entries.is_empty());
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "index-ordered");
+        let back = GlobalCoverage::from_sparse(&entries);
+        assert_eq!(back.edges_covered(), g.edges_covered());
+        assert_eq!(back.to_sparse(), entries);
+        assert!(!back.would_be_new(&run_with(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn from_sparse_ignores_out_of_range_entries() {
+        let g = GlobalCoverage::from_sparse(&[(MAP_SIZE + 7, 1), (3, 2)]);
+        assert_eq!(g.edges_covered(), 1);
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Per-script execution context: coverage recorder, type trace, crash slot.
+//! Per-script execution context: coverage recorder, type trace, crash slot,
+//! and the per-case execution budgets.
 
 use crate::bugs::CrashReport;
+use crate::limits::{AbortReason, Limits};
 use lego_coverage::{CovRecorder, SiteId};
 use lego_sqlast::StmtKind;
 
@@ -18,6 +20,17 @@ pub struct ExecCtx {
     pub crash: Option<CrashReport>,
     /// Rows produced by the last query statement.
     pub last_row_count: usize,
+    /// Per-case execution budgets (the deterministic stand-in for AFL's
+    /// per-exec timeout).
+    pub limits: Limits,
+    /// Rows materialized so far, across all operators.
+    pub rows_materialized: usize,
+    /// Statements charged so far, including trigger/rule cascades.
+    pub stmts_charged: usize,
+    /// Current expression-evaluation recursion depth.
+    pub eval_depth: usize,
+    /// Set (sticky) when any budget trips; aborts the case.
+    pub abort: Option<AbortReason>,
 }
 
 impl ExecCtx {
@@ -32,7 +45,18 @@ impl ExecCtx {
     }
 
     fn from_recorder(cov: CovRecorder) -> Self {
-        Self { cov, trace: Vec::new(), depth: 0, crash: None, last_row_count: 0 }
+        Self {
+            cov,
+            trace: Vec::new(),
+            depth: 0,
+            crash: None,
+            last_row_count: 0,
+            limits: Limits::default(),
+            rows_materialized: 0,
+            stmts_charged: 0,
+            eval_depth: 0,
+            abort: None,
+        }
     }
 
     /// Context for unit tests that only need coverage plumbing.
@@ -55,6 +79,51 @@ impl ExecCtx {
     pub fn crashed(&self) -> bool {
         self.crash.is_some()
     }
+
+    /// Record a budget trip. The first reason sticks; the returned error
+    /// unwinds the current statement quickly (it reads as a semantic error
+    /// to intermediate layers, but [`execute_case`](crate::Dbms::execute_case)
+    /// checks `abort` and surfaces [`Outcome::Aborted`](crate::Outcome)).
+    pub fn trip(&mut self, reason: AbortReason) -> String {
+        self.abort.get_or_insert(reason);
+        format!("case aborted: {} limit exceeded", reason.name())
+    }
+
+    /// Charge one executed statement (top-level or cascaded) against the
+    /// per-case statement budget.
+    #[inline]
+    pub fn charge_statement(&mut self) -> Result<(), String> {
+        self.stmts_charged += 1;
+        if self.stmts_charged > self.limits.max_statements {
+            return Err(self.trip(AbortReason::StatementBudget));
+        }
+        Ok(())
+    }
+
+    /// Charge `n` materialized rows against the per-case row budget.
+    #[inline]
+    pub fn charge_rows(&mut self, n: usize) -> Result<(), String> {
+        self.rows_materialized = self.rows_materialized.saturating_add(n);
+        if self.rows_materialized > self.limits.max_rows {
+            return Err(self.trip(AbortReason::RowBudget));
+        }
+        Ok(())
+    }
+
+    /// Enter one level of expression evaluation; trips the depth budget.
+    #[inline]
+    pub fn enter_eval(&mut self) -> Result<(), String> {
+        self.eval_depth += 1;
+        if self.eval_depth > self.limits.max_eval_depth {
+            return Err(self.trip(AbortReason::EvalDepth));
+        }
+        Ok(())
+    }
+
+    #[inline]
+    pub fn exit_eval(&mut self) {
+        self.eval_depth -= 1;
+    }
 }
 
 impl Default for ExecCtx {
@@ -74,6 +143,32 @@ mod tests {
         ctx.hit(site_id!());
         ctx.hit(site_id!());
         assert!(ctx.cov.map().edge_count() >= 2);
+    }
+
+    #[test]
+    fn row_budget_trips_and_sticks() {
+        let mut ctx = ExecCtx::new();
+        ctx.limits.max_rows = 10;
+        assert!(ctx.charge_rows(10).is_ok());
+        assert!(ctx.charge_rows(1).is_err());
+        assert_eq!(ctx.abort, Some(AbortReason::RowBudget));
+        // A later depth trip must not overwrite the first reason.
+        ctx.limits.max_eval_depth = 0;
+        assert!(ctx.enter_eval().is_err());
+        assert_eq!(ctx.abort, Some(AbortReason::RowBudget));
+    }
+
+    #[test]
+    fn eval_depth_is_balanced() {
+        let mut ctx = ExecCtx::new();
+        ctx.limits.max_eval_depth = 2;
+        assert!(ctx.enter_eval().is_ok());
+        assert!(ctx.enter_eval().is_ok());
+        assert!(ctx.enter_eval().is_err());
+        ctx.exit_eval();
+        ctx.exit_eval();
+        ctx.exit_eval();
+        assert_eq!(ctx.eval_depth, 0);
     }
 
     #[test]

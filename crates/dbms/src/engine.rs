@@ -4,6 +4,7 @@
 use crate::bugs::{CrashReport, OracleState};
 use crate::ctx::ExecCtx;
 use crate::exec::Session;
+use crate::limits::{AbortReason, Limits};
 use crate::profile::Profile;
 use lego_coverage::map::CovMap;
 use lego_coverage::site_id;
@@ -19,6 +20,9 @@ pub enum Outcome {
     ParseError(String),
     /// A planted memory-safety bug fired; the "server" died here.
     Crash(CrashReport),
+    /// A per-case execution budget tripped (the deterministic analogue of an
+    /// AFL timeout kill). The case must never be retained in a corpus.
+    Aborted(AbortReason),
 }
 
 /// Everything observed while executing one test case.
@@ -47,7 +51,45 @@ impl ExecReport {
     pub fn is_parse_error(&self) -> bool {
         matches!(self.outcome, Outcome::ParseError(_))
     }
+
+    pub fn aborted(&self) -> Option<AbortReason> {
+        match self.outcome {
+            Outcome::Aborted(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Synthesize the report for a case whose execution *panicked* and was
+    /// caught at the harness isolation boundary (`catch_unwind`). The panic
+    /// becomes an ordinary deduplicatable crash finding: the stack is built
+    /// from the panic message, so distinct panics dedup to distinct bugs and
+    /// re-running the same case reproduces the same report. Coverage is
+    /// empty — a panicked case is never retained as a seed.
+    pub fn engine_panic(dialect: Dialect, message: &str) -> Self {
+        let crash = CrashReport {
+            bug_id: PANIC_BUG_ID,
+            identifier: format!("{}-PANIC", dialect.name().to_ascii_uppercase()),
+            bug_type: crate::bugs::BugType::Af,
+            component: crate::profile::Component::Executor,
+            dialect,
+            stack: vec!["harness_catch_unwind".to_string(), format!("panic: {message}")],
+        };
+        ExecReport {
+            outcome: Outcome::Crash(crash),
+            coverage: CovMap::new(),
+            statements_executed: 0,
+            errors: vec![format!("engine panic: {message}")],
+            last_rows: 0,
+            stmts_ok: 0,
+            stmts_err: 0,
+        }
+    }
 }
+
+/// Sentinel `bug_id` for crash reports synthesized from a caught engine
+/// panic ([`ExecReport::engine_panic`]). Harness code must not re-execute
+/// such cases for reduction — they would panic again.
+pub const PANIC_BUG_ID: u32 = u32::MAX;
 
 /// One simulated DBMS instance (fresh database + session).
 ///
@@ -62,6 +104,7 @@ pub struct Dbms {
     session: Session,
     poisoned: Option<CrashReport>,
     spare_map: Option<CovMap>,
+    limits: Limits,
 }
 
 impl Dbms {
@@ -70,7 +113,18 @@ impl Dbms {
             session: Session::new(Profile::for_dialect(dialect)),
             poisoned: None,
             spare_map: None,
+            limits: Limits::default(),
         }
+    }
+
+    /// Override the per-case execution budgets applied to every subsequent
+    /// execution (survives [`Dbms::reset`]).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    pub fn limits(&self) -> Limits {
+        self.limits
     }
 
     /// Reset to the fresh-instance state in place: empty catalog, default
@@ -88,10 +142,12 @@ impl Dbms {
     }
 
     fn fresh_ctx(&mut self) -> ExecCtx {
-        match self.spare_map.take() {
+        let mut ctx = match self.spare_map.take() {
             Some(map) => ExecCtx::reusing(map),
             None => ExecCtx::new(),
-        }
+        };
+        ctx.limits = self.limits;
+        ctx
     }
 
     pub fn dialect(&self) -> Dialect {
@@ -143,6 +199,20 @@ impl Dbms {
                 Err(e) => errors.push(e),
             }
             executed += 1;
+            if let Some(reason) = ctx.abort {
+                // A budget tripped: the harness kills the case (AFL timeout
+                // analogue). The server is *not* poisoned — the next case
+                // gets a reset instance as usual.
+                return ExecReport {
+                    outcome: Outcome::Aborted(reason),
+                    last_rows: ctx.last_row_count,
+                    coverage: ctx.cov.into_map(),
+                    statements_executed: executed,
+                    stmts_ok: ok_count,
+                    stmts_err: executed - ok_count,
+                    errors,
+                };
+            }
             if ctx.crash.is_none() {
                 // Pattern-based oracle check on the observed type sequence.
                 let st = self.oracle_state();
@@ -337,6 +407,64 @@ mod tests {
         let r = db.execute_script("SELECT 1;");
         assert!(r.crash().is_some());
         assert_eq!(r.statements_executed, 0);
+    }
+
+    #[test]
+    fn row_budget_aborts_without_poisoning() {
+        let mut db = fresh(Dialect::Postgres);
+        db.set_limits(Limits { max_rows: 4, ..Limits::default() });
+        let r = db.execute_script(
+            "CREATE TABLE t (a INT);\n\
+             INSERT INTO t VALUES (1),(2),(3),(4),(5),(6);\n\
+             SELECT 1;",
+        );
+        assert_eq!(r.aborted(), Some(AbortReason::RowBudget));
+        assert!(r.statements_executed < 3, "aborts before the script ends");
+        // Not poisoned: after the usual between-case reset the instance works.
+        db.reset();
+        db.set_limits(Limits::default());
+        let r2 = db.execute_script("SELECT 1;");
+        assert!(matches!(r2.outcome, Outcome::Ok));
+    }
+
+    #[test]
+    fn statement_budget_aborts_long_scripts() {
+        let mut db = fresh(Dialect::Postgres);
+        db.set_limits(Limits { max_statements: 2, ..Limits::default() });
+        let r = db.execute_script("SELECT 1;\nSELECT 2;\nSELECT 3;");
+        assert_eq!(r.aborted(), Some(AbortReason::StatementBudget));
+    }
+
+    #[test]
+    fn eval_depth_budget_aborts_deep_expressions() {
+        let mut db = fresh(Dialect::Postgres);
+        db.set_limits(Limits { max_eval_depth: 4, ..Limits::default() });
+        let r = db.execute_script("SELECT 1+1+1+1+1+1+1+1+1+1;");
+        assert_eq!(r.aborted(), Some(AbortReason::EvalDepth));
+    }
+
+    #[test]
+    fn default_limits_do_not_fire_on_normal_scripts() {
+        let mut db = fresh(Dialect::Postgres);
+        let r = db.execute_script(
+            "CREATE TABLE t (a INT, b INT);\n\
+             INSERT INTO t VALUES (1, 2), (3, 4);\n\
+             SELECT t.a FROM t JOIN t AS u ON 1=1;",
+        );
+        assert!(matches!(r.outcome, Outcome::Ok), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn engine_panic_report_is_a_dedupable_crash() {
+        let a = ExecReport::engine_panic(Dialect::Postgres, "boom at stmt 3");
+        let b = ExecReport::engine_panic(Dialect::Postgres, "boom at stmt 3");
+        let c = ExecReport::engine_panic(Dialect::Postgres, "different panic");
+        let (ca, cb, cc) = (a.crash().unwrap(), b.crash().unwrap(), c.crash().unwrap());
+        assert_eq!(ca.bug_id, PANIC_BUG_ID);
+        assert_eq!(ca.stack_hash(), cb.stack_hash(), "same panic dedups");
+        assert_ne!(ca.stack_hash(), cc.stack_hash(), "distinct panics are distinct bugs");
+        assert_eq!(a.statements_executed, 0);
+        assert!(a.aborted().is_none());
     }
 
     #[test]

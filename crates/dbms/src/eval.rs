@@ -61,7 +61,18 @@ fn vclass(v: &Value) -> u64 {
 }
 
 /// Evaluate an expression against one row.
+///
+/// Every recursive step re-enters through here, so the per-case
+/// expression-depth budget ([`ExecCtx::enter_eval`]) sees the true
+/// evaluation depth, including subqueries and nested function calls.
 pub fn eval(expr: &Expr, env: &mut EvalEnv) -> Result<Value, String> {
+    env.ctx.enter_eval()?;
+    let r = eval_inner(expr, env);
+    env.ctx.exit_eval();
+    r
+}
+
+fn eval_inner(expr: &Expr, env: &mut EvalEnv) -> Result<Value, String> {
     match expr {
         Expr::Null => Ok(Value::Null),
         Expr::Bool(b) => Ok(Value::Bool(*b)),

@@ -139,6 +139,24 @@ impl Session {
     /// errors are `Err`. A planted-bug crash sets `ctx.crash`.
     pub fn exec_statement(&mut self, ctx: &mut ExecCtx, stmt: &Statement) -> Result<usize, String> {
         let kind = stmt.kind();
+        // Per-case statement budget: every entry — top-level or trigger/rule
+        // cascade — charges one unit, so a runaway cascade trips it too.
+        ctx.charge_statement()?;
+        // Test-only fault hooks (see `faults`): an injected engine panic and
+        // an injected infinite loop, both keyed to CREATE TRIGGER so the
+        // resilience tests can plant them behind a specific statement type.
+        if matches!(stmt, Statement::CreateTrigger(_)) {
+            if crate::faults::panic_on_create_trigger() {
+                panic!("injected fault: engine panic on CREATE TRIGGER");
+            }
+            if crate::faults::spin_on_create_trigger() {
+                // A "hang" the budget guard can catch deterministically: burn
+                // row budget until the per-case limit aborts the case.
+                loop {
+                    ctx.charge_rows(4096)?;
+                }
+            }
+        }
         // Per-kind dispatch site: every statement type has its own entry
         // branch, and AFL edges between consecutive statements' sites encode
         // type pairs — the substrate LEGO's affinity analysis feeds on.
@@ -1218,7 +1236,8 @@ impl Session {
             v
         };
 
-        // Source rows.
+        // Source rows (charged against the per-case row budget like any
+        // other materialization).
         let src_rows: Vec<Row> = match &i.source {
             InsertSource::Values(rows) => {
                 cov!(ctx);
@@ -1244,6 +1263,7 @@ impl Session {
                 vec![vec![]]
             }
         };
+        ctx.charge_rows(src_rows.len())?;
 
         self.fire_triggers(ctx, &i.table, DmlEvent::Insert, TriggerTiming::Before, src_rows.len())?;
         if ctx.crashed() {

@@ -1,25 +1,47 @@
-//! Test-only logic-fault injection.
+//! Test-only fault injection.
 //!
 //! The metamorphic oracles (`lego-oracle`) can only be integration-tested
-//! against an engine that is actually wrong, so this module provides a
-//! process-global switch that plants a *silent wrong-result* bug in the read
-//! path: when enabled, the `WHERE` filter drops the last qualifying row —
-//! the classic shape of an optimizer/scan bug that never crashes and never
-//! errors, exactly the class TLP and NoREC exist to catch.
+//! against an engine that is actually wrong, and the campaign supervisor's
+//! panic-isolation/hang-guard paths can only be integration-tested against
+//! an engine that actually panics or hangs. This module provides
+//! process-global switches for all three fault classes:
 //!
-//! The switch is off by default and is only meant to be flipped from tests
-//! (keep fault-enabled tests in their own test binary: the flag is global to
-//! the process and test binaries run their `#[test]`s on multiple threads).
-//! The hot-path cost when disabled is one relaxed atomic load per filtered
-//! scan.
+//! - **wrong result** — the `WHERE` filter drops the last qualifying row:
+//!   the classic shape of an optimizer/scan bug that never crashes and never
+//!   errors, exactly the class TLP and NoREC exist to catch;
+//! - **engine panic** — `CREATE TRIGGER` panics, modelling an engine bug
+//!   that tears down the worker thread rather than tripping the bug oracle;
+//! - **engine hang** — `CREATE TRIGGER` spins, burning the per-case row
+//!   budget until the hang guard aborts the case (the deterministic analogue
+//!   of the paper's 23-minute SQUIRREL hang, § II-C3).
+//!
+//! The switches are off by default and are only meant to be flipped from
+//! tests (keep fault-enabled tests in their own test binary: the flags are
+//! global to the process and test binaries run their `#[test]`s on multiple
+//! threads). The hot-path cost when disabled is one relaxed atomic load per
+//! guarded site.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static WHERE_DROPS_LAST_ROW: AtomicBool = AtomicBool::new(false);
+static PANIC_ON_CREATE_TRIGGER: AtomicBool = AtomicBool::new(false);
+static SPIN_ON_CREATE_TRIGGER: AtomicBool = AtomicBool::new(false);
 
 /// Enable or disable the planted wrong-result fault (test-only).
 pub fn set_where_drops_last_row(enabled: bool) {
     WHERE_DROPS_LAST_ROW.store(enabled, Ordering::Relaxed);
+}
+
+/// Enable or disable the planted engine panic on `CREATE TRIGGER`
+/// (test-only).
+pub fn set_panic_on_create_trigger(enabled: bool) {
+    PANIC_ON_CREATE_TRIGGER.store(enabled, Ordering::Relaxed);
+}
+
+/// Enable or disable the planted engine hang on `CREATE TRIGGER`
+/// (test-only).
+pub fn set_spin_on_create_trigger(enabled: bool) {
+    SPIN_ON_CREATE_TRIGGER.store(enabled, Ordering::Relaxed);
 }
 
 /// Is the planted wrong-result fault enabled?
@@ -27,8 +49,18 @@ pub(crate) fn where_drops_last_row() -> bool {
     WHERE_DROPS_LAST_ROW.load(Ordering::Relaxed)
 }
 
-/// RAII guard that enables the fault for a scope and always disables it on
-/// drop, so a panicking test cannot leak the fault into later tests.
+/// Is the planted engine panic enabled?
+pub(crate) fn panic_on_create_trigger() -> bool {
+    PANIC_ON_CREATE_TRIGGER.load(Ordering::Relaxed)
+}
+
+/// Is the planted engine hang enabled?
+pub(crate) fn spin_on_create_trigger() -> bool {
+    SPIN_ON_CREATE_TRIGGER.load(Ordering::Relaxed)
+}
+
+/// RAII guard that enables a fault for a scope and always disables every
+/// fault on drop, so a panicking test cannot leak a fault into later tests.
 pub struct FaultGuard(());
 
 impl FaultGuard {
@@ -36,10 +68,22 @@ impl FaultGuard {
         set_where_drops_last_row(true);
         FaultGuard(())
     }
+
+    pub fn enable_panic_on_create_trigger() -> Self {
+        set_panic_on_create_trigger(true);
+        FaultGuard(())
+    }
+
+    pub fn enable_spin_on_create_trigger() -> Self {
+        set_spin_on_create_trigger(true);
+        FaultGuard(())
+    }
 }
 
 impl Drop for FaultGuard {
     fn drop(&mut self) {
         set_where_drops_last_row(false);
+        set_panic_on_create_trigger(false);
+        set_spin_on_create_trigger(false);
     }
 }

@@ -42,12 +42,14 @@ pub mod engine;
 pub mod eval;
 pub mod exec;
 pub mod faults;
+pub mod limits;
 pub mod profile;
 pub mod query;
 pub mod value;
 
 pub use bugs::{BugSpec, BugType, CrashReport};
-pub use engine::{Dbms, ExecReport, Outcome};
+pub use engine::{Dbms, ExecReport, Outcome, PANIC_BUG_ID};
+pub use limits::{AbortReason, Limits};
 pub use profile::{Component, Profile};
 pub use query::ResultSet;
 pub use value::{Row, Value};

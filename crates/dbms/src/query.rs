@@ -273,6 +273,7 @@ fn base_relation(
         }
         let cols =
             t.columns.iter().map(|c| (Some(label.clone()), c.name.to_ascii_lowercase())).collect();
+        ctx.charge_rows(t.rows.len())?;
         return Ok(Rel { cols, rows: t.rows.clone() });
     }
     if let Some(v) = env.cat.view(name) {
@@ -402,6 +403,7 @@ fn join_rels(
             }
         }
     }
+    ctx.charge_rows(rows.len())?;
     Ok(Rel { cols, rows })
 }
 
@@ -566,6 +568,7 @@ fn project(
         }
         out_rows.push(out);
     }
+    ctx.charge_rows(out_rows.len())?;
     Ok((columns, out_rows))
 }
 

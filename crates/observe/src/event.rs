@@ -80,8 +80,16 @@ pub enum Event {
     /// A correctness oracle (TLP / NoREC / differential) flagged a
     /// deduplicated wrong-result bug.
     LogicBugFound { worker: usize, exec: u64, oracle: String, fingerprint: u64 },
+    /// A per-case execution budget tripped and the case was killed (the
+    /// deterministic analogue of an AFL timeout kill).
+    CaseAborted { worker: usize, exec: u64, reason: String },
+    /// A worker thread died mid-campaign (engine panic outside the per-case
+    /// isolation boundary); the supervisor merged the surviving shards.
+    WorkerDied { worker: usize, error: String },
     /// A worker flushed its local coverage shard into the shared map.
     WorkerSync { worker: usize, execs: u64 },
+    /// A campaign checkpoint was persisted to disk.
+    CheckpointWritten { worker: usize, seq: u64, units: u64, path: String },
 }
 
 impl Event {
@@ -96,7 +104,10 @@ impl Event {
             Event::CoverageGain { .. } => "CoverageGain",
             Event::BugFound { .. } => "BugFound",
             Event::LogicBugFound { .. } => "LogicBugFound",
+            Event::CaseAborted { .. } => "CaseAborted",
+            Event::WorkerDied { .. } => "WorkerDied",
             Event::WorkerSync { .. } => "WorkerSync",
+            Event::CheckpointWritten { .. } => "CheckpointWritten",
         }
     }
 
@@ -149,9 +160,24 @@ impl Event {
                 push_str(&mut s, "oracle", oracle);
                 push_num(&mut s, "fingerprint", *fingerprint);
             }
+            Event::CaseAborted { worker, exec, reason } => {
+                push_num(&mut s, "worker", *worker as u64);
+                push_num(&mut s, "exec", *exec);
+                push_str(&mut s, "reason", reason);
+            }
+            Event::WorkerDied { worker, error } => {
+                push_num(&mut s, "worker", *worker as u64);
+                push_str(&mut s, "error", error);
+            }
             Event::WorkerSync { worker, execs } => {
                 push_num(&mut s, "worker", *worker as u64);
                 push_num(&mut s, "execs", *execs);
+            }
+            Event::CheckpointWritten { worker, seq, units, path } => {
+                push_num(&mut s, "worker", *worker as u64);
+                push_num(&mut s, "seq", *seq);
+                push_num(&mut s, "units", *units);
+                push_str(&mut s, "path", path);
             }
         }
         s.push('}');

@@ -109,7 +109,12 @@ impl MetricsRegistry {
             }
             Event::BugFound { .. } => self.inc("lego_bugs_total", 1),
             Event::LogicBugFound { .. } => self.inc("lego_logic_bugs_total", 1),
+            Event::CaseAborted { reason, .. } => {
+                self.inc(&format!("lego_aborted_cases_total{{reason=\"{reason}\"}}"), 1);
+            }
+            Event::WorkerDied { .. } => self.inc("lego_worker_deaths_total", 1),
             Event::WorkerSync { .. } => self.inc("lego_worker_syncs_total", 1),
+            Event::CheckpointWritten { .. } => self.inc("lego_checkpoints_written_total", 1),
             Event::ExecStart { .. } => {}
         }
     }

@@ -673,6 +673,46 @@ impl fmt::Display for TableConstraint {
     }
 }
 
+/// Byte offset of the earliest top-level SELECT clause keyword in the
+/// rendered query text: the splice point for `SELECT ... INTO <t>`.
+/// Occurrences inside parentheses (subqueries, call arguments) or inside
+/// single-quoted string literals are skipped.
+fn top_level_clause_pos(text: &str) -> Option<usize> {
+    const CLAUSES: [&str; 10] = [
+        " FROM ",
+        " WHERE ",
+        " GROUP BY ",
+        " HAVING ",
+        " ORDER BY ",
+        " LIMIT ",
+        " OFFSET ",
+        " UNION ",
+        " EXCEPT ",
+        " INTERSECT ",
+    ];
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    for i in 0..bytes.len() {
+        if in_str {
+            if bytes[i] == b'\'' {
+                in_str = false;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'\'' => in_str = true,
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b' ' if depth == 0 && CLAUSES.iter().any(|k| text[i..].starts_with(k)) => {
+                return Some(i);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -792,13 +832,18 @@ impl fmt::Display for Statement {
                     f.write_str(&text.replacen("SELECT", "SELECTV", 1))
                 }
                 SelectVariant::Into(target) => {
-                    // `SELECT <proj> INTO <t> FROM ...`: splice INTO after the
-                    // projection list for PostgreSQL-style rendering.
+                    // `SELECT <proj> INTO <t> FROM ...`: splice INTO right
+                    // after the projection list — the only position the
+                    // grammar accepts. In a FROM-less query the next clause
+                    // (WHERE/GROUP BY/ORDER BY/LIMIT/...) marks that spot;
+                    // appending INTO at the end would not re-parse. Only
+                    // top-level clause keywords count — a FROM inside a
+                    // parenthesized subquery or a string literal must not
+                    // attract the INTO.
                     let text = s.query.to_string();
-                    if let Some(pos) = text.find(" FROM ") {
-                        write!(f, "{} INTO {}{}", &text[..pos], target, &text[pos..])
-                    } else {
-                        write!(f, "{} INTO {}", text, target)
+                    match top_level_clause_pos(&text) {
+                        Some(pos) => write!(f, "{} INTO {}{}", &text[..pos], target, &text[pos..]),
+                        None => write!(f, "{} INTO {}", text, target),
                     }
                 }
             },

@@ -364,6 +364,19 @@ impl StmtKind {
         }
     }
 
+    /// Inverse of [`StmtKind::code`]; `None` for codes outside the alphabet
+    /// (e.g. read from a corrupt checkpoint).
+    pub fn from_code(code: u16) -> Option<StmtKind> {
+        let ddl = (DdlVerb::ALL.len() * ObjectKind::ALL.len()) as u16;
+        if code < ddl {
+            let verb = DdlVerb::ALL[(code / ObjectKind::ALL.len() as u16) as usize];
+            let obj = ObjectKind::ALL[(code % ObjectKind::ALL.len() as u16) as usize];
+            Some(StmtKind::Ddl(verb, obj))
+        } else {
+            StandaloneKind::ALL.get((code - ddl) as usize).map(|&k| StmtKind::Other(k))
+        }
+    }
+
     /// Statement types that are natural *sequence starters* for synthesis
     /// (paper § III-B: "Beginning from specific starting statement types
     /// (e.g., CREATE TABLE)").
@@ -406,6 +419,15 @@ mod tests {
         let all = StmtKind::all();
         let codes: HashSet<u16> = all.iter().map(|k| k.code()).collect();
         assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn from_code_inverts_code() {
+        for k in StmtKind::all() {
+            assert_eq!(StmtKind::from_code(k.code()), Some(k));
+        }
+        let max = StmtKind::all().iter().map(|k| k.code()).max().unwrap();
+        assert_eq!(StmtKind::from_code(max + 1), None);
     }
 
     #[test]

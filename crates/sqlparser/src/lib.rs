@@ -227,6 +227,15 @@ mod roundtrip_tests {
     fn roundtrip_selectv_and_select_into() {
         roundtrip("SELECTV * FROM t;");
         roundtrip("SELECT a INTO t2 FROM t1 WHERE a > 0;");
+        // FROM-less SELECT INTO: the printer must splice INTO before any
+        // trailing clause, not append it after LIMIT.
+        roundtrip("SELECT 3614 INTO v86 LIMIT 32;");
+        roundtrip("SELECT 1781 INTO v23 OFFSET 3649;");
+        roundtrip("SELECT 1 INTO v1;");
+        // Clause keywords inside a parenthesized subquery must not attract
+        // the INTO splice — it belongs after the outer projection list.
+        roundtrip("SELECT (SELECT a FROM t1) INTO v9;");
+        roundtrip("SELECT (SELECT a FROM t1) INTO v9 FROM t2;");
     }
 
     #[test]

@@ -15,7 +15,8 @@ jq -e -s '
   (length > 0) and
   (map(type == "object" and (.type | type == "string")) | all) and
   (map(.type) - ["ExecStart","ExecEnd","MutationApplied","AffinityDiscovered",
-                 "SynthesisStep","CoverageGain","BugFound","WorkerSync"] == [])
+                 "SynthesisStep","CoverageGain","BugFound","LogicBugFound","WorkerSync",
+                 "CaseAborted","WorkerDied","CheckpointWritten"] == [])
 ' "$log" >/dev/null || { echo "check_telemetry: malformed or unknown events in $log" >&2; exit 1; }
 
 # 2. Per-type invariants: paired exec markers, statement counters that add
@@ -27,7 +28,11 @@ jq -e -s '
   ($ends | map(.ok + .err == .statements) | all) and
   ($ends | map(.worker >= 0 and .exec >= 0) | all) and
   (map(select(.type == "CoverageGain")) | map(.edges >= 0 and (.op | type == "string")) | all) and
-  (map(select(.type == "BugFound")) | map((.identifier | length) > 0) | all)
+  (map(select(.type == "BugFound")) | map((.identifier | length) > 0) | all) and
+  (map(select(.type == "LogicBugFound")) | map((.oracle | length) > 0) | all) and
+  (map(select(.type == "CaseAborted")) | map((.reason | length) > 0 and .worker >= 0) | all) and
+  (map(select(.type == "WorkerDied")) | map((.error | length) > 0 and .worker >= 0) | all) and
+  (map(select(.type == "CheckpointWritten")) | map(.seq >= 1 and (.path | length) > 0) | all)
 ' "$log" >/dev/null || { echo "check_telemetry: event invariants violated in $log" >&2; exit 1; }
 
 # 3. Metrics exports (written by TelemetryGuard::finish next to the log).

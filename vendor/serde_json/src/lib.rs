@@ -1,9 +1,15 @@
 #![forbid(unsafe_code)]
 
 //! Offline vendored subset of `serde_json`: `to_string` and
-//! `to_string_pretty` over the vendored [`serde::Serialize`] trait.
+//! `to_string_pretty` over the vendored [`serde::Serialize`] trait, plus a
+//! [`Value`] tree with [`from_str`] for the read side (the vendored `serde`
+//! has no deserialization machinery, so readers walk the tree by hand).
 
 use std::fmt;
+
+pub mod value;
+
+pub use value::{from_str, ParseError, Value};
 
 /// Serialization error. The vendored writer is infallible; the type exists
 /// for API compatibility with real `serde_json`.

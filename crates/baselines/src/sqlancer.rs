@@ -17,6 +17,7 @@ use lego_sqlast::kind::{DdlVerb, ObjectKind, StandaloneKind, StmtKind};
 use lego_sqlast::{Dialect, TestCase};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 pub struct SqlancerFuzzer {
     dialect: Dialect,
@@ -24,7 +25,7 @@ pub struct SqlancerFuzzer {
     /// A sample of generated cases (SQLancer keeps no corpus; the paper's
     /// Table II analyzes the test cases each fuzzer produced, so we retain a
     /// bounded sample for that accounting).
-    sample: Vec<TestCase>,
+    sample: Vec<Arc<TestCase>>,
 }
 
 impl SqlancerFuzzer {
@@ -109,7 +110,7 @@ impl FuzzEngine for SqlancerFuzzer {
         "SQLancer"
     }
 
-    fn next_case(&mut self) -> TestCase {
+    fn next_case(&mut self) -> Arc<TestCase> {
         let mut statements = Vec::new();
         let mut schema = SchemaModel::new();
         for kind in self.setup_kinds() {
@@ -155,17 +156,17 @@ impl FuzzEngine for SqlancerFuzzer {
         }
         let mut case = TestCase::new(statements);
         fix_case(&mut case, &mut self.rng);
-        case
+        Arc::new(case)
     }
 
-    fn feedback(&mut self, case: &TestCase, _report: &ExecReport, _new_coverage: bool) {
+    fn feedback(&mut self, case: &Arc<TestCase>, _report: &ExecReport, _new_coverage: bool) {
         // No coverage guidance; keep a bounded sample for Table II.
         if self.sample.len() < 2048 {
-            self.sample.push(case.clone());
+            self.sample.push(Arc::clone(case));
         }
     }
 
-    fn corpus(&self) -> Vec<TestCase> {
+    fn corpus(&self) -> Vec<Arc<TestCase>> {
         self.sample.clone()
     }
 }

@@ -18,6 +18,7 @@ use lego_sqlast::ast::{SelectStmt, SelectVariant, Statement};
 use lego_sqlast::{Dialect, TestCase};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The fixed schema prologue every SQLsmith case starts with. Ends with a
 /// plain SELECT so the generated query never directly follows an INSERT.
@@ -33,7 +34,7 @@ pub struct SqlsmithFuzzer {
     prologue: TestCase,
     schema: SchemaModel,
     /// Generated queries that produced new coverage (bounded).
-    corpus: Vec<TestCase>,
+    corpus: Vec<Arc<TestCase>>,
 }
 
 impl SqlsmithFuzzer {
@@ -55,27 +56,27 @@ impl FuzzEngine for SqlsmithFuzzer {
         "SQLsmith"
     }
 
-    fn next_case(&mut self) -> TestCase {
+    fn next_case(&mut self) -> Arc<TestCase> {
         // Deep, feature-rich single query (SQLsmith's strength).
         let query = gen_query(&self.schema, self.dialect, &mut self.rng, 2);
         let select =
             Statement::Select(SelectStmt { query: Box::new(query), variant: SelectVariant::Plain });
         let mut statements = self.prologue.statements.clone();
         statements.push(select);
-        TestCase::new(statements)
+        Arc::new(TestCase::new(statements))
     }
 
-    fn feedback(&mut self, case: &TestCase, _report: &ExecReport, new_coverage: bool) {
+    fn feedback(&mut self, case: &Arc<TestCase>, _report: &ExecReport, new_coverage: bool) {
         if new_coverage && self.corpus.len() < 4096 {
             // Record only the generated query — SQLsmith test cases are
             // single statements (paper § V-C, Table II footnote).
             if let Some(q) = case.statements.last() {
-                self.corpus.push(TestCase::new(vec![q.clone()]));
+                self.corpus.push(Arc::new(TestCase::new(vec![q.clone()])));
             }
         }
     }
 
-    fn corpus(&self) -> Vec<TestCase> {
+    fn corpus(&self) -> Vec<Arc<TestCase>> {
         self.corpus.clone()
     }
 }

@@ -7,6 +7,7 @@ use lego::campaign::FuzzEngine;
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego_dbms::ExecReport;
 use lego_sqlast::{Dialect, TestCase};
+use std::sync::Arc;
 
 /// SQUIRREL = the shared mutation engine with both sequence-oriented
 /// switches off (no substitution/insertion/deletion, no affinity analysis,
@@ -37,15 +38,15 @@ impl FuzzEngine for SquirrelFuzzer {
         "SQUIRREL"
     }
 
-    fn next_case(&mut self) -> TestCase {
+    fn next_case(&mut self) -> Arc<TestCase> {
         self.inner.next_case()
     }
 
-    fn feedback(&mut self, case: &TestCase, report: &ExecReport, new_coverage: bool) {
+    fn feedback(&mut self, case: &Arc<TestCase>, report: &ExecReport, new_coverage: bool) {
         self.inner.feedback(case, report, new_coverage)
     }
 
-    fn corpus(&self) -> Vec<TestCase> {
+    fn corpus(&self) -> Vec<Arc<TestCase>> {
         self.inner.corpus()
     }
 }

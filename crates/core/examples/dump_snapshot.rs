@@ -1,0 +1,19 @@
+//! Dump a LEGO engine snapshot after a short driven burst (fixture helper).
+
+use lego::campaign::FuzzEngine;
+use lego::fuzzer::{Config, LegoFuzzer};
+use lego_sqlast::Dialect;
+
+fn main() {
+    let mut fz = LegoFuzzer::new(Dialect::Postgres, Config::default());
+    let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
+    let mut global = lego_coverage::GlobalCoverage::new();
+    for _ in 0..60 {
+        let case = fz.next_case();
+        db.reset();
+        let report = db.execute_case(&case);
+        let new_coverage = global.merge(&report.coverage);
+        fz.feedback(&case, &report, new_coverage);
+    }
+    println!("{}", fz.checkpoint().expect("LEGO supports checkpointing"));
+}

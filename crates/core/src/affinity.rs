@@ -4,39 +4,81 @@
 //! types of two adjacent statements: `t1` can meaningfully be followed by
 //! `t2`. The map is learned only from test cases that covered new branches,
 //! which is what keeps it meaningful (§ III-A).
+//!
+//! The statement-type alphabet is small and closed ([`StmtKind::COUNT`]
+//! codes, contiguous in `0..COUNT`), so the map is a dense K×K adjacency
+//! bitset rather than the original `BTreeMap<StmtKind, BTreeSet<StmtKind>>`:
+//! `insert`/`contains` are one word index + mask instead of two tree walks,
+//! and `analyze` on the feedback hot path allocates nothing when a case
+//! contributes no new pairs. Iteration walks rows in code order and set
+//! bits in ascending code order, which is exactly the old BTree order
+//! (derived `Ord` on [`StmtKind`] matches [`StmtKind::code`] order), so
+//! checkpoints and synthesis schedules are byte-identical.
 
 use lego_sqlast::{StmtKind, TestCase};
-use std::collections::{BTreeMap, BTreeSet};
+use std::borrow::Borrow;
+
+const K: usize = StmtKind::COUNT;
+const ROW_WORDS: usize = K.div_ceil(64);
 
 /// `T: type -> set of types that may follow it` (the paper's `Map<type,
 /// Set<type>>`), plus bookkeeping for progressive synthesis.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct AffinityMap {
-    map: BTreeMap<StmtKind, BTreeSet<StmtKind>>,
+    /// K rows of `ROW_WORDS` words each; bit `t2` of row `t1` set means the
+    /// affinity `(t1, t2)` is known.
+    rows: Box<[u64]>,
     len: usize,
+}
+
+impl Default for AffinityMap {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl AffinityMap {
     pub fn new() -> Self {
-        Self::default()
+        Self { rows: vec![0u64; K * ROW_WORDS].into_boxed_slice(), len: 0 }
+    }
+
+    #[inline]
+    fn slot(t1: StmtKind, t2: StmtKind) -> (usize, u64) {
+        let c2 = t2.code() as usize;
+        (t1.code() as usize * ROW_WORDS + c2 / 64, 1u64 << (c2 % 64))
     }
 
     /// Record one affinity; returns `true` if it is new.
+    #[inline]
     pub fn insert(&mut self, t1: StmtKind, t2: StmtKind) -> bool {
-        let added = self.map.entry(t1).or_default().insert(t2);
-        if added {
-            self.len += 1;
-        }
+        let (w, bit) = Self::slot(t1, t2);
+        let added = self.rows[w] & bit == 0;
+        self.rows[w] |= bit;
+        self.len += added as usize;
         added
     }
 
+    #[inline]
     pub fn contains(&self, t1: StmtKind, t2: StmtKind) -> bool {
-        self.map.get(&t1).is_some_and(|s| s.contains(&t2))
+        let (w, bit) = Self::slot(t1, t2);
+        self.rows[w] & bit != 0
     }
 
-    /// Successors of a type (drives `listSeq` in Algorithm 3).
+    /// Successors of a type (drives `listSeq` in Algorithm 3), in code
+    /// order — the order the old `BTreeSet` yielded.
     pub fn successors(&self, t: StmtKind) -> impl Iterator<Item = StmtKind> + '_ {
-        self.map.get(&t).into_iter().flatten().copied()
+        let base = t.code() as usize * ROW_WORDS;
+        (0..ROW_WORDS).flat_map(move |wi| {
+            let mut word = self.rows[base + wi];
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(StmtKind::from_code((wi * 64 + bit) as u16).expect("bit within alphabet"))
+            })
+        })
     }
 
     /// Total number of `(t1, t2)` pairs — the paper's Table II metric.
@@ -49,7 +91,10 @@ impl AffinityMap {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (StmtKind, StmtKind)> + '_ {
-        self.map.iter().flat_map(|(t1, set)| set.iter().map(move |t2| (*t1, *t2)))
+        (0..K).flat_map(move |c1| {
+            let t1 = StmtKind::from_code(c1 as u16).expect("row within alphabet");
+            self.successors(t1).map(move |t2| (t1, t2))
+        })
     }
 
     /// Algorithm 2: extract all affinities from a test case, adding them to
@@ -73,11 +118,13 @@ impl AffinityMap {
 }
 
 /// Count affinities across a whole corpus into a fresh map (used to produce
-/// the Table II numbers for each fuzzer's output corpus).
-pub fn corpus_affinities(corpus: &[TestCase]) -> AffinityMap {
+/// the Table II numbers for each fuzzer's output corpus). Generic over the
+/// case representation so both owned corpora and the pool's shared
+/// `Arc<TestCase>` seeds can be counted without cloning.
+pub fn corpus_affinities<C: Borrow<TestCase>>(corpus: &[C]) -> AffinityMap {
     let mut map = AffinityMap::new();
     for case in corpus {
-        map.analyze(case);
+        map.analyze(case.borrow());
     }
     map
 }
@@ -86,6 +133,7 @@ pub fn corpus_affinities(corpus: &[TestCase]) -> AffinityMap {
 mod tests {
     use super::*;
     use lego_sqlparser::parse_script;
+    use std::collections::{BTreeMap, BTreeSet};
 
     fn case(sql: &str) -> TestCase {
         parse_script(sql).unwrap()
@@ -144,6 +192,15 @@ mod tests {
     }
 
     #[test]
+    fn corpus_affinities_accept_shared_cases() {
+        let corpus = vec![
+            std::sync::Arc::new(case("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);")),
+            std::sync::Arc::new(case("INSERT INTO t VALUES (1); SELECT * FROM t;")),
+        ];
+        assert_eq!(corpus_affinities(&corpus).len(), 2);
+    }
+
+    #[test]
     fn ordered_pairs_are_directional() {
         let mut m = AffinityMap::new();
         m.analyze(&case("INSERT INTO t VALUES (1); SELECT * FROM t;"));
@@ -151,5 +208,36 @@ mod tests {
         let sel = case("SELECT 1;").statements[0].kind();
         assert!(m.contains(ins, sel));
         assert!(!m.contains(sel, ins));
+    }
+
+    #[test]
+    fn iteration_order_matches_btree_reference() {
+        // The dense map must iterate in exactly the order the original
+        // BTreeMap<StmtKind, BTreeSet<StmtKind>> did — checkpoints and
+        // synthesis schedules depend on it.
+        let mut dense = AffinityMap::new();
+        let mut tree: BTreeMap<StmtKind, BTreeSet<StmtKind>> = BTreeMap::new();
+        let all = StmtKind::all();
+        let mut x = 12345u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let t1 = all[(x >> 33) as usize % all.len()];
+            let t2 = all[(x >> 13) as usize % all.len()];
+            if t1 == t2 {
+                continue;
+            }
+            dense.insert(t1, t2);
+            tree.entry(t1).or_default().insert(t2);
+        }
+        let want: Vec<(StmtKind, StmtKind)> =
+            tree.iter().flat_map(|(t1, s)| s.iter().map(move |t2| (*t1, *t2))).collect();
+        let got: Vec<(StmtKind, StmtKind)> = dense.iter().collect();
+        assert_eq!(got, want);
+        assert_eq!(dense.len(), want.len());
+        for (t1, _) in &want {
+            let ds: Vec<_> = dense.successors(*t1).collect();
+            let ts: Vec<_> = tree[t1].iter().copied().collect();
+            assert_eq!(ds, ts);
+        }
     }
 }

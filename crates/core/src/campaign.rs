@@ -7,7 +7,7 @@ use crate::checkpoint::{
     self, CheckpointCfg, CheckpointMeta, FindingCk, LogicFindingCk, SnapCk, WorkerCheckpoint,
     WorkerResume, CHECKPOINT_VERSION,
 };
-use lego_coverage::GlobalCoverage;
+use lego_coverage::{CoverageSink, GlobalCoverage};
 use lego_dbms::{CrashReport, Dbms, ExecReport, PANIC_BUG_ID};
 use lego_observe::{Event, Stage, StageProfile, Telemetry};
 use lego_oracle::{reduce::reduce_logic_bug, LogicBug, OracleConfig, OracleSuite};
@@ -15,7 +15,7 @@ use lego_sqlast::{Dialect, TestCase};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A fuzzing engine: produces test cases, receives coverage feedback.
@@ -26,13 +26,17 @@ use std::time::Instant;
 /// input seeds to uniform the branch coverage".
 pub trait FuzzEngine {
     fn name(&self) -> &'static str;
-    /// The next test case to execute.
-    fn next_case(&mut self) -> TestCase;
+    /// The next test case to execute. Cases are handed out as `Arc`s so the
+    /// engine can retain an admitted case (and the campaign can stash it in
+    /// findings) without deep-cloning the AST.
+    fn next_case(&mut self) -> Arc<TestCase>;
     /// Post-execution feedback. `new_coverage` is the AFL `has_new_bits`
-    /// verdict against the campaign-global map.
-    fn feedback(&mut self, case: &TestCase, report: &ExecReport, new_coverage: bool);
-    /// The engine's retained corpus (for Table II affinity accounting).
-    fn corpus(&self) -> Vec<TestCase>;
+    /// verdict against the campaign-global map. Admitting `case` to the
+    /// corpus is an `Arc` bump.
+    fn feedback(&mut self, case: &Arc<TestCase>, report: &ExecReport, new_coverage: bool);
+    /// The engine's retained corpus (for Table II affinity accounting),
+    /// shared — not cloned — out of the pool.
+    fn corpus(&self) -> Vec<Arc<TestCase>>;
     /// Give the engine a telemetry handle for engine-internal events
     /// (mutations, affinity discoveries, synthesis steps). The default is a
     /// no-op so baseline engines need no changes; the campaign always calls
@@ -737,12 +741,14 @@ struct WorkerOut {
     cases_aborted: usize,
     /// Local-shard snapshots, one per curve point (`budget.snapshots` of
     /// them), each paired with the units the worker had consumed when it was
-    /// taken.
-    snaps: Vec<(usize, GlobalCoverage)>,
+    /// taken. Stored sparse — a typical shard covers a few thousand of the
+    /// 64 Ki edges, so dumping `(index, bucket)` pairs beats cloning the
+    /// whole map per point.
+    snaps: Vec<(usize, Vec<(usize, u8)>)>,
     bugs: Vec<BugFinding>,
     logic_bugs: Vec<LogicBugFinding>,
     oracle_checks: usize,
-    corpus: Vec<TestCase>,
+    corpus: Vec<Arc<TestCase>>,
 }
 
 /// One worker's slice of a parallel campaign: its index, budget share, and
@@ -759,15 +765,18 @@ struct Shard {
 /// Coverage novelty (`new_coverage` feedback) is judged against the worker's
 /// *local* shard only, so a worker's behaviour depends solely on its own
 /// engine seed and budget slice — never on scheduler interleaving. The
-/// shared map is a write-only sink the shard is batch-unioned into every
-/// `sync_every` cases; because the union is commutative and idempotent, the
-/// merged result is interleaving-independent too.
+/// shared [`CoverageSink`] is write-only during the run: every `sync_every`
+/// cases the worker publishes the virgin-map words its shard dirtied since
+/// the last sync (atomic `fetch_or` per changed word, zero atomics when the
+/// epoch found nothing new — no lock anywhere). Because `fetch_or` is
+/// commutative and idempotent, the collapsed sink is interleaving-
+/// independent, exactly like the old mutex-guarded batch union.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     mut engine: Box<dyn FuzzEngine + Send>,
     shard_cfg: Shard,
     dialect: Dialect,
-    sink: &Mutex<GlobalCoverage>,
+    sink: &CoverageSink,
     tel: &Telemetry,
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
@@ -779,7 +788,7 @@ fn run_worker(
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
     let mut oracle_rt = OracleRuntime::new(dialect, oracles);
-    let mut snaps: Vec<(usize, GlobalCoverage)> = Vec::with_capacity(snapshots);
+    let mut snaps: Vec<(usize, Vec<(usize, u8)>)> = Vec::with_capacity(snapshots);
     let threshold = |i: usize| sub_units * i / snapshots.max(1);
 
     let mut units = 0usize;
@@ -799,7 +808,7 @@ fn run_worker(
         bugs = rebuild_bugs(dialect, &w.bugs)?;
         let logic = rebuild_logic_bugs(&mut oracle_rt, &w.logic_bugs)?;
         oracle_rt.restore(&w.oracle_seen, logic, w.oracle_checks);
-        snaps = w.snaps.iter().map(|(u, cov)| (*u, GlobalCoverage::from_sparse(cov))).collect();
+        snaps = w.snaps.clone();
         units = w.units;
         execs = w.execs;
         stmts_ok = w.stmts_ok;
@@ -810,8 +819,9 @@ fn run_worker(
         next_ckpt = w.next_ckpt;
         ckpt_seq = w.seq;
         // The sink starts empty on a resumed campaign; re-seed it with
-        // everything this shard had already synced.
-        sink.lock().unwrap_or_else(|e| e.into_inner()).union_with(&shard);
+        // everything this shard had already synced. `from_sparse` marked all
+        // restored words dirty, so the dirty-publish covers the whole shard.
+        sink.publish_dirty(&mut shard);
     }
 
     let mut db = Dbms::new(dialect);
@@ -880,14 +890,14 @@ fn run_worker(
         execs += 1;
         since_sync += 1;
         if since_sync >= sync_every.max(1) {
-            tel.time(Stage::CoverageUnion, || {
-                sink.lock().unwrap_or_else(|e| e.into_inner()).union_with(&shard)
-            });
+            // Publishes only the words dirtied since the last sync; a
+            // novelty-free epoch performs zero atomic operations.
+            tel.time(Stage::CoverageUnion, || sink.publish_dirty(&mut shard));
             tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
             since_sync = 0;
         }
         while next_snap <= snapshots && units >= threshold(next_snap) {
-            snaps.push((units, shard.clone()));
+            snaps.push((units, shard.to_sparse()));
             next_snap += 1;
         }
         if units >= next_ckpt {
@@ -915,10 +925,7 @@ fn run_worker(
                     curve: Vec::new(),
                     snaps: snaps
                         .iter()
-                        .map(|(u, cov)| SnapCk {
-                            units: *u,
-                            coverage: checkpoint::sparse_out(&cov.to_sparse()),
-                        })
+                        .map(|(u, cov)| SnapCk { units: *u, coverage: checkpoint::sparse_out(cov) })
                         .collect(),
                     coverage: checkpoint::sparse_out(&shard.to_sparse()),
                     seen_stacks: sorted_pairs(&seen_stacks),
@@ -958,13 +965,11 @@ fn run_worker(
     // Pad to exactly `snapshots` points so the join can union the workers'
     // i-th snapshots pairwise.
     while next_snap <= snapshots {
-        snaps.push((units, shard.clone()));
+        snaps.push((units, shard.to_sparse()));
         next_snap += 1;
     }
     // Final flush: after this, the sink holds everything the shard saw.
-    tel.time(Stage::CoverageUnion, || {
-        sink.lock().unwrap_or_else(|e| e.into_inner()).union_with(&shard)
-    });
+    tel.time(Stage::CoverageUnion, || sink.publish_dirty(&mut shard));
     tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
 
     Ok(WorkerOut {
@@ -1122,7 +1127,7 @@ where
     }
 
     let children: Vec<Telemetry> = (0..workers).map(|w| tel.worker_child(w)).collect();
-    let sink = Mutex::new(GlobalCoverage::new());
+    let sink = CoverageSink::new();
     // Each slot: Ok(Ok) = survivor, Ok(Err) = fatal campaign error
     // (checkpoint I/O, bad resume), Err(msg) = worker died by panic.
     type Joined = Result<Result<WorkerOut, String>, String>;
@@ -1151,7 +1156,7 @@ where
             .map(|h| h.join().map_err(|payload| panic_message(payload.as_ref())))
             .collect()
     });
-    let global = sink.into_inner().unwrap_or_else(|e| e.into_inner());
+    let global = sink.into_global();
     // Replay buffered worker events into the parent sinks, in worker order.
     for child in &children {
         tel.merge_worker(child);
@@ -1186,7 +1191,7 @@ where
         for out in outs.iter().flatten() {
             let (u, shard) = &out.snaps[i];
             x += *u;
-            merged.union_with(shard);
+            merged.union_sparse(shard);
         }
         curve.push((x, merged.edges_covered()));
     }
@@ -1224,7 +1229,7 @@ where
         .collect();
 
     let survivors = || outs.iter().flatten();
-    let corpus: Vec<TestCase> = survivors().flat_map(|o| o.corpus.iter().cloned()).collect();
+    let corpus: Vec<Arc<TestCase>> = survivors().flat_map(|o| o.corpus.iter().cloned()).collect();
     let mut stats = CampaignStats {
         fuzzer: survivors().next().map(|o| o.fuzzer.clone()).unwrap_or_else(|| "unknown".into()),
         dialect,

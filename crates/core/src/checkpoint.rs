@@ -28,8 +28,15 @@ use serde::Serialize;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Format version; bumped on any incompatible layout change.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Format version; bumped on any layout change. v2 embeds engine snapshots
+/// whose `executed_ngrams` are packed `u64` keys (see `lego::ngram`); v1
+/// stored them as arrays of kind-code arrays. The read side accepts
+/// [`MIN_CHECKPOINT_VERSION`]..=[`CHECKPOINT_VERSION`] — v1 checkpoints are
+/// migrated on restore.
+pub const CHECKPOINT_VERSION: u64 = 2;
+
+/// Oldest checkpoint format this build can still restore.
+pub const MIN_CHECKPOINT_VERSION: u64 = 1;
 
 /// Checkpointing configuration for a resilient campaign run.
 #[derive(Clone, Debug, Default)]
@@ -263,7 +270,7 @@ pub fn load_campaign_checkpoint(dir: &Path) -> Result<CampaignResume, String> {
 fn parse_meta(src: &str) -> Result<ResumeMeta, String> {
     let v = serde_json::from_str(src).map_err(|e| format!("meta.json: {e}"))?;
     let version = get_u64(&v, "version")?;
-    if version != CHECKPOINT_VERSION {
+    if !(MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION).contains(&version) {
         return Err(format!("meta.json: unsupported checkpoint version {version}"));
     }
     let oracles = get(&v, "oracles")?;
@@ -287,7 +294,7 @@ fn parse_meta(src: &str) -> Result<ResumeMeta, String> {
 fn parse_worker(src: &str) -> Result<WorkerResume, String> {
     let v = serde_json::from_str(src).map_err(|e| e.to_string())?;
     let version = get_u64(&v, "version")?;
-    if version != CHECKPOINT_VERSION {
+    if !(MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION).contains(&version) {
         return Err(format!("unsupported checkpoint version {version}"));
     }
     let snaps = get(&v, "snaps")?

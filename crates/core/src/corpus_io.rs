@@ -3,6 +3,7 @@
 //! the previous corpus, as the paper's two-week campaigns do).
 
 use lego_sqlast::TestCase;
+use std::borrow::Borrow;
 use std::io;
 use std::path::Path;
 
@@ -13,7 +14,7 @@ use std::path::Path;
 /// next [`load_corpus`]. Only the harness's own `seed_*.sql` naming pattern
 /// is touched; any other `.sql` files a user dropped in the directory
 /// survive.
-pub fn save_corpus(dir: &Path, corpus: &[TestCase]) -> io::Result<usize> {
+pub fn save_corpus<C: Borrow<TestCase>>(dir: &Path, corpus: &[C]) -> io::Result<usize> {
     std::fs::create_dir_all(dir)?;
     for entry in std::fs::read_dir(dir)?.filter_map(Result::ok) {
         let path = entry.path();
@@ -27,7 +28,7 @@ pub fn save_corpus(dir: &Path, corpus: &[TestCase]) -> io::Result<usize> {
         }
     }
     for (i, case) in corpus.iter().enumerate() {
-        std::fs::write(dir.join(format!("seed_{i:04}.sql")), case.to_sql())?;
+        std::fs::write(dir.join(format!("seed_{i:04}.sql")), case.borrow().to_sql())?;
     }
     Ok(corpus.len())
 }

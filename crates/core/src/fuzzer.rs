@@ -14,6 +14,7 @@ use crate::campaign::FuzzEngine;
 use crate::gen::{gen_statement, SchemaModel};
 use crate::instantiate::{fix_case, instantiate, AstLibrary};
 use crate::mutation::conventional_mutate_stacked;
+use crate::ngram::{gram2_at, gram3_at, pack2, pack3, seq_len, unpack_seq, NgramSet};
 use crate::pool::SeedPool;
 use crate::seeds::initial_corpus;
 use crate::synthesis::SequenceStore;
@@ -23,6 +24,12 @@ use lego_sqlast::{Dialect, StmtKind, TestCase};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Engine-snapshot format version. v2 packs `executed_ngrams` as sorted
+/// `u64` keys (see [`crate::ngram`]); v1 stored arrays of kind-code arrays.
+/// Restore accepts both.
+pub const ENGINE_SNAPSHOT_VERSION: u64 = 2;
 
 /// Tuning knobs. Defaults follow the paper where it gives numbers
 /// (`LEN = 5`; the length-ablation experiment uses 3/5/8).
@@ -132,8 +139,25 @@ impl Origin {
 }
 
 struct Pending {
-    case: TestCase,
+    case: Arc<TestCase>,
     origin: Origin,
+}
+
+/// One synthesis-queue slot. Algorithm 3 used to instantiate every variant
+/// of every synthesized sequence eagerly inside `feedback()`; profiling
+/// showed ~6× more cases instantiated than the budget could ever execute,
+/// with the surplus silently dropped at `queue_cap` — the single largest
+/// feedback-stage cost. A `Job` defers instantiation to schedule time, so a
+/// dropped or superseded sequence costs nothing and the novelty filter gets
+/// a second look with the n-grams executed since enqueue.
+///
+/// Invariant: `Ready` entries (v1-checkpoint restores) form a strict queue
+/// prefix — jobs are only ever appended, and a partially drained job stays
+/// at the front. Checkpointing relies on this to serialize the two regions
+/// as separate fields.
+enum SynthEntry {
+    Ready(Pending),
+    Job { seq: Vec<StmtKind>, left: usize },
 }
 
 /// The LEGO fuzzing engine (and, with `sequence_oriented = false`, LEGO-).
@@ -147,16 +171,18 @@ pub struct LegoFuzzer {
     library: AstLibrary,
     /// Seed + mutation-derived cases.
     queue: VecDeque<Pending>,
-    /// Synthesized (Algorithm 3) cases, drained at a fixed share of the
-    /// schedule so synthesis bursts cannot starve mutation.
-    synth_queue: VecDeque<Pending>,
+    /// Synthesized (Algorithm 3) work, drained at a fixed share of the
+    /// schedule so synthesis bursts cannot starve mutation. Holds deferred
+    /// instantiation jobs (see [`SynthEntry`]), not materialized cases.
+    synth_queue: VecDeque<SynthEntry>,
     /// Scheduling counter between the two queues.
     schedule_tick: usize,
     /// Kinds available for substitution/insertion.
     kinds: Vec<StmtKind>,
-    /// Ordered type 2-grams and 3-grams already observed in executed cases;
-    /// synthesized sequences offering no new n-gram are not re-instantiated.
-    executed_ngrams: std::collections::HashSet<Vec<StmtKind>>,
+    /// Ordered type 2-grams and 3-grams already observed in executed cases
+    /// (packed `u64` keys); synthesized sequences offering no new n-gram are
+    /// not re-instantiated.
+    executed_ngrams: NgramSet,
     pending_origin: Origin,
     /// Telemetry handle, attached by the campaign harness. Disabled by
     /// default; never consulted for any fuzzing decision.
@@ -193,14 +219,14 @@ impl LegoFuzzer {
             synth_queue: VecDeque::new(),
             schedule_tick: 0,
             kinds: dialect.supported_kinds(),
-            executed_ngrams: std::collections::HashSet::new(),
+            executed_ngrams: NgramSet::new(),
             pending_origin: Origin::Seed,
             tel: Telemetry::disabled(),
             stats: LegoStats::default(),
             cfg,
         };
         for case in initial_corpus(dialect) {
-            fz.queue.push_back(Pending { case, origin: Origin::Seed });
+            fz.queue.push_back(Pending { case: Arc::new(case), origin: Origin::Seed });
         }
         fz
     }
@@ -217,7 +243,7 @@ impl LegoFuzzer {
         let mut fz = Self::new(dialect, cfg);
         fz.queue.clear();
         for case in corpus {
-            fz.queue.push_back(Pending { case, origin: Origin::Seed });
+            fz.queue.push_back(Pending { case: Arc::new(case), origin: Origin::Seed });
         }
         fz
     }
@@ -227,12 +253,12 @@ impl LegoFuzzer {
     }
 
     fn push(&mut self, case: TestCase, origin: Origin) {
-        let q = if origin == Origin::Synthesized { &mut self.synth_queue } else { &mut self.queue };
-        if q.len() >= self.cfg.queue_cap {
+        debug_assert_ne!(origin, Origin::Synthesized, "synthesis enqueues jobs, not cases");
+        if self.queue.len() >= self.cfg.queue_cap {
             self.stats.queue_dropped += 1;
             return;
         }
-        q.push_back(Pending { case, origin });
+        self.queue.push_back(Pending { case: Arc::new(case), origin });
     }
 
     fn random_kind(&mut self, not: Option<StmtKind>) -> StmtKind {
@@ -310,11 +336,13 @@ impl LegoFuzzer {
     /// Schedule one fuzzing iteration's worth of pending cases.
     fn schedule_iteration(&mut self) {
         let seed_case = match self.pool.pick(&mut self.rng) {
-            Some(s) => s.case.clone(),
+            // An `Arc` bump: scheduling a retained seed no longer deep-clones
+            // its AST.
+            Some(s) => Arc::clone(&s.case),
             None => {
                 // Pool still empty (feedback not yet processed): re-inject a
                 // built-in seed.
-                initial_corpus(self.dialect)[0].clone()
+                Arc::new(initial_corpus(self.dialect)[0].clone())
             }
         };
         if self.cfg.seq_mutation {
@@ -332,7 +360,9 @@ impl LegoFuzzer {
         }
     }
 
-    /// Progressive synthesis for freshly discovered affinities.
+    /// Progressive synthesis for freshly discovered affinities. Enqueues
+    /// deferred instantiation jobs; the AST work happens in [`Self::pop_synth`]
+    /// only for sequences the schedule actually reaches.
     fn synthesize_for(&mut self, new_affinities: &[(StmtKind, StmtKind)]) {
         for &(t1, t2) in new_affinities {
             let seqs = self.store.on_new_affinity(
@@ -342,34 +372,75 @@ impl LegoFuzzer {
                 self.cfg.synth_limit_per_affinity,
             );
             self.stats.sequences_synthesized += seqs.len();
-            let instantiated_before = self.stats.cases_instantiated;
-            for seq in &seqs {
-                // Instantiate only sequences that would execute at least one
-                // type 2-gram or 3-gram never executed before; the rest
-                // re-cover known interactions and are skipped to keep seeds
-                // cheap (§ II C3).
-                let has_new_pair = seq.windows(2).any(|w| !self.executed_ngrams.contains(w));
-                let has_new_ngram =
-                    has_new_pair || seq.windows(3).any(|w| !self.executed_ngrams.contains(w));
+            let n_seqs = seqs.len() as u64;
+            let mut scheduled = 0u64;
+            for key in seqs {
+                // Queue only sequences that would execute at least one type
+                // 2-gram or 3-gram never executed before; the rest re-cover
+                // known interactions and are skipped to keep seeds cheap
+                // (§ II C3). The probes read n-gram keys straight out of the
+                // packed sequence — no decode on the skip path.
+                let len = seq_len(key);
+                let has_new_pair =
+                    (0..len - 1).any(|i| !self.executed_ngrams.contains(gram2_at(key, i)));
+                let has_new_ngram = has_new_pair
+                    || (len >= 3
+                        && (0..len - 2).any(|i| !self.executed_ngrams.contains(gram3_at(key, i))));
                 if !has_new_ngram {
                     self.stats.sequences_skipped_covered += 1;
                     continue;
                 }
+                if self.synth_queue.len() >= self.cfg.queue_cap {
+                    self.stats.queue_dropped += 1;
+                    continue;
+                }
                 // New pairs justify multiple structural variations; new
                 // triples over known pairs get one shot.
-                let n_inst = if has_new_pair { self.cfg.instantiations_per_seq } else { 1 };
-                for _ in 0..n_inst {
-                    let case = instantiate(seq, &self.library, self.dialect, &mut self.rng);
-                    self.stats.cases_instantiated += 1;
-                    self.push(case, Origin::Synthesized);
-                }
+                let left = if has_new_pair { self.cfg.instantiations_per_seq } else { 1 };
+                scheduled += left as u64;
+                self.synth_queue.push_back(SynthEntry::Job { seq: unpack_seq(key), left });
             }
             self.tel.emit(|| Event::SynthesisStep {
                 t1: t1.name(),
                 t2: t2.name(),
-                sequences: seqs.len() as u64,
-                instantiated: (self.stats.cases_instantiated - instantiated_before) as u64,
+                sequences: n_seqs,
+                instantiated: scheduled,
             });
+        }
+    }
+
+    /// Pop the next synthesized case, instantiating the front job on demand.
+    /// Sequences whose every n-gram got covered while they waited in the
+    /// queue are discarded here without ever paying for AST generation.
+    fn pop_synth(&mut self) -> Option<Pending> {
+        loop {
+            match self.synth_queue.front_mut()? {
+                SynthEntry::Ready(_) => {
+                    let Some(SynthEntry::Ready(p)) = self.synth_queue.pop_front() else {
+                        unreachable!("front() was Ready");
+                    };
+                    return Some(p);
+                }
+                SynthEntry::Job { seq, left } => {
+                    let still_new =
+                        seq.windows(2).any(|w| !self.executed_ngrams.contains(pack2(w[0], w[1])))
+                            || seq
+                                .windows(3)
+                                .any(|w| !self.executed_ngrams.contains(pack3(w[0], w[1], w[2])));
+                    if !still_new {
+                        self.stats.sequences_skipped_covered += 1;
+                        self.synth_queue.pop_front();
+                        continue;
+                    }
+                    let case = instantiate(seq, &self.library, self.dialect, &mut self.rng);
+                    self.stats.cases_instantiated += 1;
+                    *left -= 1;
+                    if *left == 0 {
+                        self.synth_queue.pop_front();
+                    }
+                    return Some(Pending { case: Arc::new(case), origin: Origin::Synthesized });
+                }
+            }
         }
     }
 }
@@ -400,6 +471,13 @@ struct BucketCk {
     stmts: Vec<String>,
 }
 
+/// One deferred synthesis job, as persisted (kind codes + variants left).
+#[derive(serde::Serialize)]
+struct JobCk {
+    seq: Vec<u16>,
+    left: usize,
+}
+
 /// The complete serialized state of a [`LegoFuzzer`]. Test cases and
 /// statements round-trip through SQL text (`to_sql` → `parse_script`), RNG
 /// state through the reseed barrier, and `StmtKind`s through their stable
@@ -407,6 +485,8 @@ struct BucketCk {
 /// engines with equal state produce byte-identical snapshots.
 #[derive(serde::Serialize)]
 struct FuzzerSnapshot {
+    /// [`ENGINE_SNAPSHOT_VERSION`]. Absent in v1 snapshots.
+    version: u64,
     name: String,
     /// The engine `Config` as JSON; restore compares it verbatim against the
     /// receiving engine's config, catching any seed/knob mismatch.
@@ -421,8 +501,13 @@ struct FuzzerSnapshot {
     library: Vec<BucketCk>,
     library_keys: Vec<u64>,
     queue: Vec<PendingCk>,
+    /// Materialized synthesized cases — the queue's `Ready` prefix (only
+    /// present after restoring a v1 snapshot, which stored cases eagerly).
     synth_queue: Vec<PendingCk>,
-    executed_ngrams: Vec<Vec<u16>>,
+    /// Deferred instantiation jobs — the rest of the synthesis queue (v2).
+    synth_jobs: Vec<JobCk>,
+    /// Packed n-gram keys in ascending order (v2; see [`crate::ngram`]).
+    executed_ngrams: Vec<u64>,
     /// `LegoStats` counters in declaration order.
     stats: Vec<usize>,
 }
@@ -463,7 +548,7 @@ fn pending_in(v: &serde_json::Value, key: &str) -> Result<VecDeque<Pending>, Str
         .iter()
         .map(|p| {
             Ok(Pending {
-                case: parse_case(&crate::checkpoint::get_string(p, "sql")?)?,
+                case: Arc::new(parse_case(&crate::checkpoint::get_string(p, "sql")?)?),
                 origin: Origin::from_name(&crate::checkpoint::get_string(p, "origin")?)?,
             })
         })
@@ -491,10 +576,8 @@ impl LegoFuzzer {
     fn snapshot(&mut self) -> FuzzerSnapshot {
         let reseed: u64 = self.rng.gen();
         self.rng = SmallRng::seed_from_u64(reseed);
-        let mut ngrams: Vec<Vec<u16>> =
-            self.executed_ngrams.iter().map(|g| g.iter().map(|k| k.code()).collect()).collect();
-        ngrams.sort_unstable();
         FuzzerSnapshot {
+            version: ENGINE_SNAPSHOT_VERSION,
             name: self.name().to_string(),
             cfg: serde_json::to_string(&self.cfg).expect("config serialize"),
             rng_reseed: reseed,
@@ -524,8 +607,28 @@ impl LegoFuzzer {
                 .collect(),
             library_keys: self.library.keys_sorted(),
             queue: pending_out(&self.queue),
-            synth_queue: pending_out(&self.synth_queue),
-            executed_ngrams: ngrams,
+            synth_queue: self
+                .synth_queue
+                .iter()
+                .filter_map(|e| match e {
+                    SynthEntry::Ready(p) => Some(PendingCk {
+                        sql: p.case.to_sql(),
+                        origin: p.origin.name().to_string(),
+                    }),
+                    SynthEntry::Job { .. } => None,
+                })
+                .collect(),
+            synth_jobs: self
+                .synth_queue
+                .iter()
+                .filter_map(|e| match e {
+                    SynthEntry::Ready(_) => None,
+                    SynthEntry::Job { seq, left } => {
+                        Some(JobCk { seq: seq.iter().map(|k| k.code()).collect(), left: *left })
+                    }
+                })
+                .collect(),
+            executed_ngrams: self.executed_ngrams.sorted_keys(),
             stats: vec![
                 self.stats.affinities_found,
                 self.stats.sequences_synthesized,
@@ -542,6 +645,17 @@ impl LegoFuzzer {
     /// same dialect and config as the engine that produced it.
     fn apply_snapshot(&mut self, v: &serde_json::Value) -> Result<(), String> {
         use crate::checkpoint::{get, get_string, get_u64, get_usize};
+        // Pre-versioned (v1) snapshots have no `version` field.
+        let version = match v.get("version") {
+            Some(val) => val.as_u64().ok_or("field 'version' must be an integer")?,
+            None => 1,
+        };
+        if !(1..=ENGINE_SNAPSHOT_VERSION).contains(&version) {
+            return Err(format!(
+                "engine snapshot version {version} is newer than this build supports \
+                 (max {ENGINE_SNAPSHOT_VERSION})"
+            ));
+        }
         let name = get_string(v, "name")?;
         if name != self.name() {
             return Err(format!(
@@ -604,8 +718,67 @@ impl LegoFuzzer {
             .collect::<Result<Vec<_>, String>>()?;
         self.library = AstLibrary::from_parts(buckets, keys);
         self.queue = pending_in(v, "queue")?;
-        self.synth_queue = pending_in(v, "synth_queue")?;
-        self.executed_ngrams = code_seqs_in(v, "executed_ngrams")?.into_iter().collect();
+        // The synthesis queue's materialized prefix (everything, for a v1
+        // snapshot, whose engine instantiated eagerly)…
+        self.synth_queue =
+            pending_in(v, "synth_queue")?.into_iter().map(SynthEntry::Ready).collect();
+        // …followed by the deferred jobs (v2 only).
+        if version >= 2 {
+            for job in
+                get(v, "synth_jobs")?.as_array().ok_or("field 'synth_jobs' must be an array")?
+            {
+                let seq = get(job, "seq")?
+                    .as_array()
+                    .ok_or("job field 'seq' must be an array")?
+                    .iter()
+                    .map(|c| kind_from_code(c.as_u64().ok_or("kind code must be an integer")?))
+                    .collect::<Result<Vec<_>, String>>()?;
+                let left = get_usize(job, "left")?;
+                if seq.len() < 2 || left == 0 {
+                    return Err("malformed synthesis job in snapshot".to_string());
+                }
+                self.synth_queue.push_back(SynthEntry::Job { seq, left });
+            }
+        }
+        self.executed_ngrams = NgramSet::new();
+        if version < 2 {
+            // v1 stored each n-gram as an array of kind codes; migrate by
+            // packing. Membership is preserved exactly — packing is
+            // injective over the alphabet.
+            for gram in code_seqs_in(v, "executed_ngrams")? {
+                let key = match gram[..] {
+                    [a, b] => pack2(a, b),
+                    [a, b, c] => pack3(a, b, c),
+                    _ => {
+                        return Err(format!("v1 n-gram must have 2 or 3 codes, got {}", gram.len()))
+                    }
+                };
+                self.executed_ngrams.insert(key);
+            }
+        } else {
+            for key in get(v, "executed_ngrams")?
+                .as_array()
+                .ok_or("field 'executed_ngrams' must be an array")?
+            {
+                let key = key.as_u64().ok_or("packed n-gram key must be a u64")?;
+                // Validate against the alphabet: every embedded code must
+                // decode, and re-packing must reproduce the key (rejects
+                // e.g. a hole in the middle lane).
+                let kinds = crate::ngram::unpack(key)
+                    .into_iter()
+                    .map(|c| kind_from_code(c as u64))
+                    .collect::<Result<Vec<_>, String>>()?;
+                let repacked = match kinds[..] {
+                    [a, b] => pack2(a, b),
+                    [a, b, c] => pack3(a, b, c),
+                    _ => return Err(format!("malformed packed n-gram key {key:#x}")),
+                };
+                if repacked != key {
+                    return Err(format!("malformed packed n-gram key {key:#x}"));
+                }
+                self.executed_ngrams.insert(key);
+            }
+        }
         let stats = get(v, "stats")?.as_array().ok_or("field 'stats' must be an array")?;
         if stats.len() != 7 {
             return Err(format!("expected 7 stats counters, got {}", stats.len()));
@@ -645,12 +818,12 @@ impl FuzzEngine for LegoFuzzer {
         self.apply_snapshot(&v)
     }
 
-    fn next_case(&mut self) -> TestCase {
+    fn next_case(&mut self) -> Arc<TestCase> {
         loop {
             self.schedule_tick = self.schedule_tick.wrapping_add(1);
             // One synthesized case per two mutation-derived cases.
             if self.schedule_tick.is_multiple_of(3) {
-                if let Some(p) = self.synth_queue.pop_front() {
+                if let Some(p) = self.pop_synth() {
                     self.pending_origin = p.origin;
                     return p.case;
                 }
@@ -667,13 +840,15 @@ impl FuzzEngine for LegoFuzzer {
         }
     }
 
-    fn feedback(&mut self, case: &TestCase, report: &ExecReport, new_coverage: bool) {
+    fn feedback(&mut self, case: &Arc<TestCase>, report: &ExecReport, new_coverage: bool) {
         if self.cfg.sequence_oriented {
+            // Packed-key inserts: no per-window allocation, no byte hashing.
             let seq = case.type_sequence();
-            for n in 2..=3 {
-                for w in seq.windows(n) {
-                    self.executed_ngrams.insert(w.to_vec());
-                }
+            for w in seq.windows(2) {
+                self.executed_ngrams.insert(pack2(w[0], w[1]));
+            }
+            for w in seq.windows(3) {
+                self.executed_ngrams.insert(pack3(w[0], w[1], w[2]));
             }
         }
         if !new_coverage {
@@ -682,8 +857,9 @@ impl FuzzEngine for LegoFuzzer {
         // Attribute the coverage gain (edge delta stashed by the campaign
         // loop) to the operator that produced this case.
         self.tel.record_gain(self.pending_origin.op());
-        // Retain the seed and harvest its AST structures.
-        self.pool.add(case.clone(), report.statements_executed.max(1));
+        // Retain the seed (an `Arc` bump, not an AST clone) and harvest its
+        // AST structures.
+        self.pool.add(Arc::clone(case), report.statements_executed.max(1));
         self.library.add_case(case);
         // § VI: over-long seeds are additionally kept as two overlapping
         // halves, so their subsequences stay cheap to mutate.
@@ -693,8 +869,8 @@ impl FuzzEngine for LegoFuzzer {
             let first = TestCase::new(case.statements[..(mid + overlap)].to_vec());
             let mut second = TestCase::new(case.statements[(mid - overlap)..].to_vec());
             fix_case(&mut second, &mut self.rng);
-            self.pool.add(first, mid + overlap);
-            self.pool.add(second, case.len() - mid + overlap);
+            self.pool.add(Arc::new(first), mid + overlap);
+            self.pool.add(Arc::new(second), case.len() - mid + overlap);
         }
         if self.cfg.sequence_oriented {
             // Algorithm 2 on the interesting case, then Algorithm 3 for the
@@ -722,7 +898,9 @@ impl FuzzEngine for LegoFuzzer {
         }
     }
 
-    fn corpus(&self) -> Vec<TestCase> {
+    fn corpus(&self) -> Vec<Arc<TestCase>> {
+        // `Arc` bumps over the retained seeds — the old implementation
+        // deep-cloned every AST in the pool on each call.
         self.pool.cases().cloned().collect()
     }
 
@@ -780,10 +958,12 @@ mod tests {
     fn long_seeds_are_split_into_overlapping_halves() {
         let cfg = Config { max_case_len: 4, ..Config::default() };
         let mut fz = LegoFuzzer::new(Dialect::Postgres, cfg);
-        let case = lego_sqlparser::parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;              UPDATE t SET a = 2; DELETE FROM t; SELECT 1;",
-        )
-        .unwrap();
+        let case = Arc::new(
+            lego_sqlparser::parse_script(
+                "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;              UPDATE t SET a = 2; DELETE FROM t; SELECT 1;",
+            )
+            .unwrap(),
+        );
         let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
         let report = db.execute_case(&case);
         fz.feedback(&case, &report, true);
@@ -796,10 +976,12 @@ mod tests {
     fn nonadjacent_affinities_extension_records_gap_pairs() {
         let cfg = Config { nonadjacent_affinities: true, ..Config::default() };
         let mut fz = LegoFuzzer::new(Dialect::Postgres, cfg);
-        let case = lego_sqlparser::parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let case = Arc::new(
+            lego_sqlparser::parse_script(
+                "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+            )
+            .unwrap(),
+        );
         let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
         let report = db.execute_case(&case);
         fz.feedback(&case, &report, true);
@@ -811,10 +993,12 @@ mod tests {
     fn synthesis_is_triggered_by_new_affinities() {
         let mut fz = LegoFuzzer::new(Dialect::Postgres, Config::default());
         // Feed it an interesting case with a novel pair.
-        let case = lego_sqlparser::parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let case = Arc::new(
+            lego_sqlparser::parse_script(
+                "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+            )
+            .unwrap(),
+        );
         let mut db = lego_dbms::Dbms::new(Dialect::Postgres);
         let report = db.execute_case(&case);
         fz.feedback(&case, &report, true);
@@ -822,13 +1006,22 @@ mod tests {
         // The discovering case itself covered its own n-grams, so direct
         // re-instantiations are filtered; a second case with different pairs
         // unlocks *combination* sequences, which must be instantiated.
-        let case2 = lego_sqlparser::parse_script(
-            "CREATE TABLE u (b INT); SELECT * FROM u; INSERT INTO u VALUES (2); DELETE FROM u;",
-        )
-        .unwrap();
+        let case2 = Arc::new(
+            lego_sqlparser::parse_script(
+                "CREATE TABLE u (b INT); SELECT * FROM u; INSERT INTO u VALUES (2); DELETE FROM u;",
+            )
+            .unwrap(),
+        );
         let mut db2 = lego_dbms::Dbms::new(Dialect::Postgres);
         let report2 = db2.execute_case(&case2);
         fz.feedback(&case2, &report2, true);
+        // Feedback only *queues* jobs — AST instantiation is deferred to
+        // schedule time, so sequences the budget never reaches cost nothing.
+        assert!(fz.synth_queue.iter().any(|e| matches!(e, SynthEntry::Job { .. })));
+        assert_eq!(fz.stats.cases_instantiated, 0);
+        for _ in 0..9 {
+            let _ = fz.next_case();
+        }
         assert!(fz.stats.cases_instantiated > 0);
     }
 

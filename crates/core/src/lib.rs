@@ -34,6 +34,7 @@ pub mod fuzzer;
 pub mod gen;
 pub mod instantiate;
 pub mod mutation;
+pub mod ngram;
 pub mod pool;
 pub mod reduce;
 pub mod seeds;

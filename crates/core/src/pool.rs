@@ -7,10 +7,13 @@
 use lego_sqlast::TestCase;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 pub struct Seed {
-    pub case: TestCase,
+    /// Shared with the scheduler and corpus exports: admitting a case and
+    /// re-scheduling it are `Arc` bumps, not deep clones of the AST.
+    pub case: Arc<TestCase>,
     pub id: usize,
     /// Execution cost proxy: statements executed when first run.
     pub cost: usize,
@@ -28,7 +31,7 @@ impl SeedPool {
         Self::default()
     }
 
-    pub fn add(&mut self, case: TestCase, cost: usize) -> usize {
+    pub fn add(&mut self, case: Arc<TestCase>, cost: usize) -> usize {
         let id = self.seeds.len();
         self.seeds.push(Seed { case, id, cost, scheduled: 0 });
         id
@@ -41,7 +44,12 @@ impl SeedPool {
             seeds: seeds
                 .into_iter()
                 .enumerate()
-                .map(|(id, (case, cost, scheduled))| Seed { case, id, cost, scheduled })
+                .map(|(id, (case, cost, scheduled))| Seed {
+                    case: Arc::new(case),
+                    id,
+                    cost,
+                    scheduled,
+                })
                 .collect(),
         }
     }
@@ -59,7 +67,7 @@ impl SeedPool {
         self.seeds.is_empty()
     }
 
-    pub fn cases(&self) -> impl Iterator<Item = &TestCase> {
+    pub fn cases(&self) -> impl Iterator<Item = &Arc<TestCase>> {
         self.seeds.iter().map(|s| &s.case)
     }
 
@@ -97,8 +105,8 @@ mod tests {
     use lego_sqlparser::parse_script;
     use rand::SeedableRng;
 
-    fn case(sql: &str) -> TestCase {
-        parse_script(sql).unwrap()
+    fn case(sql: &str) -> Arc<TestCase> {
+        Arc::new(parse_script(sql).unwrap())
     }
 
     #[test]

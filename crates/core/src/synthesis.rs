@@ -4,20 +4,36 @@
 //! indexes of already-generated sequences in `S`, so that when a new affinity
 //! `t1 → t2` is discovered, only the sequences containing that new affinity
 //! are synthesized (Figure 6), never the whole space again.
+//!
+//! The store works entirely on packed `u128` sequence keys (see
+//! [`crate::ngram::pack_seq`]): campaign profiles showed Algorithm 3's
+//! enumeration dominating the feedback stage, and at ~200k recorded
+//! sequences per campaign the per-node `Vec` allocation and SipHash of the
+//! obvious `Vec<StmtKind>` representation were the entire cost. Appending a
+//! statement type is one shift-or, duplicate probes hit an open-addressing
+//! set, and a recorded sequence is a single `u128` push.
 
 use crate::affinity::AffinityMap;
+use crate::ngram::{pack_seq, unpack_seq, SeqKeySet, MAX_PACKED_SEQ};
 use lego_sqlast::StmtKind;
-use std::collections::{HashMap, HashSet};
 
 /// The synthesized-sequence store: `S`, `PS`, and the length limit `LEN`.
 #[derive(Clone, Debug)]
 pub struct SequenceStore {
-    seqs: Vec<Vec<StmtKind>>,
-    ps: HashMap<(StmtKind, usize), Vec<usize>>,
-    /// Every sequence ever recorded; [`SequenceStore::record`] uses it to
-    /// drop duplicates, so re-discovering an affinity (or reaching the same
-    /// sequence through two synthesis paths) never re-instantiates it.
-    seen: HashSet<Vec<StmtKind>>,
+    /// `S`: every recorded sequence as a packed key, in record order (the
+    /// order is the checkpoint format — `PS` reconstructs from it).
+    seqs: Vec<u128>,
+    /// The `PS` index, flattened: row `code(τ)·(LEN+1) + λ` lists the
+    /// indexes (into `seqs`) of recorded sequences ending in τ with length
+    /// λ. A flat table instead of a `HashMap` keyed by `(τ, λ)`: `record`
+    /// appends on every explored node, and the SipHash per append was
+    /// measurable in campaign profiles.
+    ps: Vec<Vec<u32>>,
+    /// Every sequence ever recorded; duplicate suppression, so
+    /// re-discovering an affinity (or reaching the same sequence through two
+    /// synthesis paths) never re-instantiates it. Probed once per explored
+    /// node — the hottest loop of the feedback stage.
+    seen: SeqKeySet,
     max_len: usize,
     /// Global cap on stored sequences (state-explosion guard, § II C1).
     cap: usize,
@@ -30,17 +46,9 @@ impl SequenceStore {
     /// `starters` seed the store with length-1 prefixes ("beginning from
     /// specific starting statement types, e.g. CREATE TABLE").
     pub fn new(max_len: usize, starters: &[StmtKind]) -> Self {
-        assert!(max_len >= 2, "LEN must allow at least one affinity");
-        let mut store = Self {
-            seqs: Vec::new(),
-            ps: HashMap::new(),
-            seen: HashSet::new(),
-            max_len,
-            cap: 200_000,
-            truncated: 0,
-        };
+        let mut store = Self::empty(max_len);
         for &s in starters {
-            store.record(vec![s]);
+            store.record(pack_seq(&[s]), 1, s);
         }
         store
     }
@@ -50,20 +58,26 @@ impl SequenceStore {
     /// counter. The starters are already part of `seqs`, so the caller passes
     /// the full list and no separate starter set.
     pub fn from_parts(max_len: usize, seqs: Vec<Vec<StmtKind>>, truncated: usize) -> Self {
-        assert!(max_len >= 2, "LEN must allow at least one affinity");
-        let mut store = Self {
-            seqs: Vec::new(),
-            ps: HashMap::new(),
-            seen: HashSet::new(),
-            max_len,
-            cap: 200_000,
-            truncated: 0,
-        };
+        let mut store = Self::empty(max_len);
         for seq in seqs {
-            store.record(seq);
+            let last = *seq.last().expect("checkpointed sequences are non-empty");
+            store.record(pack_seq(&seq), seq.len(), last);
         }
         store.truncated = truncated;
         store
+    }
+
+    fn empty(max_len: usize) -> Self {
+        assert!(max_len >= 2, "LEN must allow at least one affinity");
+        assert!(max_len <= MAX_PACKED_SEQ, "packed sequence keys support LEN <= {MAX_PACKED_SEQ}");
+        Self {
+            seqs: Vec::new(),
+            ps: vec![Vec::new(); StmtKind::COUNT * (max_len + 1)],
+            seen: SeqKeySet::new(),
+            max_len,
+            cap: 200_000,
+            truncated: 0,
+        }
     }
 
     pub fn max_len(&self) -> usize {
@@ -78,93 +92,115 @@ impl SequenceStore {
         self.seqs.is_empty()
     }
 
-    pub fn sequences(&self) -> &[Vec<StmtKind>] {
-        &self.seqs
+    /// Materialize the stored sequences in record order (checkpoint
+    /// serialization and tests; campaigns never call this per case).
+    pub fn sequences(&self) -> Vec<Vec<StmtKind>> {
+        self.seqs.iter().map(|&k| unpack_seq(k)).collect()
     }
 
-    fn record(&mut self, seq: Vec<StmtKind>) -> Option<usize> {
-        // Duplicate guard: the same sequence can be reached through several
-        // synthesis paths (and `on_new_affinity` re-extends every matching
-        // prefix each call); recording it again would double its `PS` entry
-        // and re-instantiate it forever.
-        if self.seen.contains(&seq) {
-            return None;
+    /// Record a sequence given its packed key, length, and final type;
+    /// returns `true` if it was genuinely new and under the cap. Callers on
+    /// the synthesis walk pre-prune via `seen`, so a duplicate here is only
+    /// possible from `new`/`from_parts` replays.
+    fn record(&mut self, key: u128, len: usize, last: StmtKind) -> bool {
+        if self.seen.contains(key) {
+            return false;
         }
         if self.seqs.len() >= self.cap {
             self.truncated += 1;
-            return None;
+            return false;
         }
-        self.seen.insert(seq.clone());
-        let idx = self.seqs.len();
-        let key = (*seq.last().expect("sequences are non-empty"), seq.len());
-        self.ps.entry(key).or_default().push(idx);
-        self.seqs.push(seq);
-        Some(idx)
+        self.seen.insert(key);
+        let idx = self.seqs.len() as u32;
+        let row = self.ps_row(last, len);
+        self.ps[row].push(idx);
+        self.seqs.push(key);
+        true
+    }
+
+    #[inline]
+    fn ps_row(&self, last: StmtKind, len: usize) -> usize {
+        last.code() as usize * (self.max_len + 1) + len
     }
 
     /// Algorithm 3: when affinity `t1 → t2` is newly discovered, synthesize
     /// every new sequence (≤ `LEN`) containing it, up to `limit` sequences
     /// per call (an engineering guard; overflow is counted in `truncated`).
+    /// Returns the new sequences as packed keys, in discovery order.
     pub fn on_new_affinity(
         &mut self,
         t1: StmtKind,
         t2: StmtKind,
         map: &AffinityMap,
         limit: usize,
-    ) -> Vec<Vec<StmtKind>> {
-        let mut out: Vec<Vec<StmtKind>> = Vec::new();
+    ) -> Vec<u128> {
+        let t2_lane = t2.code() as u128 + 1;
+        let mut out: Vec<u128> = Vec::new();
         for level in 1..self.max_len {
-            let prefix_idx: Vec<usize> = match self.ps.get(&(t1, level)) {
-                None => continue,
-                Some(v) => v.clone(),
-            };
-            for seq_index in prefix_idx {
+            // Index walk instead of a row snapshot: sequences recorded while
+            // this level is processed are strictly longer than `level`, so
+            // the row can only grow at later levels — the walk sees exactly
+            // what a per-level snapshot would.
+            let row = self.ps_row(t1, level);
+            let mut i = 0;
+            while i < self.ps[row].len() {
+                let prefix = self.seqs[self.ps[row][i] as usize];
+                i += 1;
                 if out.len() >= limit {
                     self.truncated += 1;
                     return out;
                 }
-                let mut seq = self.seqs[seq_index].clone();
-                seq.push(t2);
-                if self.record(seq.clone()).is_some() {
-                    out.push(seq.clone());
+                let key = prefix | (t2_lane << (level * 16));
+                // Closure pruning: every recorded sequence had its whole
+                // extension subtree explored (under the map current at its
+                // record time, and later edges re-explore via their own
+                // `on_new_affinity` call), so a seen node's subtree is seen
+                // too — descending it can only rediscover duplicates.
+                if self.seen.contains(key) {
+                    continue;
                 }
-                self.list_seq(level + 1, t2, &mut seq, map, limit, &mut out);
+                if self.record(key, level + 1, t2) {
+                    out.push(key);
+                }
+                self.list_seq(level + 1, t2, key, map, limit, &mut out);
             }
         }
         out
     }
 
-    /// The recursive `listSeq` of Algorithm 3: extend `seq` with every
-    /// affinity-compatible next type until `LEN`.
+    /// The recursive `listSeq` of Algorithm 3: extend the length-`level`
+    /// sequence `key` with every affinity-compatible next type until `LEN`.
     fn list_seq(
         &mut self,
         level: usize,
         node_type: StmtKind,
-        seq: &mut Vec<StmtKind>,
+        key: u128,
         map: &AffinityMap,
         limit: usize,
-        out: &mut Vec<Vec<StmtKind>>,
+        out: &mut Vec<u128>,
     ) {
         if level >= self.max_len {
             return;
         }
-        let succ: Vec<StmtKind> = map.successors(node_type).collect();
-        for next in succ {
+        for next in map.successors(node_type) {
             if out.len() >= limit {
                 self.truncated += 1;
                 return;
             }
-            seq.push(next);
-            self.list_seq(level + 1, next, seq, map, limit, out);
+            let child = key | ((next.code() as u128 + 1) << (level * 16));
+            // Same closure pruning as `on_new_affinity`: a seen node's
+            // subtree holds only duplicates, skip the descent.
+            if self.seen.contains(child) {
+                continue;
+            }
+            self.list_seq(level + 1, next, child, map, limit, out);
             if out.len() >= limit {
                 self.truncated += 1;
-                seq.pop();
                 return;
             }
-            if self.record(seq.clone()).is_some() {
-                out.push(seq.clone());
+            if self.record(child, level + 1, next) {
+                out.push(child);
             }
-            seq.pop();
         }
     }
 }
@@ -179,6 +215,11 @@ mod tests {
     const SEL: StmtKind = StmtKind::Other(StandaloneKind::Select);
     const UPD: StmtKind = StmtKind::Other(StandaloneKind::Update);
 
+    /// Decode a discovery batch for readable assertions.
+    fn unpacked(keys: &[u128]) -> Vec<Vec<StmtKind>> {
+        keys.iter().map(|&k| unpack_seq(k)).collect()
+    }
+
     #[test]
     fn paper_example_length_two() {
         // "suppose the length of target sequence is 2, current sequence is
@@ -188,10 +229,10 @@ mod tests {
         let mut store = SequenceStore::new(2, &[CT]);
         map.insert(CT, INS);
         let got = store.on_new_affinity(CT, INS, &map, 1000);
-        assert_eq!(got, vec![vec![CT, INS]]);
+        assert_eq!(unpacked(&got), vec![vec![CT, INS]]);
         map.insert(CT, SEL);
         let got = store.on_new_affinity(CT, SEL, &map, 1000);
-        assert_eq!(got, vec![vec![CT, SEL]]);
+        assert_eq!(unpacked(&got), vec![vec![CT, SEL]]);
     }
 
     #[test]
@@ -204,7 +245,7 @@ mod tests {
         let got = store.on_new_affinity(INS, SEL, &map, 1000);
         // Extends [CT, INS] -> [CT, INS, SEL]; no prefix ends with INS at
         // level 1 (INS is not a starter).
-        assert!(got.contains(&vec![CT, INS, SEL]));
+        assert!(unpacked(&got).contains(&vec![CT, INS, SEL]));
     }
 
     #[test]
@@ -218,7 +259,7 @@ mod tests {
         let got = store.on_new_affinity(INS, SEL, &map, 1000);
         assert!(got.is_empty());
         map.insert(CT, INS);
-        let got = store.on_new_affinity(CT, INS, &map, 1000);
+        let got = unpacked(&store.on_new_affinity(CT, INS, &map, 1000));
         assert!(got.contains(&vec![CT, INS]));
         assert!(got.contains(&vec![CT, INS, SEL]));
     }
@@ -274,7 +315,7 @@ mod tests {
         let mut store = SequenceStore::new(3, &[CT]);
         map.insert(CT, INS);
         store.on_new_affinity(CT, INS, &map, 1000);
-        let rebuilt = SequenceStore::from_parts(3, store.sequences().to_vec(), store.truncated);
+        let rebuilt = SequenceStore::from_parts(3, store.sequences(), store.truncated);
         assert_eq!(rebuilt.sequences(), store.sequences());
         // The rebuilt PS index must extend prefixes exactly like the
         // original would.

@@ -19,7 +19,7 @@ use lego::OracleConfig;
 use lego_dbms::faults::FaultGuard;
 use lego_observe::Telemetry;
 use lego_sqlast::{Dialect, TestCase};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
@@ -29,7 +29,7 @@ static FAULT_LOCK: Mutex<()> = Mutex::new(());
 /// adds a fresh statement kind so each gains new coverage and is
 /// oracle-checked.
 struct Replay {
-    cases: Vec<TestCase>,
+    cases: Vec<Arc<TestCase>>,
     next: usize,
 }
 
@@ -37,7 +37,7 @@ impl Replay {
     fn new(scripts: &[&str]) -> Self {
         let cases = scripts
             .iter()
-            .map(|s| lego_sqlparser::parse_script(s).expect("replay SQL parses"))
+            .map(|s| Arc::new(lego_sqlparser::parse_script(s).expect("replay SQL parses")))
             .collect();
         Self { cases, next: 0 }
     }
@@ -47,13 +47,13 @@ impl FuzzEngine for Replay {
     fn name(&self) -> &'static str {
         "replay"
     }
-    fn next_case(&mut self) -> TestCase {
-        let case = self.cases[self.next % self.cases.len()].clone();
+    fn next_case(&mut self) -> Arc<TestCase> {
+        let case = Arc::clone(&self.cases[self.next % self.cases.len()]);
         self.next += 1;
         case
     }
-    fn feedback(&mut self, _case: &TestCase, _report: &lego_dbms::ExecReport, _new: bool) {}
-    fn corpus(&self) -> Vec<TestCase> {
+    fn feedback(&mut self, _case: &Arc<TestCase>, _report: &lego_dbms::ExecReport, _new: bool) {}
+    fn corpus(&self) -> Vec<Arc<TestCase>> {
         self.cases.clone()
     }
 }

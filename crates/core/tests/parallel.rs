@@ -129,11 +129,11 @@ fn bugs_are_deduplicated_across_workers() {
 
 /// Crash-free engine that always replays the same two-statement case, so
 /// every execution costs exactly the same number of budget units.
-struct FixedCase(lego_sqlast::TestCase);
+struct FixedCase(std::sync::Arc<lego_sqlast::TestCase>);
 
 impl FixedCase {
     fn new() -> Self {
-        Self(lego_sqlparser::parse_script("SELECT 1;\nSELECT 2;").unwrap())
+        Self(std::sync::Arc::new(lego_sqlparser::parse_script("SELECT 1;\nSELECT 2;").unwrap()))
     }
 }
 
@@ -141,18 +141,18 @@ impl FuzzEngine for FixedCase {
     fn name(&self) -> &'static str {
         "fixed"
     }
-    fn next_case(&mut self) -> lego_sqlast::TestCase {
-        self.0.clone()
+    fn next_case(&mut self) -> std::sync::Arc<lego_sqlast::TestCase> {
+        std::sync::Arc::clone(&self.0)
     }
     fn feedback(
         &mut self,
-        _case: &lego_sqlast::TestCase,
+        _case: &std::sync::Arc<lego_sqlast::TestCase>,
         _report: &lego_dbms::ExecReport,
         _new: bool,
     ) {
     }
-    fn corpus(&self) -> Vec<lego_sqlast::TestCase> {
-        vec![self.0.clone()]
+    fn corpus(&self) -> Vec<std::sync::Arc<lego_sqlast::TestCase>> {
+        vec![std::sync::Arc::clone(&self.0)]
     }
 }
 

@@ -48,7 +48,7 @@ fn tmpdir(tag: &str) -> PathBuf {
 /// A deterministic engine that cycles through a fixed script of cases and
 /// records the admission verdict (`new_coverage`) each one received.
 struct ScriptedEngine {
-    cases: Vec<TestCase>,
+    cases: Vec<Arc<TestCase>>,
     next: usize,
     verdicts: Vec<(String, bool)>,
 }
@@ -57,7 +57,7 @@ impl ScriptedEngine {
     fn new(scripts: &[&str]) -> Self {
         let cases = scripts
             .iter()
-            .map(|s| lego_sqlparser::parse_script(s).expect("scripted case parses"))
+            .map(|s| Arc::new(lego_sqlparser::parse_script(s).expect("scripted case parses")))
             .collect();
         Self { cases, next: 0, verdicts: Vec::new() }
     }
@@ -68,17 +68,17 @@ impl FuzzEngine for ScriptedEngine {
         "SCRIPTED"
     }
 
-    fn next_case(&mut self) -> TestCase {
-        let case = self.cases[self.next % self.cases.len()].clone();
+    fn next_case(&mut self) -> Arc<TestCase> {
+        let case = Arc::clone(&self.cases[self.next % self.cases.len()]);
         self.next += 1;
         case
     }
 
-    fn feedback(&mut self, case: &TestCase, _report: &ExecReport, new_coverage: bool) {
+    fn feedback(&mut self, case: &Arc<TestCase>, _report: &ExecReport, new_coverage: bool) {
         self.verdicts.push((case.to_sql(), new_coverage));
     }
 
-    fn corpus(&self) -> Vec<TestCase> {
+    fn corpus(&self) -> Vec<Arc<TestCase>> {
         Vec::new()
     }
 }
@@ -96,18 +96,18 @@ impl FuzzEngine for DyingEngine {
         "DYING"
     }
 
-    fn next_case(&mut self) -> TestCase {
+    fn next_case(&mut self) -> Arc<TestCase> {
         if self.inner.next >= self.dies_at {
             panic!("injected worker death");
         }
         self.inner.next_case()
     }
 
-    fn feedback(&mut self, case: &TestCase, report: &ExecReport, new_coverage: bool) {
+    fn feedback(&mut self, case: &Arc<TestCase>, report: &ExecReport, new_coverage: bool) {
         self.inner.feedback(case, report, new_coverage);
     }
 
-    fn corpus(&self) -> Vec<TestCase> {
+    fn corpus(&self) -> Vec<Arc<TestCase>> {
         Vec::new()
     }
 }

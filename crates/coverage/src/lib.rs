@@ -18,9 +18,21 @@
 
 pub mod map;
 pub mod recorder;
+pub mod sink;
 
-pub use map::{bucket, CovMap, MAP_SIZE};
+pub use map::{bucket, bucket_word, CovMap, BUCKET_LUT, MAP_SIZE};
 pub use recorder::{CovRecorder, SiteId};
+pub use sink::CoverageSink;
+
+/// Number of 8-byte words in the virgin map.
+pub const MAP_WORDS: usize = MAP_SIZE / 8;
+
+/// Above this many touched edges, [`GlobalCoverage::merge`] switches from
+/// sparse per-edge classification to the AFL++-style sequential word scan:
+/// the word scan reads all `MAP_WORDS` words but in cache-friendly order and
+/// 8 lanes at a time, which overtakes random-access sparse walks once a run
+/// touches a nontrivial fraction of the map.
+pub const WORD_SCAN_MIN_EDGES: usize = 1024;
 
 /// Corpus-level coverage accounting with AFL hit-count bucketing.
 ///
@@ -31,7 +43,15 @@ pub use recorder::{CovRecorder, SiteId};
 pub struct GlobalCoverage {
     virgin: Box<[u8]>,
     edges_covered: usize,
+    /// One bit per 8-byte virgin word that changed since the last
+    /// [`GlobalCoverage::drain_dirty_words`] — the epoch-batched delta a
+    /// parallel worker publishes to the shared [`CoverageSink`]. Serial
+    /// campaigns never drain it; setting bits costs one OR per *changed*
+    /// word, so the common no-novelty execution touches it not at all.
+    dirty: Box<[u64]>,
 }
+
+const DIRTY_WORDS: usize = MAP_WORDS / 64;
 
 impl Default for GlobalCoverage {
     fn default() -> Self {
@@ -41,12 +61,35 @@ impl Default for GlobalCoverage {
 
 impl GlobalCoverage {
     pub fn new() -> Self {
-        Self { virgin: vec![0u8; MAP_SIZE].into_boxed_slice(), edges_covered: 0 }
+        Self {
+            virgin: vec![0u8; MAP_SIZE].into_boxed_slice(),
+            edges_covered: 0,
+            dirty: vec![0u64; DIRTY_WORDS].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, word: usize) {
+        self.dirty[word >> 6] |= 1u64 << (word & 63);
     }
 
     /// Merge one execution's map; returns `true` if any new bucket bit (and
     /// therefore new behaviour) was observed.
+    ///
+    /// Dispatches between the sparse per-edge walk (typical SQL cases touch
+    /// a few hundred edges) and the AFL++-style sequential word scan
+    /// ([`GlobalCoverage::merge_words`]) for dense runs; both compute the
+    /// identical result (pinned by property tests in `tests/word_sparse.rs`).
     pub fn merge(&mut self, run: &CovMap) -> bool {
+        if run.edge_count() >= WORD_SCAN_MIN_EDGES {
+            self.merge_words(run)
+        } else {
+            self.merge_sparse(run)
+        }
+    }
+
+    /// Sparse path: classify and compare only the edges the run touched.
+    pub fn merge_sparse(&mut self, run: &CovMap) -> bool {
         let mut new = false;
         for (i, &raw) in run.iter_nonzero() {
             let b = bucket(raw);
@@ -56,9 +99,43 @@ impl GlobalCoverage {
                     self.edges_covered += 1;
                 }
                 self.virgin[i] = v | b;
+                self.mark_dirty(i >> 3);
                 new = true;
             }
         }
+        new
+    }
+
+    /// Word path: scan the run's raw counts 8 bytes at a time, skip all-zero
+    /// words with one compare, classify nonzero words through the bucket
+    /// LUT, and OR into the virgin map — AFL++'s `has_new_bits` +
+    /// `classify_counts` fused into one pass.
+    pub fn merge_words(&mut self, run: &CovMap) -> bool {
+        let mut new = false;
+        let mut added = 0usize;
+        for (wi, (dst, src)) in
+            self.virgin.chunks_exact_mut(8).zip(run.counts().chunks_exact(8)).enumerate()
+        {
+            let s = u64::from_ne_bytes(src.try_into().expect("8-byte chunk"));
+            if s == 0 {
+                continue;
+            }
+            let c = bucket_word(src);
+            let d = u64::from_ne_bytes((&*dst).try_into().expect("8-byte chunk"));
+            let m = d | c;
+            if m != d {
+                let cls = c.to_ne_bytes();
+                for k in 0..8 {
+                    if dst[k] == 0 && cls[k] != 0 {
+                        added += 1;
+                    }
+                }
+                dst.copy_from_slice(&m.to_ne_bytes());
+                self.dirty[wi >> 6] |= 1u64 << (wi & 63);
+                new = true;
+            }
+        }
+        self.edges_covered += added;
         new
     }
 
@@ -77,7 +154,9 @@ impl GlobalCoverage {
     /// interleaving.
     pub fn union_with(&mut self, other: &GlobalCoverage) {
         let mut added = 0usize;
-        for (dst, src) in self.virgin.chunks_exact_mut(8).zip(other.virgin.chunks_exact(8)) {
+        for (wi, (dst, src)) in
+            self.virgin.chunks_exact_mut(8).zip(other.virgin.chunks_exact(8)).enumerate()
+        {
             let s = u64::from_ne_bytes(src.try_into().expect("8-byte chunk"));
             if s == 0 {
                 continue;
@@ -91,9 +170,74 @@ impl GlobalCoverage {
                     }
                 }
                 dst.copy_from_slice(&m.to_ne_bytes());
+                self.dirty[wi >> 6] |= 1u64 << (wi & 63);
             }
         }
         self.edges_covered += added;
+    }
+
+    /// OR a sparse dump into this accumulator (the parallel join unions
+    /// worker snapshot dumps without materializing 64 KiB maps first).
+    pub fn union_sparse(&mut self, entries: &[(usize, u8)]) {
+        for &(i, v) in entries {
+            if i >= MAP_SIZE || v == 0 {
+                continue;
+            }
+            let d = self.virgin[i];
+            if d | v != d {
+                if d == 0 {
+                    self.edges_covered += 1;
+                }
+                self.virgin[i] = d | v;
+                self.mark_dirty(i >> 3);
+            }
+        }
+    }
+
+    /// Visit and clear every virgin word changed since the last drain: the
+    /// delta a worker publishes to the shared sink. Costs a 128-word bitmap
+    /// scan when nothing changed — the lock-free common path of the
+    /// epoch-batched sync.
+    pub fn drain_dirty_words(&mut self, mut f: impl FnMut(usize, u64)) -> usize {
+        let mut published = 0usize;
+        for di in 0..DIRTY_WORDS {
+            let mut bits = self.dirty[di];
+            if bits == 0 {
+                continue;
+            }
+            self.dirty[di] = 0;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let wi = (di << 6) | bit;
+                f(wi, self.word(wi));
+                published += 1;
+            }
+        }
+        published
+    }
+
+    /// The `wi`-th 8-byte word of the virgin map.
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        u64::from_ne_bytes(self.virgin[wi * 8..wi * 8 + 8].try_into().expect("8-byte chunk"))
+    }
+
+    /// Rebuild from raw virgin words (the sink's collapse at campaign join).
+    pub(crate) fn from_words(words: impl Iterator<Item = u64>) -> Self {
+        let mut g = Self::new();
+        let mut edges = 0usize;
+        for (wi, w) in words.enumerate().take(MAP_WORDS) {
+            if w == 0 {
+                continue;
+            }
+            let bytes = w.to_ne_bytes();
+            edges += bytes.iter().filter(|&&b| b != 0).count();
+            g.virgin[wi * 8..wi * 8 + 8].copy_from_slice(&bytes);
+            g.mark_dirty(wi);
+        }
+        g.edges_covered = edges;
+        g
     }
 
     /// Number of distinct edges seen at least once — the "branches covered"
@@ -105,6 +249,7 @@ impl GlobalCoverage {
     /// Reset to the virgin state.
     pub fn clear(&mut self) {
         self.virgin.iter_mut().for_each(|b| *b = 0);
+        self.dirty.iter_mut().for_each(|b| *b = 0);
         self.edges_covered = 0;
     }
 
@@ -117,17 +262,11 @@ impl GlobalCoverage {
 
     /// Rebuild an accumulator from a [`GlobalCoverage::to_sparse`] dump.
     /// Out-of-range indexes are ignored (corrupt checkpoints fail novelty
-    /// checks rather than panicking).
+    /// checks rather than panicking). Restored edges count as dirty, so a
+    /// resumed worker's first sync re-publishes them to the sink.
     pub fn from_sparse(entries: &[(usize, u8)]) -> Self {
         let mut g = Self::new();
-        for &(i, v) in entries {
-            if i < MAP_SIZE && v != 0 && g.virgin[i] == 0 {
-                g.edges_covered += 1;
-            }
-            if i < MAP_SIZE {
-                g.virgin[i] |= v;
-            }
-        }
+        g.union_sparse(entries);
         g
     }
 }

@@ -41,6 +41,11 @@ impl CovMap {
         self.touched.iter().map(move |&i| (i as usize, &self.counts[i as usize]))
     }
 
+    /// The raw count array, for word-at-a-time scans (`MAP_SIZE` bytes).
+    pub fn counts(&self) -> &[u8] {
+        &self.counts
+    }
+
     /// Number of distinct edges hit in this run.
     pub fn edge_count(&self) -> usize {
         self.touched.len()
@@ -88,17 +93,47 @@ fn mix64(mut x: u64) -> u64 {
 /// don't generate endless "novelty".
 #[inline]
 pub fn bucket(count: u8) -> u8 {
-    match count {
-        0 => 0,
-        1 => 1,
-        2 => 2,
-        3 => 4,
-        4..=7 => 8,
-        8..=15 => 16,
-        16..=31 => 32,
-        32..=127 => 64,
-        _ => 128,
+    BUCKET_LUT[count as usize]
+}
+
+/// The bucketing function as a 256-entry table — AFL++'s `count_class_lookup`
+/// — so word-at-a-time classification pays one indexed load per byte instead
+/// of a branch tree.
+pub static BUCKET_LUT: [u8; 256] = build_bucket_lut();
+
+const fn build_bucket_lut() -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        lut[c] = match c {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 4,
+            4..=7 => 8,
+            8..=15 => 16,
+            16..=31 => 32,
+            32..=127 => 64,
+            _ => 128,
+        };
+        c += 1;
     }
+    lut
+}
+
+/// Classify one 8-lane word of raw counts into bucket classes. A zero word
+/// stays zero, which is what lets virgin-map scans skip untouched regions
+/// with a single compare.
+#[inline]
+pub fn bucket_word(src: &[u8]) -> u64 {
+    debug_assert_eq!(src.len(), 8);
+    let mut cls = [0u8; 8];
+    let mut k = 0;
+    while k < 8 {
+        cls[k] = BUCKET_LUT[src[k] as usize];
+        k += 1;
+    }
+    u64::from_ne_bytes(cls)
 }
 
 #[cfg(test)]

@@ -1,0 +1,140 @@
+//! Property tests pinning the equivalence of the two coverage
+//! classification paths: the sparse per-edge walk and the AFL++-style
+//! sequential word scan must compute identical results — same novelty
+//! verdict, same virgin map, same edge count — for every possible run, and
+//! the epoch-batched dirty-word publication through [`CoverageSink`] must
+//! collapse to exactly the serial merge.
+
+use lego_coverage::{CovMap, CovRecorder, CoverageSink, GlobalCoverage, SiteId};
+use proptest::prelude::*;
+
+/// Build a run map from a raw site-id sequence (edges are formed from
+/// consecutive pairs, exactly like instrumented execution).
+fn run_of(sites: &[u64]) -> CovMap {
+    let mut r = CovRecorder::new();
+    for &s in sites {
+        r.hit(SiteId::from_raw(s));
+    }
+    r.into_map()
+}
+
+/// Full observable state of an accumulator.
+fn state(g: &GlobalCoverage) -> (Vec<(usize, u8)>, usize) {
+    (g.to_sparse(), g.edges_covered())
+}
+
+/// Site sequences long enough to push runs past `WORD_SCAN_MIN_EDGES` some
+/// of the time, with a narrowed id range so repeats create high hit counts
+/// (exercising every bucket class).
+fn sites() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..5_000, 0..2_500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn word_scan_and_sparse_merge_agree(runs in prop::collection::vec(sites(), 1..6)) {
+        let mut by_words = GlobalCoverage::new();
+        let mut by_edges = GlobalCoverage::new();
+        for s in &runs {
+            let m = run_of(s);
+            let a = by_words.merge_words(&m);
+            let b = by_edges.merge_sparse(&m);
+            prop_assert_eq!(a, b, "novelty verdicts diverged");
+            prop_assert_eq!(state(&by_words), state(&by_edges));
+        }
+    }
+
+    #[test]
+    fn dispatching_merge_matches_both_paths(runs in prop::collection::vec(sites(), 1..6)) {
+        let mut auto = GlobalCoverage::new();
+        let mut sparse = GlobalCoverage::new();
+        for s in &runs {
+            let m = run_of(s);
+            prop_assert_eq!(auto.merge(&m), sparse.merge_sparse(&m));
+        }
+        prop_assert_eq!(state(&auto), state(&sparse));
+    }
+
+    #[test]
+    fn union_with_equals_union_sparse(a in sites(), b in sites()) {
+        let mut left = GlobalCoverage::new();
+        left.merge(&run_of(&a));
+        let mut other = GlobalCoverage::new();
+        other.merge(&run_of(&b));
+
+        let mut by_words = left.clone();
+        by_words.union_with(&other);
+        let mut by_dump = left;
+        by_dump.union_sparse(&other.to_sparse());
+        prop_assert_eq!(state(&by_words), state(&by_dump));
+    }
+
+    #[test]
+    fn union_order_is_irrelevant(a in sites(), b in sites()) {
+        let mut ga = GlobalCoverage::new();
+        ga.merge(&run_of(&a));
+        let mut gb = GlobalCoverage::new();
+        gb.merge(&run_of(&b));
+        let mut ab = ga.clone();
+        ab.union_with(&gb);
+        let mut ba = gb;
+        ba.union_with(&ga);
+        prop_assert_eq!(state(&ab), state(&ba));
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_state(runs in prop::collection::vec(sites(), 1..4)) {
+        let mut g = GlobalCoverage::new();
+        for s in &runs {
+            g.merge(&run_of(s));
+        }
+        let back = GlobalCoverage::from_sparse(&g.to_sparse());
+        prop_assert_eq!(state(&back), state(&g));
+    }
+
+    #[test]
+    fn sink_collapse_equals_serial_merge(
+        runs in prop::collection::vec(sites(), 1..8),
+        shards in prop::collection::vec(0usize..3, 1..8),
+    ) {
+        // Serial reference: every run merged into one accumulator.
+        let mut serial = GlobalCoverage::new();
+        for s in &runs {
+            serial.merge(&run_of(s));
+        }
+
+        // Parallel model: runs dealt across 3 worker shards (per the `shards`
+        // assignment), each publishing its dirty delta after every merge —
+        // an epoch of one case.
+        let sink = CoverageSink::new();
+        let mut workers = [GlobalCoverage::new(), GlobalCoverage::new(), GlobalCoverage::new()];
+        for (i, s) in runs.iter().enumerate() {
+            let w = &mut workers[shards[i % shards.len()]];
+            let novel = w.merge(&run_of(s));
+            let published = sink.publish_dirty(w);
+            // The lock-free fast path: publishing after a no-novelty merge
+            // touches zero atomic words.
+            if !novel {
+                prop_assert_eq!(published, 0);
+            }
+        }
+        let joined = sink.into_global();
+        prop_assert_eq!(state(&joined), state(&serial));
+    }
+
+    #[test]
+    fn drained_words_stay_clean_until_new_coverage(s in sites()) {
+        let mut g = GlobalCoverage::new();
+        g.merge(&run_of(&s));
+        let sink = CoverageSink::new();
+        let first = sink.publish_dirty(&mut g);
+        prop_assert_eq!(first == 0, s.is_empty());
+        // Nothing merged since the drain: nothing left to publish.
+        prop_assert_eq!(sink.publish_dirty(&mut g), 0);
+        // Re-merging the identical run sets no new bits either.
+        g.merge(&run_of(&s));
+        prop_assert_eq!(sink.publish_dirty(&mut g), 0);
+    }
+}

@@ -320,6 +320,11 @@ pub enum StmtKind {
 }
 
 impl StmtKind {
+    /// Total number of statement types (= the number of distinct
+    /// [`StmtKind::code`] values, which are contiguous in `0..COUNT`).
+    /// Lets dense per-kind tables be sized at compile time.
+    pub const COUNT: usize = DdlVerb::ALL.len() * ObjectKind::ALL.len() + StandaloneKind::ALL.len();
+
     /// Every statement type known to any dialect.
     pub fn all() -> Vec<StmtKind> {
         let mut v = Vec::with_capacity(
@@ -350,17 +355,12 @@ impl StmtKind {
     }
 
     /// A compact stable code, useful as an RNG stream id or map key.
+    /// O(1): the enums carry no payload, so the discriminant *is* the
+    /// position in the `ALL` tables (both are declaration-ordered).
     pub fn code(self) -> u16 {
         match self {
-            StmtKind::Ddl(verb, obj) => {
-                let v = verb as u16;
-                let o = ObjectKind::ALL.iter().position(|&x| x == obj).unwrap() as u16;
-                v * ObjectKind::ALL.len() as u16 + o
-            }
-            StmtKind::Other(k) => {
-                let base = (DdlVerb::ALL.len() * ObjectKind::ALL.len()) as u16;
-                base + StandaloneKind::ALL.iter().position(|&x| x == k).unwrap() as u16
-            }
+            StmtKind::Ddl(verb, obj) => verb as u16 * ObjectKind::ALL.len() as u16 + obj as u16,
+            StmtKind::Other(k) => (DdlVerb::ALL.len() * ObjectKind::ALL.len()) as u16 + k as u16,
         }
     }
 

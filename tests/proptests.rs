@@ -123,7 +123,8 @@ proptest! {
             if t1 == t2 { continue; }
             if map.insert(t1, t2) {
                 let fresh = store.on_new_affinity(t1, t2, &map, 500);
-                for seq in &fresh {
+                for &key in &fresh {
+                    let seq = lego_fuzz::fuzzer::ngram::unpack_seq(key);
                     prop_assert!(seq.len() <= len);
                     prop_assert!(seq.windows(2).any(|w| w[0] == t1 && w[1] == t2));
                 }

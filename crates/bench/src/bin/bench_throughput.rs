@@ -63,7 +63,7 @@ fn profiled(cli: &Cli, tag: &str, units: usize, workers: usize) -> lego::campaig
     let dialect = Dialect::Postgres;
     let (tel, guard) = run_telemetry(cli, tag, workers);
     let stats = campaign_parallel_observed("LEGO", dialect, units, DEFAULT_SEED, workers, &tel);
-    if let Some(g) = guard {
+    if let Some(mut g) = guard {
         g.finish();
     }
     stats

@@ -37,7 +37,7 @@ fn main() {
         .into_iter()
         .flat_map(|d| fuzzer_names(d).into_iter().map(move |f| (d, f)))
         .collect();
-    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let mut guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
     let jobs: Vec<_> = pairs
         .iter()

@@ -55,7 +55,7 @@ fn main() {
     specs.push(("no_split_long_seeds".into(), 0, Box::new(|c| c.split_long_seeds = false)));
     specs.push(("nonadjacent_affinities".into(), 0, Box::new(|c| c.nonadjacent_affinities = true)));
 
-    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let mut guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()

@@ -4,6 +4,7 @@
 //! lego_cli fuzz <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S]
 //!               [--out DIR] [--corpus DIR]   # --corpus: resume from saved seeds
 //!               [--telemetry PATH] [--heartbeat] [--oracles[=LIST]]
+//!               [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]
 //!               [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
 //! lego_cli replay <pg|mysql|maria|comdb2> <script.sql>
 //! lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>
@@ -13,6 +14,13 @@
 //! `--telemetry PATH` (or `LEGO_TELEMETRY`) streams structured events to
 //! `PATH` as JSONL and writes metrics exports next to it; `--heartbeat`
 //! prints a ~1 Hz live status line to stderr.
+//!
+//! `--serve ADDR` (or `LEGO_SERVE`) starts the live monitoring HTTP server
+//! (`/metrics` Prometheus text, `/status` JSON, `/events` SSE, `/healthz`)
+//! and records AFL-style plot data under `results/<run>/`; `--trace PATH`
+//! (or `LEGO_TRACE`) writes a Perfetto-loadable Chrome trace of the stage
+//! spans at exit. The monitoring plane is read-only: findings, corpus, and
+//! checkpoints are byte-identical with or without it.
 //!
 //! `--oracles` enables the wrong-result correctness oracles (TLP, NoREC and
 //! cross-dialect differential replay) on every corpus-accepted case;
@@ -56,7 +64,7 @@ fn dialect_of(arg: &str) -> Option<Dialect> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat] [--oracles[=tlp,norec,differential]]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
+        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat] [--oracles[=tlp,norec,differential]]\n                  [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
     );
     ExitCode::from(2)
 }
@@ -85,6 +93,11 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         std::env::var("LEGO_TELEMETRY").ok().filter(|p| !p.is_empty()).map(PathBuf::from);
     let mut heartbeat = false;
     let mut oracles = OracleConfig::disabled();
+    let mut serve: Option<String> = std::env::var("LEGO_SERVE").ok().filter(|a| !a.is_empty());
+    let mut trace: Option<PathBuf> =
+        std::env::var("LEGO_TRACE").ok().filter(|p| !p.is_empty()).map(PathBuf::from);
+    let mut plot_data: Option<PathBuf> = None;
+    let mut plot_every_ms = 1000u64;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut checkpoint_every: Option<usize> = None;
     let mut resume_dir: Option<PathBuf> = None;
@@ -113,6 +126,23 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             }
             Some("--telemetry") => {
                 telemetry = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--serve") => {
+                serve = args.get(i + 1).cloned();
+                i += 2;
+            }
+            Some("--trace") => {
+                trace = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--plot-data") => {
+                plot_data = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--plot-every") => {
+                plot_every_ms =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(plot_every_ms).max(10);
                 i += 2;
             }
             Some("--checkpoint") => {
@@ -218,7 +248,17 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         ckpt.every_units = checkpoint_every.unwrap_or((units / 10).max(1));
         ckpt.dir = Some(dir);
     }
-    let guard = lego_bench::telemetry_to(telemetry.as_deref(), heartbeat, 1, seed);
+    let mut guard = lego_bench::build_monitored(lego_bench::MonitorOpts {
+        event_log: telemetry,
+        heartbeat,
+        workers: 1,
+        seed,
+        serve,
+        trace,
+        plot_data,
+        plot_every_ms,
+        run_name: format!("fuzz_{}", dialect.name()),
+    });
     let stats = match run_campaign_resilient(
         engine.as_mut(),
         dialect,
@@ -230,6 +270,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         Ok(stats) => stats,
         Err(e) => {
             eprintln!("campaign failed: {e}");
+            guard.finish();
             return ExitCode::FAILURE;
         }
     };

@@ -35,7 +35,7 @@ fn main() {
 
     let specs: Vec<(usize, usize)> =
         [3usize, 5, 8].into_iter().flat_map(|len| (0..seeds).map(move |s| (len, s))).collect();
-    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let mut guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()

@@ -34,7 +34,7 @@ fn main() {
     // core.
     let specs: Vec<(Dialect, usize)> =
         Dialect::ALL.into_iter().flat_map(|d| (0..seeds).map(move |s| (d, s))).collect();
-    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let mut guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
     let oracles = cli.oracles;
     let jobs: Vec<_> = specs

@@ -42,7 +42,7 @@ fn main() {
                 .map(move |f| (d, f))
         })
         .collect();
-    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let mut guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
     let jobs: Vec<_> = pairs
         .iter()

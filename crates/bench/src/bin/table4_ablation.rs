@@ -44,7 +44,7 @@ fn main() {
         .into_iter()
         .flat_map(|d| (0..seeds).flat_map(move |s| [(d, s, false), (d, s, true)]))
         .collect();
-    let guard = build_telemetry(&cli, DEFAULT_SEED);
+    let mut guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()

@@ -79,6 +79,15 @@ where
 /// - `--oracles[=LIST]` — enable the correctness oracles. Bare `--oracles`
 ///   turns on all three; `--oracles=tlp,norec,differential` selects a
 ///   subset.
+/// - `--serve ADDR` / `--serve=ADDR` — live monitoring HTTP server
+///   (`/metrics`, `/status`, `/events`, `/healthz`); falls back to
+///   `LEGO_SERVE`. Port `0` picks a free port (printed at startup).
+///   Serving implies the time-series recorder.
+/// - `--trace PATH` / `--trace=PATH` — Chrome-trace (Perfetto) stage-span
+///   export written at exit; falls back to `LEGO_TRACE`.
+/// - `--plot-data PATH` — AFL-style `plot_data.csv` destination (default
+///   `results/<bin>/plot_data.csv` when serving).
+/// - `--plot-every MS` — time-series sample cadence (default 1000 ms).
 pub struct Cli {
     /// Positional arguments, flags removed, program name excluded.
     pub positional: Vec<String>,
@@ -88,6 +97,14 @@ pub struct Cli {
     pub heartbeat: bool,
     /// Correctness-oracle selection (disabled unless `--oracles` is given).
     pub oracles: lego::OracleConfig,
+    /// Monitoring-server listen address, when `--serve`/`LEGO_SERVE` given.
+    pub serve: Option<String>,
+    /// Chrome-trace output path, when `--trace`/`LEGO_TRACE` given.
+    pub trace: Option<String>,
+    /// Explicit plot-data CSV path (`--plot-data`).
+    pub plot_data: Option<String>,
+    /// Time-series sample cadence in milliseconds (`--plot-every`).
+    pub plot_every_ms: u64,
 }
 
 /// Parse an `--oracles` value: a comma-separated subset of
@@ -118,6 +135,10 @@ impl Cli {
         let mut telemetry = None;
         let mut heartbeat = false;
         let mut oracles = lego::OracleConfig::disabled();
+        let mut serve = None;
+        let mut trace = None;
+        let mut plot_data = None;
+        let mut plot_every_ms = None;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             if a == "--workers" {
@@ -134,6 +155,22 @@ impl Cli {
                 oracles = lego::OracleConfig::all();
             } else if let Some(v) = a.strip_prefix("--oracles=") {
                 oracles = parse_oracles(v);
+            } else if a == "--serve" {
+                serve = args.next();
+            } else if let Some(v) = a.strip_prefix("--serve=") {
+                serve = Some(v.to_string());
+            } else if a == "--trace" {
+                trace = args.next();
+            } else if let Some(v) = a.strip_prefix("--trace=") {
+                trace = Some(v.to_string());
+            } else if a == "--plot-data" {
+                plot_data = args.next();
+            } else if let Some(v) = a.strip_prefix("--plot-data=") {
+                plot_data = Some(v.to_string());
+            } else if a == "--plot-every" {
+                plot_every_ms = args.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--plot-every=") {
+                plot_every_ms = v.parse().ok();
             } else {
                 positional.push(a);
             }
@@ -146,6 +183,10 @@ impl Cli {
                 .filter(|p| !p.is_empty()),
             heartbeat,
             oracles,
+            serve: serve.or_else(|| std::env::var("LEGO_SERVE").ok()).filter(|a| !a.is_empty()),
+            trace: trace.or_else(|| std::env::var("LEGO_TRACE").ok()).filter(|p| !p.is_empty()),
+            plot_data: plot_data.filter(|p| !p.is_empty()),
+            plot_every_ms: plot_every_ms.unwrap_or(1000).max(10),
         }
     }
 
@@ -231,6 +272,38 @@ mod tests {
         let eq = Cli::from_args(["--telemetry=x.jsonl"].into_iter().map(String::from));
         assert_eq!(eq.telemetry.as_deref(), Some("x.jsonl"));
         assert!(!eq.heartbeat);
+    }
+
+    #[test]
+    fn cli_extracts_monitoring_flags() {
+        let cli = Cli::from_args(
+            ["9000", "--serve", "127.0.0.1:0", "--trace", "/tmp/t.json", "--plot-every", "250"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(cli.serve.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(cli.plot_every_ms, 250);
+        assert_eq!(cli.positional, vec!["9000"]);
+
+        let eq = Cli::from_args(
+            ["--serve=0.0.0.0:9100", "--trace=t.json", "--plot-data=p.csv"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(eq.serve.as_deref(), Some("0.0.0.0:9100"));
+        assert_eq!(eq.trace.as_deref(), Some("t.json"));
+        assert_eq!(eq.plot_data.as_deref(), Some("p.csv"));
+        assert_eq!(eq.plot_every_ms, 1000, "default cadence");
+
+        let off = Cli::from_args(["9000"].into_iter().map(String::from));
+        assert!(off.serve.is_none() && off.trace.is_none() && off.plot_data.is_none());
+    }
+
+    #[test]
+    fn cli_clamps_plot_cadence() {
+        let cli = Cli::from_args(["--plot-every=1"].into_iter().map(String::from));
+        assert!(cli.plot_every_ms >= 10, "sub-10ms cadence must be clamped");
     }
 
     #[test]

@@ -441,6 +441,23 @@ pub fn run_campaign_resilient(
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
 ) -> Result<CampaignStats, String> {
+    let out = run_campaign_resilient_inner(engine, dialect, budget, tel, oracles, ckpt);
+    if out.is_err() {
+        // A dying campaign still owes the operator a closing heartbeat line
+        // and flushed sinks (the success path does this in finish_telemetry).
+        tel.finish();
+    }
+    out
+}
+
+fn run_campaign_resilient_inner(
+    engine: &mut dyn FuzzEngine,
+    dialect: Dialect,
+    budget: Budget,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+) -> Result<CampaignStats, String> {
     let start = Instant::now();
     engine.attach_telemetry(tel.clone());
     let mut global = GlobalCoverage::new();
@@ -577,64 +594,67 @@ pub fn run_campaign_resilient(
             next_snapshot += every;
         }
         if units >= next_ckpt {
-            while units >= next_ckpt {
-                next_ckpt += ckpt.every_units;
-            }
-            ckpt_seq += 1;
-            // Reseed barrier first (state-changing even when nothing is
-            // persisted), then snapshot the post-barrier state.
-            let engine_snap = engine.checkpoint();
-            if let Some(dir) = &ckpt.dir {
-                let engine_snap = engine_snap.ok_or_else(|| {
-                    format!("engine '{}' does not support checkpointing", engine.name())
-                })?;
-                let ck = WorkerCheckpoint {
-                    version: CHECKPOINT_VERSION,
-                    worker: 0,
-                    seq: ckpt_seq,
-                    units,
-                    execs,
-                    stmts_ok,
-                    stmts_err,
-                    cases_aborted,
-                    next_snapshot,
-                    next_ckpt,
-                    since_sync: 0,
-                    curve: curve.clone(),
-                    snaps: Vec::new(),
-                    coverage: checkpoint::sparse_out(&global.to_sparse()),
-                    seen_stacks: sorted_pairs(&seen_stacks),
-                    bugs: bugs
-                        .iter()
-                        .map(|b| FindingCk {
-                            first_exec: b.first_exec,
-                            case_sql: b.case_sql.clone(),
-                            reduced_sql: b.reduced_sql.clone(),
-                        })
-                        .collect(),
-                    logic_bugs: oracle_rt
-                        .findings
-                        .iter()
-                        .map(|b| LogicFindingCk {
-                            first_exec: b.first_exec,
-                            fingerprint: b.fingerprint(),
-                            case_sql: b.case_sql.clone(),
-                            reduced_sql: b.reduced_sql.clone(),
-                        })
-                        .collect(),
-                    oracle_seen: sorted_pairs(&oracle_rt.seen),
-                    oracle_checks: oracle_rt.checks,
-                    engine: engine_snap,
-                };
-                let path = checkpoint::write_worker(dir, &ck)
-                    .map_err(|e| format!("write checkpoint: {e}"))?;
-                tel.emit(|| Event::CheckpointWritten {
-                    worker: 0,
-                    seq: ckpt_seq as u64,
-                    units: units as u64,
-                    path: path.display().to_string(),
-                });
-            }
+            tel.time(Stage::Checkpoint, || -> Result<(), String> {
+                while units >= next_ckpt {
+                    next_ckpt += ckpt.every_units;
+                }
+                ckpt_seq += 1;
+                // Reseed barrier first (state-changing even when nothing is
+                // persisted), then snapshot the post-barrier state.
+                let engine_snap = engine.checkpoint();
+                if let Some(dir) = &ckpt.dir {
+                    let engine_snap = engine_snap.ok_or_else(|| {
+                        format!("engine '{}' does not support checkpointing", engine.name())
+                    })?;
+                    let ck = WorkerCheckpoint {
+                        version: CHECKPOINT_VERSION,
+                        worker: 0,
+                        seq: ckpt_seq,
+                        units,
+                        execs,
+                        stmts_ok,
+                        stmts_err,
+                        cases_aborted,
+                        next_snapshot,
+                        next_ckpt,
+                        since_sync: 0,
+                        curve: curve.clone(),
+                        snaps: Vec::new(),
+                        coverage: checkpoint::sparse_out(&global.to_sparse()),
+                        seen_stacks: sorted_pairs(&seen_stacks),
+                        bugs: bugs
+                            .iter()
+                            .map(|b| FindingCk {
+                                first_exec: b.first_exec,
+                                case_sql: b.case_sql.clone(),
+                                reduced_sql: b.reduced_sql.clone(),
+                            })
+                            .collect(),
+                        logic_bugs: oracle_rt
+                            .findings
+                            .iter()
+                            .map(|b| LogicFindingCk {
+                                first_exec: b.first_exec,
+                                fingerprint: b.fingerprint(),
+                                case_sql: b.case_sql.clone(),
+                                reduced_sql: b.reduced_sql.clone(),
+                            })
+                            .collect(),
+                        oracle_seen: sorted_pairs(&oracle_rt.seen),
+                        oracle_checks: oracle_rt.checks,
+                        engine: engine_snap,
+                    };
+                    let path = checkpoint::write_worker(dir, &ck)
+                        .map_err(|e| format!("write checkpoint: {e}"))?;
+                    tel.emit(|| Event::CheckpointWritten {
+                        worker: 0,
+                        seq: ckpt_seq as u64,
+                        units: units as u64,
+                        path: path.display().to_string(),
+                    });
+                }
+                Ok(())
+            })?;
         }
     }
     curve.push((units, global.edges_covered()));
@@ -901,65 +921,71 @@ fn run_worker(
             next_snap += 1;
         }
         if units >= next_ckpt {
-            while units >= next_ckpt {
-                next_ckpt += ckpt.every_units;
-            }
-            ckpt_seq += 1;
-            let engine_snap = engine.checkpoint();
-            if let Some(dir) = &ckpt.dir {
-                let engine_snap = engine_snap.ok_or_else(|| {
-                    format!("engine '{}' does not support checkpointing", engine.name())
-                })?;
-                let ck = WorkerCheckpoint {
-                    version: CHECKPOINT_VERSION,
-                    worker,
-                    seq: ckpt_seq,
-                    units,
-                    execs,
-                    stmts_ok,
-                    stmts_err,
-                    cases_aborted,
-                    next_snapshot: next_snap,
-                    next_ckpt,
-                    since_sync,
-                    curve: Vec::new(),
-                    snaps: snaps
-                        .iter()
-                        .map(|(u, cov)| SnapCk { units: *u, coverage: checkpoint::sparse_out(cov) })
-                        .collect(),
-                    coverage: checkpoint::sparse_out(&shard.to_sparse()),
-                    seen_stacks: sorted_pairs(&seen_stacks),
-                    bugs: bugs
-                        .iter()
-                        .map(|b| FindingCk {
-                            first_exec: b.first_exec,
-                            case_sql: b.case_sql.clone(),
-                            reduced_sql: b.reduced_sql.clone(),
-                        })
-                        .collect(),
-                    logic_bugs: oracle_rt
-                        .findings
-                        .iter()
-                        .map(|b| LogicFindingCk {
-                            first_exec: b.first_exec,
-                            fingerprint: b.fingerprint(),
-                            case_sql: b.case_sql.clone(),
-                            reduced_sql: b.reduced_sql.clone(),
-                        })
-                        .collect(),
-                    oracle_seen: sorted_pairs(&oracle_rt.seen),
-                    oracle_checks: oracle_rt.checks,
-                    engine: engine_snap,
-                };
-                let path = checkpoint::write_worker(dir, &ck)
-                    .map_err(|e| format!("write checkpoint: {e}"))?;
-                tel.emit(|| Event::CheckpointWritten {
-                    worker,
-                    seq: ckpt_seq as u64,
-                    units: units as u64,
-                    path: path.display().to_string(),
-                });
-            }
+            tel.time(Stage::Checkpoint, || -> Result<(), String> {
+                while units >= next_ckpt {
+                    next_ckpt += ckpt.every_units;
+                }
+                ckpt_seq += 1;
+                let engine_snap = engine.checkpoint();
+                if let Some(dir) = &ckpt.dir {
+                    let engine_snap = engine_snap.ok_or_else(|| {
+                        format!("engine '{}' does not support checkpointing", engine.name())
+                    })?;
+                    let ck = WorkerCheckpoint {
+                        version: CHECKPOINT_VERSION,
+                        worker,
+                        seq: ckpt_seq,
+                        units,
+                        execs,
+                        stmts_ok,
+                        stmts_err,
+                        cases_aborted,
+                        next_snapshot: next_snap,
+                        next_ckpt,
+                        since_sync,
+                        curve: Vec::new(),
+                        snaps: snaps
+                            .iter()
+                            .map(|(u, cov)| SnapCk {
+                                units: *u,
+                                coverage: checkpoint::sparse_out(cov),
+                            })
+                            .collect(),
+                        coverage: checkpoint::sparse_out(&shard.to_sparse()),
+                        seen_stacks: sorted_pairs(&seen_stacks),
+                        bugs: bugs
+                            .iter()
+                            .map(|b| FindingCk {
+                                first_exec: b.first_exec,
+                                case_sql: b.case_sql.clone(),
+                                reduced_sql: b.reduced_sql.clone(),
+                            })
+                            .collect(),
+                        logic_bugs: oracle_rt
+                            .findings
+                            .iter()
+                            .map(|b| LogicFindingCk {
+                                first_exec: b.first_exec,
+                                fingerprint: b.fingerprint(),
+                                case_sql: b.case_sql.clone(),
+                                reduced_sql: b.reduced_sql.clone(),
+                            })
+                            .collect(),
+                        oracle_seen: sorted_pairs(&oracle_rt.seen),
+                        oracle_checks: oracle_rt.checks,
+                        engine: engine_snap,
+                    };
+                    let path = checkpoint::write_worker(dir, &ck)
+                        .map_err(|e| format!("write checkpoint: {e}"))?;
+                    tel.emit(|| Event::CheckpointWritten {
+                        worker,
+                        seq: ckpt_seq as u64,
+                        units: units as u64,
+                        path: path.display().to_string(),
+                    });
+                }
+                Ok(())
+            })?;
         }
     }
     // Pad to exactly `snapshots` points so the join can union the workers'
@@ -1087,10 +1113,32 @@ pub fn run_campaign_parallel_resilient<F>(
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
 {
+    let out =
+        run_campaign_parallel_resilient_inner(factory, dialect, budget, opts, tel, oracles, ckpt);
+    if out.is_err() {
+        // Worker-death and checkpoint-I/O exits still flush the heartbeat
+        // and sinks, like the success path's finish_telemetry.
+        tel.finish();
+    }
+    out
+}
+
+fn run_campaign_parallel_resilient_inner<F>(
+    factory: F,
+    dialect: Dialect,
+    budget: Budget,
+    opts: ParallelOpts,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+) -> Result<CampaignStats, String>
+where
+    F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
+{
     let workers = opts.workers.max(1);
     if workers == 1 {
         let mut engine = factory(0);
-        return run_campaign_resilient(engine.as_mut(), dialect, budget, tel, oracles, ckpt);
+        return run_campaign_resilient_inner(engine.as_mut(), dialect, budget, tel, oracles, ckpt);
     }
 
     let start = Instant::now();

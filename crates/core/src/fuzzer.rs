@@ -896,6 +896,10 @@ impl FuzzEngine for LegoFuzzer {
                 self.synthesize_for(&new_affs);
             }
         }
+        // Backlog gauge for live monitoring: pending cases + queued
+        // synthesis jobs. Interesting cases are rare, so this stays off the
+        // per-exec hot path.
+        self.tel.set_queue_depth((self.queue.len() + self.synth_queue.len()) as u64);
     }
 
     fn corpus(&self) -> Vec<Arc<TestCase>> {

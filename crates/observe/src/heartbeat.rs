@@ -20,9 +20,12 @@ pub struct LiveCounters {
     worker_execs: [AtomicU64; MAX_TRACKED_WORKERS],
     branches: AtomicU64,
     corpus: AtomicU64,
+    queued: AtomicU64,
     stmts_ok: AtomicU64,
     stmts_err: AtomicU64,
     bugs: AtomicU64,
+    logic_bugs: AtomicU64,
+    cases_aborted: AtomicU64,
 }
 
 impl Default for LiveCounters {
@@ -32,9 +35,12 @@ impl Default for LiveCounters {
             worker_execs: std::array::from_fn(|_| AtomicU64::new(0)),
             branches: AtomicU64::new(0),
             corpus: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
             stmts_ok: AtomicU64::new(0),
             stmts_err: AtomicU64::new(0),
             bugs: AtomicU64::new(0),
+            logic_bugs: AtomicU64::new(0),
+            cases_aborted: AtomicU64::new(0),
         }
     }
 }
@@ -76,6 +82,21 @@ impl LiveCounters {
         self.bugs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An oracle-flagged wrong-result (logic) bug was deduplicated.
+    pub fn record_logic_bug(&self) {
+        self.logic_bugs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A per-case execution budget tripped and the case was killed.
+    pub fn record_abort(&self) {
+        self.cases_aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Scheduler backlog gauge: pending + synthesis queue entries.
+    pub fn set_queued(&self, v: u64) {
+        self.queued.store(v, Ordering::Relaxed);
+    }
+
     pub fn execs(&self) -> u64 {
         self.execs.load(Ordering::Relaxed)
     }
@@ -84,8 +105,32 @@ impl LiveCounters {
         self.branches.load(Ordering::Relaxed)
     }
 
+    pub fn corpus(&self) -> u64 {
+        self.corpus.load(Ordering::Relaxed)
+    }
+
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
     pub fn bugs(&self) -> u64 {
         self.bugs.load(Ordering::Relaxed)
+    }
+
+    pub fn logic_bugs(&self) -> u64 {
+        self.logic_bugs.load(Ordering::Relaxed)
+    }
+
+    pub fn cases_aborted(&self) -> u64 {
+        self.cases_aborted.load(Ordering::Relaxed)
+    }
+
+    pub fn stmts_ok(&self) -> u64 {
+        self.stmts_ok.load(Ordering::Relaxed)
+    }
+
+    pub fn stmts_err(&self) -> u64 {
+        self.stmts_err.load(Ordering::Relaxed)
     }
 
     /// Binder validity ratio in percent (accepted / attempted statements).
@@ -166,7 +211,7 @@ impl Heartbeat {
         let secs = (now_ms as f64 / 1000.0).max(1e-3);
         let execs = live.execs();
         let mut line = format!(
-            "[lego {:>6.1}s] execs {:>8} ({:>7.1}/s) | branches {:>6} | corpus {:>5} | validity {:>5.1}% | bugs {}",
+            "[lego {:>6.1}s] execs {:>8} ({:>7.1}/s) | branches {:>6} | corpus {:>5} | validity {:>5.1}% | bugs {} | logic {} | aborted {}",
             now_ms as f64 / 1000.0,
             execs,
             execs as f64 / secs,
@@ -174,6 +219,8 @@ impl Heartbeat {
             live.corpus.load(Ordering::Relaxed),
             live.validity_pct(),
             live.bugs(),
+            live.logic_bugs(),
+            live.cases_aborted(),
         );
         if self.workers > 1 {
             line.push_str(&format!(
@@ -216,11 +263,16 @@ mod tests {
         live.record_exec(0, 3, 1);
         live.set_branches(17);
         live.set_corpus(4);
+        live.record_logic_bug();
+        live.record_abort();
+        live.record_abort();
         let hb = Heartbeat::with_interval(2, 1000);
         let line = hb.format_line(&live, 2000);
         assert!(line.contains("execs"), "{line}");
         assert!(line.contains("branches     17"), "{line}");
         assert!(line.contains("validity"), "{line}");
+        assert!(line.contains("logic 1"), "{line}");
+        assert!(line.contains("aborted 2"), "{line}");
         assert!(line.contains("lag"), "{line}");
     }
 

@@ -1,0 +1,393 @@
+//! Embedded monitoring HTTP server.
+//!
+//! A dependency-light blocking server on `std::net::TcpListener` — one
+//! background accept thread (non-blocking accept + stop-flag polling), one
+//! detached thread per connection, no async runtime. It is a *read-only
+//! observer*: every handler reads racy-relaxed live counters, the metrics
+//! registry, or the broadcast sink; none of them can touch campaign state,
+//! so serving cannot perturb determinism. A panic in any server thread is
+//! confined to that thread — the campaign never joins it on the hot path.
+//!
+//! Endpoints:
+//!
+//! | Path       | Content                                                |
+//! |------------|--------------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition (the metrics registry)      |
+//! | `/status`  | JSON snapshot: live counters, stage profile, config    |
+//! | `/events`  | Server-sent-events tail of the live event stream       |
+//! | `/healthz` | `ok` (liveness probe)                                  |
+
+use crate::sink::BroadcastSink;
+use crate::Telemetry;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Static campaign facts echoed in `/status` under `"config"`.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorConfig {
+    pub run_name: String,
+    pub workers: usize,
+    pub seed: u64,
+    /// Free-form extra key/value pairs (dialect, budget, oracles, ...).
+    pub extra: Vec<(String, String)>,
+}
+
+impl MonitorConfig {
+    fn json(&self) -> String {
+        let mut out = String::from("{\"run\":");
+        serde::write_json_string(&self.run_name, &mut out);
+        out.push_str(&format!(",\"workers\":{},\"seed\":{}", self.workers, self.seed));
+        for (k, v) in &self.extra {
+            out.push(',');
+            serde::write_json_string(k, &mut out);
+            out.push(':');
+            serde::write_json_string(v, &mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct ServerShared {
+    telemetry: Telemetry,
+    broadcast: Option<Arc<BroadcastSink>>,
+    config: MonitorConfig,
+    started: Instant,
+    stop: AtomicBool,
+}
+
+/// The running server. Keep it alive for the duration of the campaign and
+/// call [`shutdown`](Self::shutdown) (or drop it) afterwards.
+pub struct MonitorServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MonitorServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9100`, or port 0 for an OS-assigned
+    /// port — read it back via [`local_addr`](Self::local_addr)) and start
+    /// serving in a background thread.
+    pub fn bind(
+        addr: &str,
+        telemetry: Telemetry,
+        broadcast: Option<Arc<BroadcastSink>>,
+        config: MonitorConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            telemetry,
+            broadcast,
+            config,
+            started: Instant::now(),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("lego-monitor".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Self { shared, addr: local, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and wind down handler threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MonitorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = shared.clone();
+                // Detached: a slow or panicking handler affects only its own
+                // connection, and exits on its own once the stop flag is set
+                // or the client goes away.
+                let _ = std::thread::Builder::new()
+                    .name("lego-monitor-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Read the request head (up to 8 KiB) and return the path of a GET, or
+/// `None` for anything we don't serve.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf = [0u8; 8192];
+    let mut len = 0;
+    loop {
+        let n = stream.read(&mut buf[len..]).ok()?;
+        if n == 0 {
+            return None;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&buf[..len]).ok()?;
+    let mut parts = head.lines().next()?.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Strip any query string: /status?pretty → /status.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nAccess-Control-Allow-Origin: *\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
+    let Some(path) = read_request_path(&mut stream) else {
+        write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+        return;
+    };
+    match path.as_str() {
+        "/healthz" => write_response(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/metrics" => {
+            let body = shared
+                .telemetry
+                .metrics()
+                .map(|m| m.prometheus_text())
+                .unwrap_or_else(|| "# metrics registry not attached\n".to_string());
+            write_response(&mut stream, "200 OK", "text/plain; version=0.0.4", &body);
+        }
+        "/status" => {
+            let body = status_json(&shared);
+            write_response(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/events" => serve_events(stream, &shared),
+        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Build the `/status` snapshot. Shape (stable, asserted by tests):
+/// `{"config":{...},"uptime_s":..,"live":{...},"worker_execs":[..],
+///   "stage_profile":{...}|null}`.
+fn status_json(shared: &ServerShared) -> String {
+    let mut out = String::from("{\"config\":");
+    out.push_str(&shared.config.json());
+    out.push_str(&format!(",\"uptime_s\":{:.3}", shared.started.elapsed().as_secs_f64()));
+    out.push_str(",\"live\":{");
+    match shared.telemetry.live() {
+        Some(live) => {
+            out.push_str(&format!(
+                "\"execs\":{},\"branches\":{},\"corpus\":{},\"queued\":{},\
+                 \"stmts_ok\":{},\"stmts_err\":{},\"validity_pct\":{:.2},\
+                 \"bugs\":{},\"logic_bugs\":{},\"cases_aborted\":{}",
+                live.execs(),
+                live.branches(),
+                live.corpus(),
+                live.queued(),
+                live.stmts_ok(),
+                live.stmts_err(),
+                live.validity_pct(),
+                live.bugs(),
+                live.logic_bugs(),
+                live.cases_aborted(),
+            ));
+        }
+        None => out.push_str("\"execs\":0"),
+    }
+    out.push_str("},\"worker_execs\":[");
+    if let Some(live) = shared.telemetry.live() {
+        let counts = live.worker_execs(shared.config.workers.max(1));
+        for (i, c) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+    }
+    out.push_str("],\"stage_profile\":");
+    match shared.telemetry.stage_profile() {
+        Some(profile) => profile.serialize_json(&mut out),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Frame one payload as a server-sent event. Multi-line payloads become
+/// multiple `data:` lines of the same event, per the SSE spec.
+pub fn sse_frame(payload: &str) -> String {
+    let mut out = String::with_capacity(payload.len() + 16);
+    for line in payload.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+fn serve_events(mut stream: TcpStream, shared: &ServerShared) {
+    let Some(broadcast) = &shared.broadcast else {
+        write_response(&mut stream, "404 Not Found", "text/plain", "no event stream\n");
+        return;
+    };
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+                Cache-Control: no-cache\r\nAccess-Control-Allow-Origin: *\r\n\
+                Connection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let rx = broadcast.subscribe();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(500)) {
+            Ok(ev) => {
+                if stream.write_all(sse_frame(&ev.to_json()).as_bytes()).is_err()
+                    || stream.flush().is_err()
+                {
+                    return; // client went away; subscriber is pruned on next emit
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Keepalive comment: detects dead clients between events.
+                if stream.write_all(b": keepalive\n\n").is_err() || stream.flush().is_err() {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::MetricsRegistry;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_server(broadcast: Option<Arc<BroadcastSink>>) -> (MonitorServer, Telemetry) {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut builder = Telemetry::builder().metrics(metrics);
+        if let Some(b) = &broadcast {
+            builder = builder.live_sink(b.clone());
+        }
+        let tel = builder.build();
+        let config = MonitorConfig {
+            run_name: "unit".into(),
+            workers: 2,
+            seed: 7,
+            extra: vec![("dialect".into(), "sqlite".into())],
+        };
+        let server = MonitorServer::bind("127.0.0.1:0", tel.clone(), broadcast, config).unwrap();
+        (server, tel)
+    }
+
+    #[test]
+    fn serves_healthz_metrics_status_and_404() {
+        let (mut server, tel) = test_server(None);
+        let addr = server.local_addr();
+        tel.emit(|| Event::ExecEnd {
+            worker: 0,
+            exec: 0,
+            statements: 4,
+            ok: 3,
+            err: 1,
+            new_coverage: false,
+        });
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"));
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+        assert!(metrics.contains("lego_execs_total 1"), "{metrics}");
+        assert!(metrics.contains("# TYPE lego_execs_total counter"), "{metrics}");
+
+        let status = get(addr, "/status?pretty");
+        assert!(status.contains("application/json"), "{status}");
+        assert!(status.contains("\"run\":\"unit\""), "{status}");
+        assert!(status.contains("\"dialect\":\"sqlite\""), "{status}");
+        assert!(status.contains("\"execs\":1"), "{status}");
+        assert!(status.contains("\"stage_profile\":"), "{status}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn sse_framing_follows_the_spec() {
+        assert_eq!(sse_frame("{\"a\":1}"), "data: {\"a\":1}\n\n");
+        // Multi-line payloads become multiple data: lines of ONE event.
+        assert_eq!(sse_frame("line1\nline2"), "data: line1\ndata: line2\n\n");
+        assert_eq!(sse_frame(""), "data: \n\n");
+    }
+
+    #[test]
+    fn events_endpoint_streams_broadcast_events() {
+        let broadcast = Arc::new(BroadcastSink::new());
+        let (mut server, tel) = test_server(Some(broadcast));
+        let addr = server.local_addr();
+
+        tel.emit(|| Event::ExecStart { worker: 0, exec: 0 });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /events HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut got = String::new();
+        let mut buf = [0u8; 4096];
+        // Read until the replayed event arrives framed as SSE.
+        while !got.contains("\n\n") || !got.contains("data: ") {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "stream closed early: {got}");
+            got.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+        }
+        assert!(got.contains("text/event-stream"), "{got}");
+        assert!(got.contains("data: {\"type\":\"ExecStart\""), "{got}");
+        drop(stream);
+        server.shutdown();
+    }
+}

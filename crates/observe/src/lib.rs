@@ -18,15 +18,21 @@
 
 pub mod event;
 pub mod heartbeat;
+pub mod http;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
+pub mod timeseries;
+pub mod trace;
 
 pub use event::{Event, MutOp};
 pub use heartbeat::{Heartbeat, LiveCounters};
+pub use http::MonitorServer;
 pub use metrics::MetricsRegistry;
 pub use profile::{OperatorGain, Stage, StageAccum, StageEntry, StageProfile};
-pub use sink::{EventSink, JsonlSink, MemorySink, NoopSink};
+pub use sink::{BroadcastSink, EventSink, JsonlSink, MemorySink, NoopSink};
+pub use timeseries::TimeSeriesRecorder;
+pub use trace::TraceCollector;
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,10 +47,26 @@ struct Meta {
 
 struct Inner {
     sinks: Vec<Arc<dyn EventSink>>,
+    /// Real-time sinks (SSE broadcast). Unlike `sinks`, these are shared
+    /// with worker children and receive events as they happen — a lossy
+    /// *live view* for human observers, never part of the deterministic
+    /// record (that is `sinks` + the ordered merge replay).
+    live_sinks: Vec<Arc<dyn EventSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Registry for direct wall-clock observations (exec-latency histogram,
+    /// queue gauges). Shared with worker children — safe because these
+    /// metrics are never derived from replayed events, so the merge cannot
+    /// double count them.
+    wall_metrics: Option<Arc<MetricsRegistry>>,
     stages: StageAccum,
     live: Arc<LiveCounters>,
     heartbeat: Option<Arc<Heartbeat>>,
+    /// Chrome-trace span collector, shared with worker children (each child
+    /// records onto its own track via `worker`).
+    trace: Option<Arc<TraceCollector>>,
+    /// Track id for trace spans: 0 for the parent/serial driver, worker
+    /// index + offset handled by the collector for children.
+    worker: usize,
     bug_dir: Option<PathBuf>,
     meta: Meta,
     /// Edge delta of the most recent interesting case, stashed by the
@@ -100,15 +122,19 @@ impl Telemetry {
                         hb.tick(&inner.live);
                     }
                 }
-                Event::BugFound { .. } | Event::LogicBugFound { .. } => inner.live.record_bug(),
+                Event::BugFound { .. } => inner.live.record_bug(),
+                Event::LogicBugFound { .. } => inner.live.record_logic_bug(),
+                Event::CaseAborted { .. } => inner.live.record_abort(),
                 _ => {}
             }
-            inner.forward(&ev);
+            inner.emit_now(&ev);
         }
     }
 
     /// Charge the wall time of `f` to `stage`. When disabled this is a bare
-    /// call to `f` — no clock is read.
+    /// call to `f` — no clock is read. When a trace collector or a metrics
+    /// registry is attached, the same measurement also feeds the Chrome
+    /// trace track for this worker and the `lego_exec_latency_us` histogram.
     #[inline]
     pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
         match &self.inner {
@@ -116,7 +142,16 @@ impl Telemetry {
             Some(inner) => {
                 let t0 = Instant::now();
                 let out = f();
-                inner.stages.charge(stage, t0.elapsed().as_nanos() as u64);
+                let nanos = t0.elapsed().as_nanos() as u64;
+                inner.stages.charge(stage, nanos);
+                if let Some(tr) = &inner.trace {
+                    tr.record(inner.worker, stage, t0, nanos);
+                }
+                if stage == Stage::Execution {
+                    if let Some(m) = &inner.wall_metrics {
+                        m.observe_histogram("lego_exec_latency_us", nanos / 1_000);
+                    }
+                }
                 out
             }
         }
@@ -137,7 +172,18 @@ impl Telemetry {
             let edges = inner.pending_edges.swap(0, Ordering::Relaxed);
             inner.stages.record_gain(op, edges);
             let ev = Event::CoverageGain { op, edges };
-            inner.forward(&ev);
+            inner.emit_now(&ev);
+        }
+    }
+
+    /// Publish the scheduler backlog (pending + synthesis queues) as a live
+    /// gauge. Racy last-writer-wins across workers — a live view only.
+    pub fn set_queue_depth(&self, depth: u64) {
+        if let Some(inner) = &self.inner {
+            inner.live.set_queued(depth);
+            if let Some(m) = &inner.wall_metrics {
+                m.set_gauge("lego_queue_depth", depth as f64);
+            }
         }
     }
 
@@ -174,9 +220,20 @@ impl Telemetry {
         self.inner.as_ref().map(|i| &*i.live)
     }
 
+    /// Clone of the shared live-counter handle, if enabled. The time-series
+    /// recorder samples it from its own thread.
+    pub fn live_arc(&self) -> Option<Arc<LiveCounters>> {
+        self.inner.as_ref().map(|i| i.live.clone())
+    }
+
     /// Metrics registry attached to this handle, if any.
     pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
         self.inner.as_ref().and_then(|i| i.metrics.as_ref())
+    }
+
+    /// Chrome-trace span collector attached to this handle, if any.
+    pub fn trace_collector(&self) -> Option<&Arc<TraceCollector>> {
+        self.inner.as_ref().and_then(|i| i.trace.as_ref())
     }
 
     /// Flush all sinks and print a final heartbeat line.
@@ -197,7 +254,7 @@ impl Telemetry {
     /// parent can merge the streams deterministically at join. The child has
     /// its own stage accumulator and no metrics registry (aggregation
     /// happens once, at merge — no double counting).
-    pub fn worker_child(&self, _worker: usize) -> Telemetry {
+    pub fn worker_child(&self, worker: usize) -> Telemetry {
         match &self.inner {
             None => Telemetry::disabled(),
             Some(inner) => {
@@ -205,10 +262,14 @@ impl Telemetry {
                 Telemetry {
                     inner: Some(Arc::new(Inner {
                         sinks: vec![buffer.clone()],
+                        live_sinks: inner.live_sinks.clone(),
                         metrics: None,
+                        wall_metrics: inner.wall_metrics.clone(),
                         stages: StageAccum::default(),
                         live: inner.live.clone(),
                         heartbeat: inner.heartbeat.clone(),
+                        trace: inner.trace.clone(),
+                        worker,
                         bug_dir: None,
                         meta: inner.meta.clone(),
                         pending_edges: AtomicU64::new(0),
@@ -314,6 +375,9 @@ impl Telemetry {
 impl Inner {
     /// Route one event to sinks and metrics (no live/heartbeat side
     /// effects — used both for fresh emits and for the worker merge replay).
+    /// Live sinks are deliberately excluded: they got the event in real
+    /// time via [`emit_now`](Self::emit_now), so replaying the merge here
+    /// would deliver it twice.
     fn forward(&self, ev: &Event) {
         for s in &self.sinks {
             s.emit(ev);
@@ -322,13 +386,24 @@ impl Inner {
             m.observe_event(ev);
         }
     }
+
+    /// Route a *freshly produced* event: real-time delivery to live sinks
+    /// (SSE) plus the deterministic `forward` path.
+    fn emit_now(&self, ev: &Event) {
+        for s in &self.live_sinks {
+            s.emit(ev);
+        }
+        self.forward(ev);
+    }
 }
 
 /// Builder for an enabled [`Telemetry`] handle.
 #[derive(Default)]
 pub struct TelemetryBuilder {
     sinks: Vec<Arc<dyn EventSink>>,
+    live_sinks: Vec<Arc<dyn EventSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    trace: Option<Arc<TraceCollector>>,
     heartbeat_workers: Option<usize>,
     bug_dir: Option<PathBuf>,
     meta: Meta,
@@ -351,8 +426,23 @@ impl TelemetryBuilder {
         self
     }
 
+    /// Attach a real-time sink (e.g. [`BroadcastSink`] for `/events` SSE).
+    /// Shared with worker children and fed as events happen — a lossy live
+    /// view outside the deterministic merge-replay path.
+    pub fn live_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.live_sinks.push(sink);
+        self
+    }
+
     pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Record per-stage Chrome-trace spans into `collector` (exported via
+    /// [`TraceCollector::write_chrome_trace`] at end of campaign).
+    pub fn trace(mut self, collector: Arc<TraceCollector>) -> Self {
+        self.trace = Some(collector);
         self
     }
 
@@ -378,10 +468,14 @@ impl TelemetryBuilder {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 sinks: self.sinks,
+                live_sinks: self.live_sinks,
+                wall_metrics: self.metrics.clone(),
                 metrics: self.metrics,
                 stages: StageAccum::default(),
                 live: Arc::new(LiveCounters::new()),
                 heartbeat: self.heartbeat_workers.map(|w| Arc::new(Heartbeat::new(w))),
+                trace: self.trace,
+                worker: 0,
                 bug_dir: self.bug_dir,
                 meta: self.meta,
                 pending_edges: AtomicU64::new(0),

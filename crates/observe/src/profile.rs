@@ -34,9 +34,11 @@ pub enum Stage {
     /// Logic-bug oracle checks (TLP / NoREC / differential replays) plus
     /// logic-bug reduction.
     Oracle,
+    /// Campaign snapshot serialization + checkpoint file I/O.
+    Checkpoint,
 }
 
-pub const STAGE_COUNT: usize = 7;
+pub const STAGE_COUNT: usize = 8;
 
 impl Stage {
     pub const ALL: [Stage; STAGE_COUNT] = [
@@ -47,6 +49,7 @@ impl Stage {
         Stage::Dedup,
         Stage::Feedback,
         Stage::Oracle,
+        Stage::Checkpoint,
     ];
 
     pub fn name(self) -> &'static str {
@@ -58,6 +61,7 @@ impl Stage {
             Stage::Dedup => "dedup",
             Stage::Feedback => "feedback",
             Stage::Oracle => "oracle",
+            Stage::Checkpoint => "checkpoint",
         }
     }
 
@@ -70,6 +74,7 @@ impl Stage {
             Stage::Dedup => 4,
             Stage::Feedback => 5,
             Stage::Oracle => 6,
+            Stage::Checkpoint => 7,
         }
     }
 

@@ -1,0 +1,277 @@
+//! AFL-plot-data-style time-series recorder.
+//!
+//! A background thread samples the shared [`LiveCounters`] at a fixed
+//! cadence and appends one CSV row per sample to `plot_data.csv` (flushed
+//! per row, so the file is tail-able during the run). [`finish`] takes one
+//! final sample, then writes a JSON variant (`plot_data.json`) consumed by
+//! `scripts/render_experiments.py`.
+//!
+//! The recorder is a pure *reader* of racy-relaxed live counters: it never
+//! touches campaign state, RNG streams, or case ordering, so enabling it
+//! cannot perturb results. Rows are monotone in time (monotonic clock) and
+//! in `branches` (the gauge is only raised during a run).
+
+use crate::heartbeat::LiveCounters;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Column order for both the CSV header and the JSON `rows` arrays.
+pub const COLUMNS: [&str; 10] = [
+    "t_s",
+    "execs",
+    "execs_per_sec",
+    "branches",
+    "corpus",
+    "queued",
+    "validity_pct",
+    "bugs",
+    "logic_bugs",
+    "aborted",
+];
+
+#[derive(Clone, Copy, Debug)]
+struct Row {
+    t_s: f64,
+    execs: u64,
+    execs_per_sec: f64,
+    branches: u64,
+    corpus: u64,
+    queued: u64,
+    validity_pct: f64,
+    bugs: u64,
+    logic_bugs: u64,
+    aborted: u64,
+}
+
+impl Row {
+    fn csv(&self) -> String {
+        format!(
+            "{:.3},{},{:.1},{},{},{},{:.2},{},{},{}\n",
+            self.t_s,
+            self.execs,
+            self.execs_per_sec,
+            self.branches,
+            self.corpus,
+            self.queued,
+            self.validity_pct,
+            self.bugs,
+            self.logic_bugs,
+            self.aborted
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "[{:.3},{},{:.1},{},{},{},{:.2},{},{},{}]",
+            self.t_s,
+            self.execs,
+            self.execs_per_sec,
+            self.branches,
+            self.corpus,
+            self.queued,
+            self.validity_pct,
+            self.bugs,
+            self.logic_bugs,
+            self.aborted
+        )
+    }
+}
+
+struct RecorderState {
+    out: Option<BufWriter<File>>,
+    rows: Vec<Row>,
+    /// `(t_s, execs)` of the previous sample, for the execs/s delta.
+    last: (f64, u64),
+}
+
+struct Shared {
+    live: Arc<LiveCounters>,
+    start: Instant,
+    state: Mutex<RecorderState>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn sample(&self) {
+        let t_s = self.start.elapsed().as_secs_f64();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let execs = self.live.execs();
+        let (t_prev, execs_prev) = state.last;
+        let dt = t_s - t_prev;
+        let execs_per_sec = if dt > 1e-6 { (execs - execs_prev) as f64 / dt } else { 0.0 };
+        let row = Row {
+            t_s,
+            execs,
+            execs_per_sec,
+            branches: self.live.branches(),
+            corpus: self.live.corpus(),
+            queued: self.live.queued(),
+            validity_pct: self.live.validity_pct(),
+            bugs: self.live.bugs(),
+            logic_bugs: self.live.logic_bugs(),
+            aborted: self.live.cases_aborted(),
+        };
+        state.last = (t_s, execs);
+        if let Some(w) = state.out.as_mut() {
+            // Write + flush per row so the CSV is live-tailable; on disk
+            // trouble drop the writer and keep sampling into memory.
+            if w.write_all(row.csv().as_bytes()).and_then(|_| w.flush()).is_err() {
+                state.out = None;
+            }
+        }
+        state.rows.push(row);
+    }
+}
+
+/// Background plot-data recorder. Construct with [`start`](Self::start),
+/// stop with [`finish`](Self::finish) (also called on drop).
+pub struct TimeSeriesRecorder {
+    shared: Arc<Shared>,
+    csv_path: PathBuf,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TimeSeriesRecorder {
+    /// Start sampling `live` every `interval_ms` into `csv_path` (created,
+    /// parents included; header + an immediate t≈0 row are written up
+    /// front, so even sub-interval campaigns produce a non-trivial file).
+    pub fn start(
+        csv_path: &Path,
+        interval_ms: u64,
+        live: Arc<LiveCounters>,
+    ) -> std::io::Result<Self> {
+        if let Some(parent) = csv_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut out = BufWriter::new(File::create(csv_path)?);
+        out.write_all(format!("{}\n", COLUMNS.join(",")).as_bytes())?;
+        let shared = Arc::new(Shared {
+            live,
+            start: Instant::now(),
+            state: Mutex::new(RecorderState { out: Some(out), rows: Vec::new(), last: (0.0, 0) }),
+            stop: AtomicBool::new(false),
+        });
+        shared.sample(); // t≈0 baseline row
+        let interval = Duration::from_millis(interval_ms.max(10));
+        let bg = shared.clone();
+        let thread = std::thread::Builder::new().name("lego-plot".into()).spawn(move || {
+            // Poll the stop flag at a finer grain than the sample
+            // interval so finish() never waits a full cadence.
+            let tick = interval.min(Duration::from_millis(50));
+            let mut since_sample = Duration::ZERO;
+            while !bg.stop.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                since_sample += tick;
+                if since_sample >= interval {
+                    since_sample = Duration::ZERO;
+                    bg.sample();
+                }
+            }
+        })?;
+        Ok(Self { shared, csv_path: csv_path.to_path_buf(), thread: Some(thread) })
+    }
+
+    /// Path of the JSON variant written by [`finish`]: `plot_data.csv` →
+    /// `plot_data.json`.
+    pub fn json_path(&self) -> PathBuf {
+        self.csv_path.with_extension("json")
+    }
+
+    /// Rows sampled so far (including the t≈0 baseline).
+    pub fn row_count(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).rows.len()
+    }
+
+    /// Stop the sampler, take a final row, and write the JSON variant.
+    pub fn finish(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return; // already finished
+        };
+        self.shared.stop.store(true, Ordering::Relaxed);
+        let _ = thread.join();
+        self.shared.sample(); // closing row
+        let state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut json = String::from("{\"columns\":[");
+        for (i, c) in COLUMNS.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("\"{c}\""));
+        }
+        json.push_str("],\"rows\":[");
+        for (i, row) in state.rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&row.json());
+        }
+        json.push_str("]}");
+        let _ = std::fs::write(self.json_path(), json);
+    }
+}
+
+impl Drop for TimeSeriesRecorder {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_monotone_rows_and_json_variant() {
+        let dir = std::env::temp_dir().join("lego_observe_plot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let live = Arc::new(LiveCounters::new());
+        let csv = dir.join("plot_data.csv");
+        let mut rec = TimeSeriesRecorder::start(&csv, 20, live.clone()).unwrap();
+        live.record_exec(0, 3, 1);
+        live.raise_branches(10);
+        std::thread::sleep(Duration::from_millis(80));
+        live.record_exec(0, 2, 0);
+        live.raise_branches(25);
+        rec.finish();
+        assert!(rec.row_count() >= 2, "want baseline + closing row");
+
+        let text = std::fs::read_to_string(&csv).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), COLUMNS.join(","));
+        let rows: Vec<Vec<f64>> =
+            lines.map(|l| l.split(',').map(|v| v.parse().unwrap()).collect()).collect();
+        assert!(rows.len() >= 2);
+        for pair in rows.windows(2) {
+            assert!(pair[1][0] >= pair[0][0], "time not monotone: {pair:?}");
+            assert!(pair[1][3] >= pair[0][3], "branches not monotone: {pair:?}");
+        }
+        let last = rows.last().unwrap();
+        assert_eq!(last[1] as u64, 2, "execs column");
+        assert_eq!(last[3] as u64, 25, "branches column");
+
+        let json = std::fs::read_to_string(rec.json_path()).unwrap();
+        assert!(json.starts_with("{\"columns\":[\"t_s\""));
+        assert!(json.contains("\"rows\":[["));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let dir = std::env::temp_dir().join("lego_observe_plot_idem_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let live = Arc::new(LiveCounters::new());
+        let mut rec = TimeSeriesRecorder::start(&dir.join("plot_data.csv"), 1000, live).unwrap();
+        rec.finish();
+        let rows = rec.row_count();
+        rec.finish(); // drop() will call it a third time
+        assert_eq!(rec.row_count(), rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

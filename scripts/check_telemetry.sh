@@ -42,10 +42,24 @@ if [[ -f "$base.metrics.json" ]]; then
   starts=$(jq -s 'map(select(.type == "ExecStart")) | length' "$log")
   [[ "$execs" == "$starts" ]] || {
     echo "check_telemetry: metrics execs ($execs) != ExecStart events ($starts)" >&2; exit 1; }
+  # The statement-count histogram is fed from ExecEnd events, so its sample
+  # count must equal the exec count; buckets are cumulative (last == count)
+  # and non-decreasing.
+  jq -e --argjson execs "$execs" '
+    .histograms.lego_case_stmts as $h |
+    ($h.count == $execs) and ($h.buckets | last == $execs) and
+    ([range(1; $h.buckets | length) | $h.buckets[.] >= $h.buckets[. - 1]] | all) and
+    ($h.sum >= $h.count)
+  ' "$base.metrics.json" >/dev/null || {
+    echo "check_telemetry: lego_case_stmts histogram inconsistent in $base.metrics.json" >&2; exit 1; }
 fi
 if [[ -f "$base.prom" ]]; then
   grep -q '^lego_execs_total ' "$base.prom" || {
     echo "check_telemetry: $base.prom lacks lego_execs_total" >&2; exit 1; }
+  grep -q '^# TYPE lego_case_stmts histogram' "$base.prom" || {
+    echo "check_telemetry: $base.prom lacks the statement-count histogram" >&2; exit 1; }
+  grep -q '^lego_case_stmts_bucket{le="+Inf"} ' "$base.prom" || {
+    echo "check_telemetry: $base.prom histogram lacks the +Inf bucket" >&2; exit 1; }
 fi
 
 lines=$(wc -l < "$log")

@@ -114,9 +114,49 @@ def len_block():
     return "\n".join(out)
 
 
+def sparkline(values):
+    """Unicode sparkline of a numeric series (empty-safe)."""
+    bars = "▁▂▃▄▅▆▇█"
+    hi = max(values) if values else 0
+    if hi == 0:
+        return ""
+    return "".join(bars[min(int(v / hi * (len(bars) - 1)), len(bars) - 1)]
+                   for v in values)
+
+
+def plot_block():
+    """Time-series summaries from every results/<run>/plot_data.json written
+    by the live monitoring plane (`--serve` / `--plot-data`)."""
+    runs = sorted(RESULTS.glob("*/plot_data.json"))
+    if not runs:
+        return None
+    out = ["### Measured — campaign time series (monitoring plane)",
+           "",
+           "| run | duration | execs | branches | peak execs/s | coverage over time |",
+           "|---|---|---|---|---|---|"]
+    for path in runs:
+        with open(path) as fh:
+            data = json.load(fh)
+        cols = {name: i for i, name in enumerate(data["columns"])}
+        rows = data["rows"]
+        if not rows:
+            continue
+        last = rows[-1]
+        branches = [r[cols["branches"]] for r in rows]
+        peak = max(r[cols["execs_per_sec"]] for r in rows)
+        out.append(
+            f"| {path.parent.name} | {last[cols['t_s']]:.1f}s "
+            f"| {int(last[cols['execs']])} | {int(last[cols['branches']])} "
+            f"| {peak:.0f} | `{sparkline(branches)}` |")
+    return "\n".join(out)
+
+
 def main():
     blocks = [fig9_block(), table1_block(), table2_block(), table3_block(),
               table4_block(), len_block()]
+    plots = plot_block()
+    if plots:
+        blocks.append(plots)
     measured = "\n\n".join(blocks)
     path = ROOT / "EXPERIMENTS.md"
     text = path.read_text()

@@ -3,7 +3,7 @@
 //! ```text
 //! lego_cli fuzz <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S]
 //!               [--out DIR] [--corpus DIR]   # --corpus: resume from saved seeds
-//!               [--telemetry PATH] [--heartbeat] [--oracles[=LIST]]
+//!               [--telemetry PATH] [--heartbeat] [--oracles[=LIST]] [--wal-dir DIR]
 //!               [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]
 //!               [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
 //! lego_cli replay <pg|mysql|maria|comdb2> <script.sql>
@@ -24,9 +24,15 @@
 //!
 //! `--oracles` enables the wrong-result correctness oracles (TLP, NoREC and
 //! cross-dialect differential replay) on every corpus-accepted case;
-//! `--oracles=tlp,norec,differential` selects a subset. Deduplicated logic
-//! bugs are reported next to crash bugs and written as reproducers with
-//! `--out`.
+//! `--oracles=tlp,norec,differential,recovery` selects a subset. The
+//! `recovery` durability oracle is opt-in only: it journals every statement
+//! to a write-ahead log, simulates a crash at a deterministic mid-sequence
+//! point (clean record boundary and torn mid-record truncation), replays the
+//! log into a fresh engine, and reports any post-recovery state divergence.
+//! `--wal-dir DIR` (or `LEGO_WAL_DIR`) chooses where the per-worker WAL
+//! files live (default: a per-process temp directory). Deduplicated logic
+//! and durability bugs are reported next to crash bugs and written as
+//! reproducers with `--out`.
 //!
 //! A `fuzz --out DIR` run writes `campaign.json`, one reduced reproducer per
 //! bug, and the retained seed corpus under `DIR/corpus/`; a later run with
@@ -39,7 +45,7 @@
 //! interrupted campaign and produces the byte-identical deterministic
 //! report of an uninterrupted run.
 
-use lego::campaign::{run_campaign_resilient, Budget, FuzzEngine};
+use lego::campaign::{run_campaign_durable, Budget, FuzzEngine};
 use lego::checkpoint::{load_campaign_checkpoint, CheckpointCfg};
 use lego::corpus_io::{load_corpus, save_corpus};
 use lego::fuzzer::{Config, LegoFuzzer};
@@ -64,7 +70,7 @@ fn dialect_of(arg: &str) -> Option<Dialect> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat] [--oracles[=tlp,norec,differential]]\n                  [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
+        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat]\n                  [--oracles[=tlp,norec,differential,recovery]] [--wal-dir DIR]\n                  [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
     );
     ExitCode::from(2)
 }
@@ -93,6 +99,8 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         std::env::var("LEGO_TELEMETRY").ok().filter(|p| !p.is_empty()).map(PathBuf::from);
     let mut heartbeat = false;
     let mut oracles = OracleConfig::disabled();
+    let mut wal_dir: Option<PathBuf> =
+        std::env::var("LEGO_WAL_DIR").ok().filter(|p| !p.is_empty()).map(PathBuf::from);
     let mut serve: Option<String> = std::env::var("LEGO_SERVE").ok().filter(|a| !a.is_empty());
     let mut trace: Option<PathBuf> =
         std::env::var("LEGO_TRACE").ok().filter(|p| !p.is_empty()).map(PathBuf::from);
@@ -169,6 +177,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 oracles = parse_oracles(&spec["--oracles=".len()..]);
                 i += 1;
             }
+            Some("--wal-dir") => {
+                wal_dir = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some(spec) if spec.starts_with("--wal-dir=") => {
+                wal_dir = Some(PathBuf::from(&spec["--wal-dir=".len()..]));
+                i += 1;
+            }
             Some(other) => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -176,6 +192,22 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             None => break,
         }
     }
+    // Hidden smoke-test hook: `LEGO_PLANT_FAULT=wal-drop-last` plants the
+    // torn-write fault so scripts/check_durability.sh can validate the whole
+    // detect→dedup→reduce→artifact pipeline against a binary that is
+    // actually wrong. Deliberately env-only (not a flag): it is never part
+    // of a real campaign, and the warning keeps an inherited env var loud.
+    let _fault_guard = match std::env::var("LEGO_PLANT_FAULT").ok().as_deref() {
+        Some("wal-drop-last") => {
+            eprintln!("WARNING: planted fault 'wal-drop-last' active (LEGO_PLANT_FAULT)");
+            Some(lego_dbms::faults::FaultGuard::enable_wal_drops_last_record())
+        }
+        Some(other) if !other.is_empty() => {
+            eprintln!("unknown LEGO_PLANT_FAULT '{other}' (supported: wal-drop-last)");
+            return ExitCode::from(2);
+        }
+        _ => None,
+    };
     println!("fuzzing {} with {fuzzer} for {units} units (seed {seed})…", dialect.name());
     let mut engine: Box<dyn FuzzEngine> = match &corpus_dir {
         Some(dir) if fuzzer == "LEGO" => {
@@ -204,7 +236,15 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         if oracles.differential {
             kinds.push("differential");
         }
+        if oracles.recovery {
+            kinds.push("recovery");
+        }
         println!("correctness oracles enabled: {}", kinds.join(", "));
+        if oracles.recovery {
+            if let Some(dir) = &wal_dir {
+                println!("recovery-oracle WAL directory: {}", dir.display());
+            }
+        }
     }
     // Checkpoint/resume wiring. A --resume directory is also where further
     // checkpoints go (unless --checkpoint overrides it), so a run can be
@@ -259,13 +299,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         plot_every_ms,
         run_name: format!("fuzz_{}", dialect.name()),
     });
-    let stats = match run_campaign_resilient(
+    let stats = match run_campaign_durable(
         engine.as_mut(),
         dialect,
         Budget::units(units),
         &guard.tel,
         oracles,
         &ckpt,
+        wal_dir.as_deref(),
     ) {
         Ok(stats) => stats,
         Err(e) => {
@@ -295,6 +336,10 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     }
     if oracles.enabled() {
         println!("oracle checks: {} | logic bugs: {}", stats.oracle_checks, stats.logic_bugs.len());
+        if oracles.recovery {
+            // Kept on its own line: tooling scrapes the `oracle checks:` line.
+            println!("durability bugs: {}", stats.durability_bugs);
+        }
         for lb in &stats.logic_bugs {
             println!(
                 "  [{}] {} at exec #{}: {}",

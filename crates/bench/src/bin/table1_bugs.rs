@@ -37,17 +37,29 @@ fn main() {
     let mut guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
     let oracles = cli.oracles;
+    // Grid cells run concurrently in one process, so each gets its own WAL
+    // subdirectory (the recovery oracle journals per worker index, and every
+    // serial cell is worker 0). The WAL location never influences findings.
+    let wal_base = oracles.recovery.then(|| {
+        cli.wal_dir.as_ref().map(std::path::PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("lego-wal-{}", std::process::id()))
+        })
+    });
     let jobs: Vec<_> = specs
         .iter()
         .map(|&(dialect, s)| {
+            let cell_wal = wal_base
+                .as_ref()
+                .map(|base| base.join(format!("{}_s{s}", dialect.name().to_lowercase())));
             move || {
-                campaign_with_oracles(
+                campaign_durable(
                     "LEGO",
                     dialect,
                     units,
                     DEFAULT_SEED + s as u64 * 7717,
                     tel,
                     oracles,
+                    cell_wal.as_deref(),
                 )
             }
         })
@@ -100,6 +112,12 @@ fn main() {
             "Correctness oracles: {checks} checks, {logic} wrong-result findings \
              (0 expected on the clean engine)."
         );
+        if oracles.recovery {
+            let durability: usize = all_stats.iter().map(|s| s.durability_bugs).sum();
+            println!(
+                "Durability: {durability} recovery findings (0 expected on the clean engine)."
+            );
+        }
     }
     for (d, n) in &per_dbms {
         let planted = match d.as_str() {

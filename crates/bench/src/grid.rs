@@ -77,8 +77,11 @@ where
 ///   to the log (see [`crate::build_telemetry`]).
 /// - `--heartbeat` — ~1 Hz live status line on stderr.
 /// - `--oracles[=LIST]` — enable the correctness oracles. Bare `--oracles`
-///   turns on all three; `--oracles=tlp,norec,differential` selects a
-///   subset.
+///   turns on the three logic oracles; `--oracles=tlp,norec,differential,recovery`
+///   selects a subset (the recovery durability oracle is opt-in only).
+/// - `--wal-dir PATH` / `--wal-dir=PATH` — directory for the per-worker
+///   write-ahead-log files used by the recovery oracle; falls back to
+///   `LEGO_WAL_DIR`, then to a per-process temp directory.
 /// - `--serve ADDR` / `--serve=ADDR` — live monitoring HTTP server
 ///   (`/metrics`, `/status`, `/events`, `/healthz`); falls back to
 ///   `LEGO_SERVE`. Port `0` picks a free port (printed at startup).
@@ -97,6 +100,8 @@ pub struct Cli {
     pub heartbeat: bool,
     /// Correctness-oracle selection (disabled unless `--oracles` is given).
     pub oracles: lego::OracleConfig,
+    /// WAL directory for the recovery oracle (`--wal-dir`/`LEGO_WAL_DIR`).
+    pub wal_dir: Option<String>,
     /// Monitoring-server listen address, when `--serve`/`LEGO_SERVE` given.
     pub serve: Option<String>,
     /// Chrome-trace output path, when `--trace`/`LEGO_TRACE` given.
@@ -108,8 +113,10 @@ pub struct Cli {
 }
 
 /// Parse an `--oracles` value: a comma-separated subset of
-/// `tlp`/`norec`/`differential` (`diff` accepted). Unknown names are
-/// ignored rather than fatal — experiment binaries treat flags leniently.
+/// `tlp`/`norec`/`differential`/`recovery` (`diff` accepted). `all` means
+/// the three logic oracles — the recovery durability oracle is only enabled
+/// when named explicitly. Unknown names are ignored rather than fatal —
+/// experiment binaries treat flags leniently.
 pub fn parse_oracles(spec: &str) -> lego::OracleConfig {
     let mut cfg = lego::OracleConfig::disabled();
     for name in spec.split(',') {
@@ -117,7 +124,12 @@ pub fn parse_oracles(spec: &str) -> lego::OracleConfig {
             "tlp" => cfg.tlp = true,
             "norec" => cfg.norec = true,
             "differential" | "diff" => cfg.differential = true,
-            "all" => cfg = lego::OracleConfig::all(),
+            "recovery" => cfg.recovery = true,
+            "all" => {
+                let recovery = cfg.recovery;
+                cfg = lego::OracleConfig::all();
+                cfg.recovery = recovery;
+            }
             _ => {}
         }
     }
@@ -135,6 +147,7 @@ impl Cli {
         let mut telemetry = None;
         let mut heartbeat = false;
         let mut oracles = lego::OracleConfig::disabled();
+        let mut wal_dir = None;
         let mut serve = None;
         let mut trace = None;
         let mut plot_data = None;
@@ -155,6 +168,10 @@ impl Cli {
                 oracles = lego::OracleConfig::all();
             } else if let Some(v) = a.strip_prefix("--oracles=") {
                 oracles = parse_oracles(v);
+            } else if a == "--wal-dir" {
+                wal_dir = args.next();
+            } else if let Some(v) = a.strip_prefix("--wal-dir=") {
+                wal_dir = Some(v.to_string());
             } else if a == "--serve" {
                 serve = args.next();
             } else if let Some(v) = a.strip_prefix("--serve=") {
@@ -183,6 +200,9 @@ impl Cli {
                 .filter(|p| !p.is_empty()),
             heartbeat,
             oracles,
+            wal_dir: wal_dir
+                .or_else(|| std::env::var("LEGO_WAL_DIR").ok())
+                .filter(|p| !p.is_empty()),
             serve: serve.or_else(|| std::env::var("LEGO_SERVE").ok()).filter(|a| !a.is_empty()),
             trace: trace.or_else(|| std::env::var("LEGO_TRACE").ok()).filter(|p| !p.is_empty()),
             plot_data: plot_data.filter(|p| !p.is_empty()),

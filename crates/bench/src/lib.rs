@@ -8,9 +8,11 @@
 pub mod grid;
 
 use lego::campaign::{
-    run_campaign_observed, run_campaign_parallel_observed, run_campaign_parallel_with_oracles,
-    run_campaign_with_oracles, Budget, CampaignStats, ParallelOpts,
+    run_campaign_durable, run_campaign_observed, run_campaign_parallel_durable,
+    run_campaign_parallel_observed, run_campaign_parallel_with_oracles, run_campaign_with_oracles,
+    Budget, CampaignStats, ParallelOpts,
 };
+use lego::checkpoint::CheckpointCfg;
 use lego::observe::http::MonitorConfig;
 use lego::observe::{
     BroadcastSink, MetricsRegistry, MonitorServer, Telemetry, TimeSeriesRecorder, TraceCollector,
@@ -74,6 +76,31 @@ pub fn campaign_with_oracles(
     run_campaign_with_oracles(engine.as_mut(), dialect, Budget::units(units), tel, oracles)
 }
 
+/// [`campaign_with_oracles`] plus an explicit WAL directory for the
+/// recovery durability oracle (`oracles.recovery`); `None` journals under a
+/// per-process temp directory. The WAL location never influences findings.
+pub fn campaign_durable(
+    fuzzer: &str,
+    dialect: Dialect,
+    units: usize,
+    seed: u64,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    wal_dir: Option<&Path>,
+) -> CampaignStats {
+    let mut engine = engine_by_name(fuzzer, dialect, seed);
+    run_campaign_durable(
+        engine.as_mut(),
+        dialect,
+        Budget::units(units),
+        tel,
+        oracles,
+        &CheckpointCfg::disabled(),
+        wal_dir,
+    )
+    .expect("durable campaign without checkpointing cannot fail")
+}
+
 /// Run one fuzzer×dialect campaign sharded over `workers` threads. Worker
 /// `w` gets seed `seed ^ w·φ`, so worker 0 reproduces the serial stream and
 /// `workers == 1` is byte-identical to [`campaign`].
@@ -129,6 +156,37 @@ pub fn campaign_parallel_with_oracles(
         tel,
         oracles,
     )
+}
+
+/// [`campaign_parallel_with_oracles`] plus an explicit WAL directory for the
+/// recovery oracle. Each worker journals to its own `worker{NN}.wal` file
+/// under `wal_dir` and derives crash points from case content only, so the
+/// N-worker run stays byte-identical to the serial one.
+#[allow(clippy::too_many_arguments)]
+pub fn campaign_parallel_durable(
+    fuzzer: &str,
+    dialect: Dialect,
+    units: usize,
+    seed: u64,
+    workers: usize,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    wal_dir: Option<&Path>,
+) -> CampaignStats {
+    let fuzzer = fuzzer.to_string();
+    run_campaign_parallel_durable(
+        move |w| {
+            engine_by_name(&fuzzer, dialect, seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        },
+        dialect,
+        Budget::units(units),
+        ParallelOpts { workers, ..ParallelOpts::default() },
+        tel,
+        oracles,
+        &CheckpointCfg::disabled(),
+        wal_dir,
+    )
+    .expect("durable campaign without checkpointing cannot fail")
 }
 
 /// A configured telemetry handle plus the monitoring-plane resources that

@@ -10,11 +10,12 @@ use crate::checkpoint::{
 use lego_coverage::{CoverageSink, GlobalCoverage};
 use lego_dbms::{CrashReport, Dbms, ExecReport, PANIC_BUG_ID};
 use lego_observe::{Event, Stage, StageProfile, Telemetry};
-use lego_oracle::{reduce::reduce_logic_bug, LogicBug, OracleConfig, OracleSuite};
+use lego_oracle::{reduce::reduce_logic_bug, LogicBug, OracleConfig, OracleKind, OracleSuite};
 use lego_sqlast::{Dialect, TestCase};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -136,9 +137,13 @@ pub struct CampaignStats {
     /// Deduplicated oracle-flagged wrong-result bugs in discovery order
     /// (empty unless the campaign ran with oracles enabled).
     pub logic_bugs: Vec<LogicBugFinding>,
-    /// Oracle comparisons performed (TLP + NoREC + differential; 0 with
-    /// oracles disabled).
+    /// Oracle comparisons performed (TLP + NoREC + differential + recovery;
+    /// 0 with oracles disabled).
     pub oracle_checks: usize,
+    /// Deduplicated recovery-oracle durability findings — the subset of
+    /// `logic_bugs` with `oracle == Recovery` (0 unless the campaign ran
+    /// with `--oracles=recovery`).
+    pub durability_bugs: usize,
     /// Type-affinities contained in the engine's final corpus (Table II).
     pub corpus_affinities: usize,
     pub corpus_size: usize,
@@ -216,9 +221,9 @@ struct OracleRuntime {
 }
 
 impl OracleRuntime {
-    fn new(dialect: Dialect, cfg: OracleConfig) -> Self {
+    fn new(dialect: Dialect, cfg: OracleConfig, wal_dir: Option<&Path>, worker: usize) -> Self {
         Self {
-            suite: cfg.enabled().then(|| OracleSuite::new(dialect, cfg)),
+            suite: cfg.enabled().then(|| OracleSuite::with_wal(dialect, cfg, wal_dir, worker)),
             seen: HashMap::new(),
             findings: Vec::new(),
             checks: 0,
@@ -228,25 +233,39 @@ impl OracleRuntime {
     /// Run the configured oracles over one corpus-accepted case. New
     /// (fingerprint-deduplicated) findings are reduced immediately, like
     /// crash triage. Returns the statement units consumed, which the caller
-    /// charges to the campaign budget.
+    /// charges to the campaign budget. The logic oracles are timed as
+    /// [`Stage::Oracle`], the recovery oracle as [`Stage::Recovery`].
     fn check(&mut self, case: &TestCase, worker: usize, exec: usize, tel: &Telemetry) -> usize {
         let Some(suite) = self.suite.as_mut() else { return 0 };
-        let out = tel.time(Stage::Oracle, || suite.check_case(case));
+        let mut out = tel.time(Stage::Oracle, || suite.check_case_logic(case));
+        let rec = tel.time(Stage::Recovery, || suite.check_case_recovery(case));
+        out.bugs.extend(rec.bugs);
+        out.checks += rec.checks;
+        out.execs += rec.execs;
         let mut spent = out.execs;
         self.checks += out.checks;
         for bug in out.bugs {
             let fp = bug.fingerprint();
             if let std::collections::hash_map::Entry::Vacant(e) = self.seen.entry(fp) {
                 e.insert(exec);
-                let (reduced, evals) =
-                    tel.time(Stage::Oracle, || reduce_logic_bug(case, suite, &bug));
+                let durability = bug.oracle == OracleKind::Recovery;
+                let stage = if durability { Stage::Recovery } else { Stage::Oracle };
+                let (reduced, evals) = tel.time(stage, || reduce_logic_bug(case, suite, &bug));
                 spent += evals;
-                tel.emit(|| Event::LogicBugFound {
-                    worker,
-                    exec: exec as u64,
-                    oracle: bug.oracle.name().to_string(),
-                    fingerprint: fp,
-                });
+                if durability {
+                    tel.emit(|| Event::DurabilityBugFound {
+                        worker,
+                        exec: exec as u64,
+                        fingerprint: fp,
+                    });
+                } else {
+                    tel.emit(|| Event::LogicBugFound {
+                        worker,
+                        exec: exec as u64,
+                        oracle: bug.oracle.name().to_string(),
+                        fingerprint: fp,
+                    });
+                }
                 self.findings.push(LogicBugFinding {
                     bug,
                     first_exec: exec,
@@ -441,7 +460,24 @@ pub fn run_campaign_resilient(
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
 ) -> Result<CampaignStats, String> {
-    let out = run_campaign_resilient_inner(engine, dialect, budget, tel, oracles, ckpt);
+    run_campaign_durable(engine, dialect, budget, tel, oracles, ckpt, None)
+}
+
+/// [`run_campaign_resilient`] plus an explicit WAL directory for the
+/// recovery oracle (`oracles.recovery`). With `wal_dir == None` the oracle
+/// writes under the system temp dir; the WAL path never influences findings,
+/// so the two spellings are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_durable(
+    engine: &mut dyn FuzzEngine,
+    dialect: Dialect,
+    budget: Budget,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
+) -> Result<CampaignStats, String> {
+    let out = run_campaign_resilient_inner(engine, dialect, budget, tel, oracles, ckpt, wal_dir);
     if out.is_err() {
         // A dying campaign still owes the operator a closing heartbeat line
         // and flushed sinks (the success path does this in finish_telemetry).
@@ -450,6 +486,7 @@ pub fn run_campaign_resilient(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_campaign_resilient_inner(
     engine: &mut dyn FuzzEngine,
     dialect: Dialect,
@@ -457,13 +494,14 @@ fn run_campaign_resilient_inner(
     tel: &Telemetry,
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
 ) -> Result<CampaignStats, String> {
     let start = Instant::now();
     engine.attach_telemetry(tel.clone());
     let mut global = GlobalCoverage::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
-    let mut oracle_rt = OracleRuntime::new(dialect, oracles);
+    let mut oracle_rt = OracleRuntime::new(dialect, oracles, wal_dir, 0);
     let mut curve = Vec::with_capacity(budget.snapshots + 1);
     let every = (budget.units / budget.snapshots.max(1)).max(1);
 
@@ -512,7 +550,7 @@ fn run_campaign_resilient_inner(
                 workers: 1,
                 sync_every: 0,
                 every_units: ckpt.every_units,
-                oracles: (oracles.tlp, oracles.norec, oracles.differential),
+                oracles: (oracles.tlp, oracles.norec, oracles.differential, oracles.recovery),
             },
         )
         .map_err(|e| format!("write checkpoint meta: {e}"))?;
@@ -660,6 +698,7 @@ fn run_campaign_resilient_inner(
     curve.push((units, global.edges_covered()));
 
     let corpus = engine.corpus();
+    let durability_bugs = count_durability(&oracle_rt.findings);
     let mut stats = CampaignStats {
         fuzzer: engine.name().to_string(),
         dialect,
@@ -676,6 +715,7 @@ fn run_campaign_resilient_inner(
         bugs,
         logic_bugs: oracle_rt.findings,
         oracle_checks: oracle_rt.checks,
+        durability_bugs,
         wall_ms: 0,
         execs_per_sec: 0.0,
         workers: 1,
@@ -684,6 +724,11 @@ fn run_campaign_resilient_inner(
     stats.stamp_timing(start, 1);
     finish_telemetry(tel, &stats);
     Ok(stats)
+}
+
+/// How many findings are recovery-oracle durability bugs.
+fn count_durability(findings: &[LogicBugFinding]) -> usize {
+    findings.iter().filter(|f| f.bug.oracle == OracleKind::Recovery).count()
 }
 
 /// Hash-map dedup state as a deterministically ordered pair list.
@@ -800,6 +845,7 @@ fn run_worker(
     tel: &Telemetry,
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
     resume: Option<&WorkerResume>,
 ) -> Result<WorkerOut, String> {
     let Shard { worker, sub_units, snapshots, sync_every } = shard_cfg;
@@ -807,7 +853,7 @@ fn run_worker(
     let mut shard = GlobalCoverage::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
-    let mut oracle_rt = OracleRuntime::new(dialect, oracles);
+    let mut oracle_rt = OracleRuntime::new(dialect, oracles, wal_dir, worker);
     let mut snaps: Vec<(usize, Vec<(usize, u8)>)> = Vec::with_capacity(snapshots);
     let threshold = |i: usize| sub_units * i / snapshots.max(1);
 
@@ -1113,8 +1159,32 @@ pub fn run_campaign_parallel_resilient<F>(
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
 {
-    let out =
-        run_campaign_parallel_resilient_inner(factory, dialect, budget, opts, tel, oracles, ckpt);
+    run_campaign_parallel_durable(factory, dialect, budget, opts, tel, oracles, ckpt, None)
+}
+
+/// [`run_campaign_parallel_resilient`] plus an explicit WAL directory for
+/// the recovery oracle — the parallel counterpart of
+/// [`run_campaign_durable`]. Each worker journals to its own
+/// `worker{NN}.wal` file under `wal_dir` and derives crash points from case
+/// content only, so serial and N-worker recovery campaigns remain
+/// byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_parallel_durable<F>(
+    factory: F,
+    dialect: Dialect,
+    budget: Budget,
+    opts: ParallelOpts,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
+) -> Result<CampaignStats, String>
+where
+    F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
+{
+    let out = run_campaign_parallel_resilient_inner(
+        factory, dialect, budget, opts, tel, oracles, ckpt, wal_dir,
+    );
     if out.is_err() {
         // Worker-death and checkpoint-I/O exits still flush the heartbeat
         // and sinks, like the success path's finish_telemetry.
@@ -1123,6 +1193,7 @@ where
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_campaign_parallel_resilient_inner<F>(
     factory: F,
     dialect: Dialect,
@@ -1131,6 +1202,7 @@ fn run_campaign_parallel_resilient_inner<F>(
     tel: &Telemetry,
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
 ) -> Result<CampaignStats, String>
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
@@ -1138,7 +1210,15 @@ where
     let workers = opts.workers.max(1);
     if workers == 1 {
         let mut engine = factory(0);
-        return run_campaign_resilient_inner(engine.as_mut(), dialect, budget, tel, oracles, ckpt);
+        return run_campaign_resilient_inner(
+            engine.as_mut(),
+            dialect,
+            budget,
+            tel,
+            oracles,
+            ckpt,
+            wal_dir,
+        );
     }
 
     let start = Instant::now();
@@ -1168,7 +1248,7 @@ where
                 workers,
                 sync_every: opts.sync_every,
                 every_units: ckpt.every_units,
-                oracles: (oracles.tlp, oracles.norec, oracles.differential),
+                oracles: (oracles.tlp, oracles.norec, oracles.differential, oracles.recovery),
             },
         )
         .map_err(|e| format!("write checkpoint meta: {e}"))?;
@@ -1193,7 +1273,17 @@ where
                         snapshots,
                         sync_every: opts.sync_every,
                     };
-                    run_worker(factory(w), shard, dialect, sink, wtel, oracles, ckpt, resume_w)
+                    run_worker(
+                        factory(w),
+                        shard,
+                        dialect,
+                        sink,
+                        wtel,
+                        oracles,
+                        ckpt,
+                        wal_dir,
+                        resume_w,
+                    )
                 })
             })
             .collect();
@@ -1292,6 +1382,7 @@ where
         cases_aborted: survivors().map(|o| o.cases_aborted).sum(),
         workers_lost,
         bugs,
+        durability_bugs: count_durability(&logic_bugs),
         logic_bugs,
         oracle_checks: survivors().map(|o| o.oracle_checks).sum(),
         wall_ms: 0,

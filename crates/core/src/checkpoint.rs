@@ -28,12 +28,14 @@ use serde::Serialize;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Format version; bumped on any layout change. v2 embeds engine snapshots
-/// whose `executed_ngrams` are packed `u64` keys (see `lego::ngram`); v1
-/// stored them as arrays of kind-code arrays. The read side accepts
+/// Format version; bumped on any layout change. v3 records the recovery
+/// oracle as a fourth `meta.json` oracle flag (older metas parse with it
+/// defaulted off). v2 embeds engine snapshots whose `executed_ngrams` are
+/// packed `u64` keys (see `lego::ngram`); v1 stored them as arrays of
+/// kind-code arrays. The read side accepts
 /// [`MIN_CHECKPOINT_VERSION`]..=[`CHECKPOINT_VERSION`] — v1 checkpoints are
 /// migrated on restore.
-pub const CHECKPOINT_VERSION: u64 = 2;
+pub const CHECKPOINT_VERSION: u64 = 3;
 
 /// Oldest checkpoint format this build can still restore.
 pub const MIN_CHECKPOINT_VERSION: u64 = 1;
@@ -83,8 +85,8 @@ pub struct CheckpointMeta {
     pub workers: usize,
     pub sync_every: usize,
     pub every_units: usize,
-    /// `(tlp, norec, differential)`.
-    pub oracles: (bool, bool, bool),
+    /// `(tlp, norec, differential, recovery)`.
+    pub oracles: (bool, bool, bool, bool),
 }
 
 /// One worker's (or the serial loop's) complete persisted state.
@@ -201,7 +203,9 @@ pub struct ResumeMeta {
     pub workers: usize,
     pub sync_every: usize,
     pub every_units: usize,
-    pub oracles: (bool, bool, bool),
+    /// `(tlp, norec, differential, recovery)`. Pre-v3 metas carry three
+    /// flags; recovery parses as `false`.
+    pub oracles: (bool, bool, bool, bool),
 }
 
 /// Parsed per-worker checkpoint, ready for the campaign runner to apply.
@@ -274,11 +278,19 @@ fn parse_meta(src: &str) -> Result<ResumeMeta, String> {
         return Err(format!("meta.json: unsupported checkpoint version {version}"));
     }
     let oracles = get(&v, "oracles")?;
+    // Pre-v3 metas carry three flags (no recovery oracle yet); v3 carries
+    // four. Older checkpoints resume with recovery off, matching the runs
+    // that produced them.
     let flags = oracles
         .as_array()
-        .filter(|a| a.len() == 3)
-        .ok_or("meta.json: oracles must be a 3-element array")?;
-    let flag = |i: usize| flags[i].as_bool().ok_or("meta.json: oracle flag must be a bool");
+        .filter(|a| a.len() == 3 || a.len() == 4)
+        .ok_or("meta.json: oracles must be a 3- or 4-element array")?;
+    let flag = |i: usize| {
+        if i >= flags.len() {
+            return Ok(false);
+        }
+        flags[i].as_bool().ok_or("meta.json: oracle flag must be a bool")
+    };
     Ok(ResumeMeta {
         fuzzer: get_string(&v, "fuzzer")?,
         dialect: get_string(&v, "dialect")?,
@@ -287,7 +299,7 @@ fn parse_meta(src: &str) -> Result<ResumeMeta, String> {
         workers: get_usize(&v, "workers")?,
         sync_every: get_usize(&v, "sync_every")?,
         every_units: get_usize(&v, "every_units")?,
-        oracles: (flag(0)?, flag(1)?, flag(2)?),
+        oracles: (flag(0)?, flag(1)?, flag(2)?, flag(3)?),
     })
 }
 
@@ -494,7 +506,7 @@ mod tests {
             workers: 2,
             sync_every: 16,
             every_units: 2_000,
-            oracles: (false, true, false),
+            oracles: (false, true, false, false),
         };
         write_meta(&dir, &meta).unwrap();
         // Worker 0 reached seq 3; worker 1 only seq 2 — the consistent
@@ -506,7 +518,7 @@ mod tests {
         }
         let resume = load_campaign_checkpoint(&dir).unwrap();
         assert_eq!(resume.meta.workers, 2);
-        assert_eq!(resume.meta.oracles, (false, true, false));
+        assert_eq!(resume.meta.oracles, (false, true, false, false));
         assert_eq!(resume.workers.len(), 2);
         assert!(resume.workers.iter().all(|w| w.seq == 2));
         let _ = std::fs::remove_dir_all(&dir);
@@ -524,7 +536,7 @@ mod tests {
             workers: 2,
             sync_every: 16,
             every_units: 1,
-            oracles: (false, false, false),
+            oracles: (false, false, false, false),
         };
         write_meta(&dir, &meta).unwrap();
         write_worker(&dir, &sample_worker(0, 1)).unwrap();

@@ -4,12 +4,15 @@
 //! fault), so these tests coexist with the default multithreaded runner.
 
 use lego::campaign::{
-    run_campaign_parallel_with_oracles, run_campaign_with_oracles, Budget, FuzzEngine, ParallelOpts,
+    run_campaign_durable, run_campaign_parallel_durable, run_campaign_parallel_with_oracles,
+    run_campaign_with_oracles, Budget, FuzzEngine, ParallelOpts,
 };
+use lego::checkpoint::CheckpointCfg;
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego::OracleConfig;
 use lego_observe::Telemetry;
 use lego_sqlast::Dialect;
+use std::path::PathBuf;
 
 fn lego_factory(
     dialect: Dialect,
@@ -85,6 +88,126 @@ fn three_worker_oracle_campaign_is_byte_for_byte_reproducible() {
     let b = run();
     assert_eq!(a.deterministic_json(), b.deterministic_json());
     assert_eq!(a.workers, 3);
+}
+
+/// Fresh per-test WAL directory: concurrent campaigns must never share
+/// `worker00.wal`.
+fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lego_odet_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// All four oracles: the three logic oracles plus recovery.
+fn all_plus_recovery() -> OracleConfig {
+    OracleConfig { recovery: true, ..OracleConfig::all() }
+}
+
+#[test]
+fn serial_recovery_campaign_is_deterministic() {
+    let dir = wal_dir("serial");
+    let run = || {
+        let cfg = Config { rng_seed: 0x0dac1e, ..Config::default() };
+        let mut engine = LegoFuzzer::new(Dialect::Postgres, cfg);
+        run_campaign_durable(
+            &mut engine,
+            Dialect::Postgres,
+            BUDGET,
+            &Telemetry::disabled(),
+            all_plus_recovery(),
+            &CheckpointCfg::disabled(),
+            Some(&dir),
+        )
+        .expect("campaign completes")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    assert!(a.oracle_checks > 0, "campaign never reached an oracle-eligible query");
+    assert_eq!(a.durability_bugs, 0, "clean engine must report no durability bugs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn workers1_recovery_campaign_matches_serial() {
+    let dir = wal_dir("w1");
+    let cfg = Config { rng_seed: 0x5eed, ..Config::default() };
+    let mut engine = LegoFuzzer::new(Dialect::MySql, cfg);
+    let serial = run_campaign_durable(
+        &mut engine,
+        Dialect::MySql,
+        BUDGET,
+        &Telemetry::disabled(),
+        all_plus_recovery(),
+        &CheckpointCfg::disabled(),
+        Some(&dir),
+    )
+    .expect("serial campaign completes");
+    let parallel = run_campaign_parallel_durable(
+        lego_factory(Dialect::MySql, 0x5eed),
+        Dialect::MySql,
+        BUDGET,
+        opts(1),
+        &Telemetry::disabled(),
+        all_plus_recovery(),
+        &CheckpointCfg::disabled(),
+        Some(&dir),
+    )
+    .expect("parallel campaign completes");
+    assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn three_worker_recovery_campaign_is_byte_for_byte_reproducible() {
+    let dir = wal_dir("w3");
+    let run = || {
+        run_campaign_parallel_durable(
+            lego_factory(Dialect::Postgres, 42),
+            Dialect::Postgres,
+            BUDGET,
+            opts(3),
+            &Telemetry::disabled(),
+            all_plus_recovery(),
+            &CheckpointCfg::disabled(),
+            Some(&dir),
+        )
+        .expect("campaign completes")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    assert_eq!(a.workers, 3);
+    // Every worker journaled to its own file.
+    for w in 0..3 {
+        assert!(dir.join(format!("worker{w:02}.wal")).exists(), "worker {w} WAL missing");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_location_never_influences_findings() {
+    // The WAL path is environment, not input: an explicit --wal-dir and the
+    // default temp-dir placement must produce byte-identical reports.
+    let dir = wal_dir("loc");
+    let run = |d: Option<&PathBuf>| {
+        let cfg = Config { rng_seed: 0xd15c, ..Config::default() };
+        let mut engine = LegoFuzzer::new(Dialect::Comdb2, cfg);
+        run_campaign_durable(
+            &mut engine,
+            Dialect::Comdb2,
+            BUDGET,
+            &Telemetry::disabled(),
+            OracleConfig::recovery_only(),
+            &CheckpointCfg::disabled(),
+            d.map(|p| p.as_path()),
+        )
+        .expect("campaign completes")
+    };
+    let explicit = run(Some(&dir));
+    let default = run(None);
+    assert_eq!(explicit.deterministic_json(), default.deterministic_json());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

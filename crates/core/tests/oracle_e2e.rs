@@ -76,7 +76,7 @@ fn injected_logic_bug_is_found_deduped_and_reduced() {
     let _lock = FAULT_LOCK.lock().unwrap();
     let _guard = FaultGuard::enable_where_drops_last_row();
     let mut engine = Replay::new(&[VARIANT_A, VARIANT_B]);
-    let oracles = OracleConfig { tlp: false, norec: true, differential: false };
+    let oracles = OracleConfig { tlp: false, norec: true, differential: false, recovery: false };
     let stats = run_campaign_with_oracles(
         &mut engine,
         Dialect::Postgres,

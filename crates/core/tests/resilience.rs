@@ -20,8 +20,8 @@
 //! in this binary on multiple threads).
 
 use lego::campaign::{
-    run_campaign, run_campaign_parallel_resilient, run_campaign_resilient, Budget, FuzzEngine,
-    ParallelOpts,
+    run_campaign, run_campaign_durable, run_campaign_parallel_resilient, run_campaign_resilient,
+    Budget, FuzzEngine, ParallelOpts,
 };
 use lego::checkpoint::{load_campaign_checkpoint, CheckpointCfg};
 use lego::fuzzer::{Config, LegoFuzzer};
@@ -354,6 +354,63 @@ fn parallel_resume_is_byte_identical_to_uninterrupted_run() {
         "parallel resume diverged from the uninterrupted run"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serial_resume_with_recovery_oracle_is_byte_identical() {
+    // Checkpoint/resume must be WAL-aware: a resumed recovery campaign
+    // re-creates its per-worker WAL from scratch on every oracle check, so
+    // the report is byte-identical to the uninterrupted run even though the
+    // interruption discarded the WAL file mid-flight.
+    let ckpt_dir = tmpdir("recovery_ckpt");
+    let wal_a = tmpdir("recovery_wal_a");
+    let wal_b = tmpdir("recovery_wal_b");
+    let budget = Budget::units(20_000);
+    let cfg = Config { rng_seed: 0x1e60, ..Config::default() };
+    let cadence = 6_000;
+    let oracles = OracleConfig::recovery_only();
+
+    let mut engine = LegoFuzzer::new(Dialect::Postgres, cfg.clone());
+    let full = run_campaign_durable(
+        &mut engine,
+        Dialect::Postgres,
+        budget,
+        &Telemetry::disabled(),
+        oracles,
+        &CheckpointCfg { every_units: cadence, dir: Some(ckpt_dir.clone()), resume: None },
+        Some(&wal_a),
+    )
+    .expect("full run completes");
+
+    // Simulate a crash shortly after the first checkpoint — which also
+    // tears down the WAL directory — then resume into a fresh one.
+    truncate_checkpoints(&ckpt_dir, 0, 1);
+    let _ = std::fs::remove_dir_all(&wal_a);
+    let resume = load_campaign_checkpoint(&ckpt_dir).expect("checkpoint loads");
+    assert_eq!(resume.workers[0].seq, 1);
+    // The checkpoint recorded that the recovery oracle was on.
+    assert_eq!(resume.meta.oracles, (false, false, false, true));
+    let mut fresh = LegoFuzzer::new(Dialect::Postgres, cfg);
+    let resumed = run_campaign_durable(
+        &mut fresh,
+        Dialect::Postgres,
+        budget,
+        &Telemetry::disabled(),
+        oracles,
+        &CheckpointCfg { every_units: cadence, dir: None, resume: Some(resume) },
+        Some(&wal_b),
+    )
+    .expect("resumed run completes");
+
+    assert_eq!(
+        full.deterministic_json(),
+        resumed.deterministic_json(),
+        "recovery-oracle resume diverged from the uninterrupted run"
+    );
+    assert!(full.oracle_checks > 0, "campaign never reached an oracle-eligible query");
+    for dir in [&ckpt_dir, &wal_b] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
 
 #[test]

@@ -6,9 +6,11 @@ use crate::ctx::ExecCtx;
 use crate::exec::Session;
 use crate::limits::{AbortReason, Limits};
 use crate::profile::Profile;
+use crate::wal::Wal;
 use lego_coverage::map::CovMap;
 use lego_coverage::site_id;
 use lego_sqlast::{Dialect, TestCase};
+use std::path::Path;
 
 /// Final outcome of executing one test case.
 #[derive(Clone, Debug)]
@@ -105,6 +107,7 @@ pub struct Dbms {
     poisoned: Option<CrashReport>,
     spare_map: Option<CovMap>,
     limits: Limits,
+    wal: Option<Wal>,
 }
 
 impl Dbms {
@@ -114,6 +117,7 @@ impl Dbms {
             poisoned: None,
             spare_map: None,
             limits: Limits::default(),
+            wal: None,
         }
     }
 
@@ -128,11 +132,63 @@ impl Dbms {
     }
 
     /// Reset to the fresh-instance state in place: empty catalog, default
-    /// session, not poisoned. Equivalent to `*self = Dbms::new(dialect)` but
-    /// without re-deriving the bug oracle or dropping reusable allocations.
+    /// session, not poisoned, no WAL. Equivalent to `*self = Dbms::new(dialect)`
+    /// but without re-deriving the bug oracle or dropping reusable allocations.
     pub fn reset(&mut self) {
         self.session.reset();
         self.poisoned = None;
+        self.wal = None;
+    }
+
+    /// Attach a write-ahead log at `path` (truncating any existing file).
+    /// Every subsequently executed statement is journaled and synced at
+    /// commit boundaries; see [`crate::wal`].
+    pub fn wal_attach(&mut self, path: &Path) -> std::io::Result<()> {
+        self.wal = Some(Wal::create(path)?);
+        Ok(())
+    }
+
+    /// Detach the WAL, leaving the file on disk as-is.
+    pub fn wal_detach(&mut self) {
+        self.wal = None;
+    }
+
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Simulate a crash of this instance: the WAL's unsynced pending tail
+    /// is lost. The in-memory state is left untouched so oracles can still
+    /// compute the expected post-recovery fingerprint from it.
+    pub fn wal_crash(&mut self) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.crash();
+        }
+    }
+
+    /// FNV-1a fingerprint of the *committed* database state: the catalog as
+    /// of the last commit boundary (the transaction snapshot while a
+    /// transaction is open, the live catalog otherwise). This is exactly the
+    /// state a correct engine must reproduce by replaying its synced WAL, so
+    /// it is the recovery oracle's comparison key. Deterministic: every
+    /// catalog container is a `BTreeMap` and the hash walks the derived
+    /// `Debug` rendering.
+    pub fn durable_fingerprint(&self) -> u64 {
+        use std::fmt::Write;
+        struct Fnv(u64);
+        impl std::fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for b in s.bytes() {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let committed = self.session.txn.as_ref().unwrap_or(&self.session.cat);
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        let _ = write!(h, "{committed:?}");
+        h.0
     }
 
     /// Hand back a previously returned coverage map for reuse by the next
@@ -199,6 +255,16 @@ impl Dbms {
                 Err(e) => errors.push(e),
             }
             executed += 1;
+            if let Some(wal) = self.wal.as_mut() {
+                // Journal verbatim (Ok and Err alike — failed statements can
+                // leave partial state); durable only at commit boundaries.
+                // A crashing or aborting statement leaves its record pending,
+                // exactly like a crash before fsync.
+                wal.append(&format!("{stmt};"));
+                if ctx.abort.is_none() && ctx.crash.is_none() && !self.session.in_txn() {
+                    wal.sync();
+                }
+            }
             if let Some(reason) = ctx.abort {
                 // A budget tripped: the harness kills the case (AFL timeout
                 // analogue). The server is *not* poisoned — the next case

@@ -4,7 +4,7 @@
 //! against an engine that is actually wrong, and the campaign supervisor's
 //! panic-isolation/hang-guard paths can only be integration-tested against
 //! an engine that actually panics or hangs. This module provides
-//! process-global switches for all three fault classes:
+//! process-global switches for these fault classes:
 //!
 //! - **wrong result** — the `WHERE` filter drops the last qualifying row:
 //!   the classic shape of an optimizer/scan bug that never crashes and never
@@ -13,7 +13,10 @@
 //!   that tears down the worker thread rather than tripping the bug oracle;
 //! - **engine hang** — `CREATE TRIGGER` spins, burning the per-case row
 //!   budget until the hang guard aborts the case (the deterministic analogue
-//!   of the paper's 23-minute SQUIRREL hang, § II-C3).
+//!   of the paper's 23-minute SQUIRREL hang, § II-C3);
+//! - **torn write** — every WAL sync acknowledges the last pending record
+//!   without writing its bytes: a lost committed write, the durability bug
+//!   shape the recovery oracle (`lego-oracle`) exists to catch.
 //!
 //! The switches are off by default and are only meant to be flipped from
 //! tests (keep fault-enabled tests in their own test binary: the flags are
@@ -26,6 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 static WHERE_DROPS_LAST_ROW: AtomicBool = AtomicBool::new(false);
 static PANIC_ON_CREATE_TRIGGER: AtomicBool = AtomicBool::new(false);
 static SPIN_ON_CREATE_TRIGGER: AtomicBool = AtomicBool::new(false);
+static WAL_DROPS_LAST_RECORD: AtomicBool = AtomicBool::new(false);
 
 /// Enable or disable the planted wrong-result fault (test-only).
 pub fn set_where_drops_last_row(enabled: bool) {
@@ -44,6 +48,13 @@ pub fn set_spin_on_create_trigger(enabled: bool) {
     SPIN_ON_CREATE_TRIGGER.store(enabled, Ordering::Relaxed);
 }
 
+/// Enable or disable the planted torn-write fault: on every WAL sync, the
+/// last pending record is acknowledged as durable but its bytes never reach
+/// the file — a lost write the recovery oracle must catch (test-only).
+pub fn set_wal_drops_last_record(enabled: bool) {
+    WAL_DROPS_LAST_RECORD.store(enabled, Ordering::Relaxed);
+}
+
 /// Is the planted wrong-result fault enabled?
 pub(crate) fn where_drops_last_row() -> bool {
     WHERE_DROPS_LAST_ROW.load(Ordering::Relaxed)
@@ -57,6 +68,11 @@ pub(crate) fn panic_on_create_trigger() -> bool {
 /// Is the planted engine hang enabled?
 pub(crate) fn spin_on_create_trigger() -> bool {
     SPIN_ON_CREATE_TRIGGER.load(Ordering::Relaxed)
+}
+
+/// Is the planted torn-write fault enabled?
+pub(crate) fn wal_drops_last_record() -> bool {
+    WAL_DROPS_LAST_RECORD.load(Ordering::Relaxed)
 }
 
 /// RAII guard that enables a fault for a scope and always disables every
@@ -78,6 +94,11 @@ impl FaultGuard {
         set_spin_on_create_trigger(true);
         FaultGuard(())
     }
+
+    pub fn enable_wal_drops_last_record() -> Self {
+        set_wal_drops_last_record(true);
+        FaultGuard(())
+    }
 }
 
 impl Drop for FaultGuard {
@@ -85,5 +106,6 @@ impl Drop for FaultGuard {
         set_where_drops_last_row(false);
         set_panic_on_create_trigger(false);
         set_spin_on_create_trigger(false);
+        set_wal_drops_last_record(false);
     }
 }

@@ -45,14 +45,18 @@ pub mod faults;
 pub mod limits;
 pub mod profile;
 pub mod query;
+pub mod recovery;
 pub mod value;
+pub mod wal;
 
 pub use bugs::{BugSpec, BugType, CrashReport};
 pub use engine::{Dbms, ExecReport, Outcome, PANIC_BUG_ID};
 pub use limits::{AbortReason, Limits};
 pub use profile::{Component, Profile};
 pub use query::ResultSet;
+pub use recovery::RecoveredLog;
 pub use value::{Row, Value};
+pub use wal::Wal;
 
 /// Commonly used items.
 pub mod prelude {

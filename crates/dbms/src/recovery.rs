@@ -1,0 +1,125 @@
+//! WAL recovery: scan the log's longest valid prefix and replay it.
+//!
+//! The reader is deliberately forgiving about the *tail* and strict about
+//! everything else: records are consumed while they decode cleanly, and the
+//! first malformed byte ends the log. Trailing garbage — a torn final
+//! record from a crash mid-write — is reported via [`RecoveredLog::torn`]
+//! rather than as an error, because a torn tail is an expected crash
+//! artifact while a corrupt *interior* record would simply end the valid
+//! prefix early (and the recovery oracle would flag the divergence).
+
+use crate::engine::{Dbms, ExecReport};
+use crate::wal::{decode_record, DecodeError, WAL_MAGIC};
+use lego_sqlast::{Dialect, TestCase};
+use std::io;
+use std::path::Path;
+
+/// What a WAL scan found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveredLog {
+    /// Statements of the longest valid prefix, in log order.
+    pub records: Vec<String>,
+    /// Byte offset one past the last valid record (= magic length for an
+    /// empty log, 0 for a file without a valid magic).
+    pub valid_len: u64,
+    /// Bytes remained beyond the valid prefix (torn tail or corruption).
+    pub torn: bool,
+}
+
+/// Scan an in-memory WAL image. Never fails: a file that is not a WAL at
+/// all recovers zero records with `torn` set.
+pub fn scan_wal(buf: &[u8]) -> RecoveredLog {
+    if buf.len() < WAL_MAGIC.len() || buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return RecoveredLog { records: Vec::new(), valid_len: 0, torn: !buf.is_empty() };
+    }
+    let mut pos = WAL_MAGIC.len();
+    let mut records = Vec::new();
+    loop {
+        match decode_record(&buf[pos..]) {
+            Ok((sql, used)) => {
+                records.push(sql);
+                pos += used;
+            }
+            Err(DecodeError::Clean) => break,
+            Err(_) => break,
+        }
+    }
+    RecoveredLog { records, valid_len: pos as u64, torn: pos < buf.len() }
+}
+
+/// Read and scan the WAL file at `path`.
+pub fn read_wal(path: &Path) -> io::Result<RecoveredLog> {
+    Ok(scan_wal(&std::fs::read(path)?))
+}
+
+/// Replay recovered records into `db` as one test case (so the statement
+/// trace matches the original execution's prefix and the pattern-based
+/// crash oracle sees the same history it already cleared). Returns a parse
+/// error if a record is not a statement — impossible for records our own
+/// writer produced, but the log on disk is untrusted input.
+pub fn replay_into(db: &mut Dbms, records: &[String]) -> Result<ExecReport, String> {
+    let mut statements = Vec::with_capacity(records.len());
+    for (i, sql) in records.iter().enumerate() {
+        let stmt = lego_sqlparser::parse_statement(sql)
+            .map_err(|e| format!("WAL record {i} does not parse: {e}"))?;
+        statements.push(stmt);
+    }
+    Ok(db.execute_case(&TestCase::new(statements)))
+}
+
+/// Replay-on-open: scan the WAL at `path` and reconstruct a fresh engine
+/// from its valid prefix.
+pub fn reopen(dialect: Dialect, path: &Path) -> io::Result<(Dbms, RecoveredLog)> {
+    let log = read_wal(path)?;
+    let mut db = Dbms::new(dialect);
+    replay_into(&mut db, &log.records)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok((db, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::encode_record;
+
+    fn image(records: &[&str]) -> Vec<u8> {
+        let mut buf = WAL_MAGIC.to_vec();
+        for r in records {
+            buf.extend_from_slice(&encode_record(r));
+        }
+        buf
+    }
+
+    #[test]
+    fn scan_empty_log() {
+        let log = scan_wal(&image(&[]));
+        assert_eq!(log.records.len(), 0);
+        assert!(!log.torn);
+        assert_eq!(log.valid_len, WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn scan_recovers_records_in_order() {
+        let log = scan_wal(&image(&["CREATE TABLE t (a INT);", "INSERT INTO t VALUES (1);"]));
+        assert_eq!(log.records, vec!["CREATE TABLE t (a INT);", "INSERT INTO t VALUES (1);"]);
+        assert!(!log.torn);
+    }
+
+    #[test]
+    fn scan_flags_torn_tail_and_keeps_prefix() {
+        let mut buf = image(&["SELECT 1;", "SELECT 2;"]);
+        let full = buf.len();
+        buf.truncate(full - 3);
+        let log = scan_wal(&buf);
+        assert_eq!(log.records, vec!["SELECT 1;"]);
+        assert!(log.torn);
+    }
+
+    #[test]
+    fn scan_without_magic_recovers_nothing() {
+        let log = scan_wal(b"not a wal");
+        assert!(log.records.is_empty());
+        assert!(log.torn);
+        assert_eq!(log.valid_len, 0);
+    }
+}

@@ -80,6 +80,9 @@ pub enum Event {
     /// A correctness oracle (TLP / NoREC / differential) flagged a
     /// deduplicated wrong-result bug.
     LogicBugFound { worker: usize, exec: u64, oracle: String, fingerprint: u64 },
+    /// The recovery oracle flagged a deduplicated durability bug (WAL
+    /// replay divergence after a simulated crash).
+    DurabilityBugFound { worker: usize, exec: u64, fingerprint: u64 },
     /// A per-case execution budget tripped and the case was killed (the
     /// deterministic analogue of an AFL timeout kill).
     CaseAborted { worker: usize, exec: u64, reason: String },
@@ -104,6 +107,7 @@ impl Event {
             Event::CoverageGain { .. } => "CoverageGain",
             Event::BugFound { .. } => "BugFound",
             Event::LogicBugFound { .. } => "LogicBugFound",
+            Event::DurabilityBugFound { .. } => "DurabilityBugFound",
             Event::CaseAborted { .. } => "CaseAborted",
             Event::WorkerDied { .. } => "WorkerDied",
             Event::WorkerSync { .. } => "WorkerSync",
@@ -158,6 +162,11 @@ impl Event {
                 push_num(&mut s, "worker", *worker as u64);
                 push_num(&mut s, "exec", *exec);
                 push_str(&mut s, "oracle", oracle);
+                push_num(&mut s, "fingerprint", *fingerprint);
+            }
+            Event::DurabilityBugFound { worker, exec, fingerprint } => {
+                push_num(&mut s, "worker", *worker as u64);
+                push_num(&mut s, "exec", *exec);
                 push_num(&mut s, "fingerprint", *fingerprint);
             }
             Event::CaseAborted { worker, exec, reason } => {

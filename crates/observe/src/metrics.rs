@@ -46,6 +46,9 @@ fn metric_meta(base: &str) -> Option<(&'static str, &'static str)> {
         "lego_coverage_gain_edges_total" => ("counter", "New edges gained, by operator."),
         "lego_bugs_total" => ("counter", "Deduplicated crash bugs."),
         "lego_logic_bugs_total" => ("counter", "Deduplicated oracle-flagged wrong-result bugs."),
+        "lego_durability_bugs_total" => {
+            ("counter", "Deduplicated recovery-oracle durability bugs.")
+        }
         "lego_aborted_cases_total" => ("counter", "Cases killed by a per-case budget, by reason."),
         "lego_worker_deaths_total" => ("counter", "Worker threads that died mid-campaign."),
         "lego_worker_syncs_total" => ("counter", "Worker coverage-shard syncs."),
@@ -193,6 +196,7 @@ impl MetricsRegistry {
             }
             Event::BugFound { .. } => self.inc("lego_bugs_total", 1),
             Event::LogicBugFound { .. } => self.inc("lego_logic_bugs_total", 1),
+            Event::DurabilityBugFound { .. } => self.inc("lego_durability_bugs_total", 1),
             Event::CaseAborted { reason, .. } => {
                 self.inc(&labeled("lego_aborted_cases_total", "reason", reason), 1);
             }

@@ -34,11 +34,14 @@ pub enum Stage {
     /// Logic-bug oracle checks (TLP / NoREC / differential replays) plus
     /// logic-bug reduction.
     Oracle,
+    /// Recovery-oracle checks: WAL-attached prefix execution, crash
+    /// simulation, log scan and replay.
+    Recovery,
     /// Campaign snapshot serialization + checkpoint file I/O.
     Checkpoint,
 }
 
-pub const STAGE_COUNT: usize = 8;
+pub const STAGE_COUNT: usize = 9;
 
 impl Stage {
     pub const ALL: [Stage; STAGE_COUNT] = [
@@ -49,6 +52,7 @@ impl Stage {
         Stage::Dedup,
         Stage::Feedback,
         Stage::Oracle,
+        Stage::Recovery,
         Stage::Checkpoint,
     ];
 
@@ -61,6 +65,7 @@ impl Stage {
             Stage::Dedup => "dedup",
             Stage::Feedback => "feedback",
             Stage::Oracle => "oracle",
+            Stage::Recovery => "recovery",
             Stage::Checkpoint => "checkpoint",
         }
     }
@@ -74,7 +79,8 @@ impl Stage {
             Stage::Dedup => 4,
             Stage::Feedback => 5,
             Stage::Oracle => 6,
-            Stage::Checkpoint => 7,
+            Stage::Recovery => 7,
+            Stage::Checkpoint => 8,
         }
     }
 

@@ -140,7 +140,7 @@ mod tests {
     use lego_sqlparser::parse_script;
 
     fn diff_only() -> OracleConfig {
-        OracleConfig { tlp: false, norec: false, differential: true }
+        OracleConfig { tlp: false, norec: false, differential: true, recovery: false }
     }
 
     fn case(sql: &str) -> TestCase {

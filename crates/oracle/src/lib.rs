@@ -26,6 +26,7 @@
 
 pub mod differential;
 pub mod metamorphic;
+pub mod recovery;
 pub mod reduce;
 
 use lego_dbms::Dbms;
@@ -33,6 +34,9 @@ use lego_sqlast::ast::{SelectVariant, Statement};
 use lego_sqlast::skeleton::rebind;
 use lego_sqlast::{Dialect, Expr, TestCase};
 use serde::Serialize;
+use std::path::Path;
+
+pub use recovery::{DurabilityBug, RecoveryOracle};
 
 /// Which oracle flagged a wrong result.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
@@ -40,6 +44,8 @@ pub enum OracleKind {
     Tlp,
     Norec,
     Differential,
+    /// WAL crash-recovery oracle (durability, not wrong results).
+    Recovery,
 }
 
 impl OracleKind {
@@ -48,6 +54,7 @@ impl OracleKind {
             OracleKind::Tlp => "TLP",
             OracleKind::Norec => "NoREC",
             OracleKind::Differential => "differential",
+            OracleKind::Recovery => "recovery",
         }
     }
 }
@@ -70,7 +77,10 @@ pub struct LogicBug {
 impl LogicBug {
     /// Stable identifier used as a human-facing bug label.
     pub fn identifier(&self) -> String {
-        format!("{} wrong result", self.oracle.name())
+        match self.oracle {
+            OracleKind::Recovery => "recovery durability loss".to_string(),
+            _ => format!("{} wrong result", self.oracle.name()),
+        }
     }
 
     /// Dedup key, analogous to `CrashReport::stack_hash`: FNV-1a over the
@@ -124,6 +134,10 @@ pub struct OracleConfig {
     pub tlp: bool,
     pub norec: bool,
     pub differential: bool,
+    /// WAL crash-recovery oracle. Opt-in (`--oracles=recovery`): it is not
+    /// part of [`OracleConfig::all`] because it needs a WAL directory and
+    /// checks durability rather than result correctness.
+    pub recovery: bool,
 }
 
 impl OracleConfig {
@@ -131,18 +145,24 @@ impl OracleConfig {
         Self::default()
     }
 
-    /// TLP + NoREC + differential.
+    /// TLP + NoREC + differential (the logic oracles; recovery stays
+    /// opt-in).
     pub fn all() -> Self {
-        Self { tlp: true, norec: true, differential: true }
+        Self { tlp: true, norec: true, differential: true, recovery: false }
     }
 
     /// The two metamorphic oracles only.
     pub fn metamorphic() -> Self {
-        Self { tlp: true, norec: true, differential: false }
+        Self { tlp: true, norec: true, differential: false, recovery: false }
+    }
+
+    /// The recovery oracle only.
+    pub fn recovery_only() -> Self {
+        Self { tlp: false, norec: false, differential: false, recovery: true }
     }
 
     pub fn enabled(&self) -> bool {
-        self.tlp || self.norec || self.differential
+        self.tlp || self.norec || self.differential || self.recovery
     }
 }
 
@@ -168,15 +188,47 @@ pub struct OracleSuite {
     base: Dbms,
     /// One instance per dialect for the differential oracle.
     cross: Vec<Dbms>,
+    /// WAL crash-recovery harness, when `cfg.recovery` (and the WAL
+    /// directory was creatable).
+    recovery: Option<RecoveryOracle>,
 }
 
 impl OracleSuite {
     pub fn new(dialect: Dialect, cfg: OracleConfig) -> Self {
+        Self::with_wal(dialect, cfg, None, 0)
+    }
+
+    /// Like [`OracleSuite::new`], with an explicit WAL directory and worker
+    /// index for the recovery oracle. Each worker writes its own
+    /// `worker{NN}.wal` file, so parallel campaigns never share a path.
+    /// With `wal_dir == None` a per-process directory under the system
+    /// temp dir is used (the WAL path never influences findings).
+    pub fn with_wal(
+        dialect: Dialect,
+        cfg: OracleConfig,
+        wal_dir: Option<&Path>,
+        worker: usize,
+    ) -> Self {
+        let recovery = if cfg.recovery {
+            let default_dir;
+            let dir = match wal_dir {
+                Some(d) => d,
+                None => {
+                    default_dir =
+                        std::env::temp_dir().join(format!("lego-wal-{}", std::process::id()));
+                    &default_dir
+                }
+            };
+            RecoveryOracle::new(dialect, dir, worker).ok()
+        } else {
+            None
+        };
         Self {
             cfg,
             dialect,
             base: Dbms::new(dialect),
             cross: Dialect::ALL.iter().map(|&d| Dbms::new(d)).collect(),
+            recovery,
         }
     }
 
@@ -188,15 +240,41 @@ impl OracleSuite {
         self.dialect
     }
 
+    /// Path of the recovery oracle's WAL file, if it is active.
+    pub fn wal_path(&self) -> Option<&Path> {
+        self.recovery.as_ref().map(RecoveryOracle::wal_path)
+    }
+
     /// Run every configured oracle over one (non-crashing) test case.
     /// Deterministic: depends only on the case, the dialect, and the config.
     pub fn check_case(&mut self, case: &TestCase) -> OracleOutcome {
+        let mut out = self.check_case_logic(case);
+        let rec = self.check_case_recovery(case);
+        out.bugs.extend(rec.bugs);
+        out.checks += rec.checks;
+        out.execs += rec.execs;
+        out
+    }
+
+    /// The logic oracles only (TLP/NoREC/differential) — split out so the
+    /// campaign can profile them under `Stage::Oracle` while recovery is
+    /// timed as `Stage::Recovery`.
+    pub fn check_case_logic(&mut self, case: &TestCase) -> OracleOutcome {
         let mut out = OracleOutcome::default();
         if self.cfg.tlp || self.cfg.norec {
             metamorphic::check(&mut self.base, self.dialect, self.cfg, case, &mut out);
         }
         if self.cfg.differential {
             differential::check(&mut self.cross, self.dialect, case, &mut out);
+        }
+        out
+    }
+
+    /// The recovery oracle only.
+    pub fn check_case_recovery(&mut self, case: &TestCase) -> OracleOutcome {
+        let mut out = OracleOutcome::default();
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.check(case, &mut out);
         }
         out
     }

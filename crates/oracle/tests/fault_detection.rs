@@ -26,7 +26,7 @@ fn norec_catches_the_injected_filter_fault() {
     let _guard = FaultGuard::enable_where_drops_last_row();
     let mut s = OracleSuite::new(
         Dialect::Postgres,
-        OracleConfig { tlp: false, norec: true, differential: false },
+        OracleConfig { tlp: false, norec: true, differential: false, recovery: false },
     );
     let out = s.check_case(&case(BUGGY_CASE));
     // The faulty WHERE drops the last qualifying row; the NoREC scan form
@@ -45,7 +45,7 @@ fn tlp_catches_the_injected_filter_fault() {
     let _guard = FaultGuard::enable_where_drops_last_row();
     let mut s = OracleSuite::new(
         Dialect::Postgres,
-        OracleConfig { tlp: true, norec: false, differential: false },
+        OracleConfig { tlp: true, norec: false, differential: false, recovery: false },
     );
     // Include NULLs so all three partitions are non-trivial; each partition
     // query loses its last row while the unpartitioned scan stays intact.

@@ -16,7 +16,7 @@ jq -e -s '
   (map(type == "object" and (.type | type == "string")) | all) and
   (map(.type) - ["ExecStart","ExecEnd","MutationApplied","AffinityDiscovered",
                  "SynthesisStep","CoverageGain","BugFound","LogicBugFound","WorkerSync",
-                 "CaseAborted","WorkerDied","CheckpointWritten"] == [])
+                 "CaseAborted","WorkerDied","CheckpointWritten","DurabilityBugFound"] == [])
 ' "$log" >/dev/null || { echo "check_telemetry: malformed or unknown events in $log" >&2; exit 1; }
 
 # 2. Per-type invariants: paired exec markers, statement counters that add
@@ -30,6 +30,7 @@ jq -e -s '
   (map(select(.type == "CoverageGain")) | map(.edges >= 0 and (.op | type == "string")) | all) and
   (map(select(.type == "BugFound")) | map((.identifier | length) > 0) | all) and
   (map(select(.type == "LogicBugFound")) | map((.oracle | length) > 0) | all) and
+  (map(select(.type == "DurabilityBugFound")) | map(.worker >= 0 and ((.fingerprint | tostring | length) > 0)) | all) and
   (map(select(.type == "CaseAborted")) | map((.reason | length) > 0 and .worker >= 0) | all) and
   (map(select(.type == "WorkerDied")) | map((.error | length) > 0 and .worker >= 0) | all) and
   (map(select(.type == "CheckpointWritten")) | map(.seq >= 1 and (.path | length) > 0) | all)

@@ -1,0 +1,99 @@
+//! Golden-file tests pinning the WAL's on-disk record format.
+//!
+//! `tests/golden/wal/*.wal` are committed byte images produced by the WAL
+//! writer. Each test asserts both directions against them:
+//!
+//! 1. **writer pin** — encoding today's statements produces byte-for-byte
+//!    the committed image (catches silent format drift: field reorder,
+//!    endianness, checksum polynomial, magic), and
+//! 2. **reader pin** — scanning the committed image recovers the expected
+//!    statements and torn-tail verdict (catches reader regressions against
+//!    logs written by earlier builds — the compatibility that matters for
+//!    resuming a checkpointed campaign on a newer binary).
+//!
+//! After an *intentional* format change, regenerate with
+//! `GOLDEN_BLESS=1 cargo test --test golden_wal` — and bump the magic, so
+//! old logs are rejected loudly rather than misparsed.
+
+use lego_fuzz::dbms::recovery::scan_wal;
+use lego_fuzz::dbms::wal::{encode_record, WAL_MAGIC};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/wal")
+}
+
+/// The statement sequence every fixture derives from: DDL, multi-row DML,
+/// transaction control, and a failed statement — the shapes the engine
+/// journals verbatim.
+const STATEMENTS: [&str; 5] = [
+    "CREATE TABLE t (a INT, b TEXT);",
+    "INSERT INTO t VALUES (1, 'x''y'), (2, 'z');",
+    "BEGIN;",
+    "UPDATE t SET b = 'w' WHERE a = 1;",
+    "COMMIT;",
+];
+
+fn image(records: &[&str]) -> Vec<u8> {
+    let mut buf = WAL_MAGIC.to_vec();
+    for r in records {
+        buf.extend_from_slice(&encode_record(r));
+    }
+    buf
+}
+
+fn check_fixture(name: &str, produced: &[u8]) -> Vec<u8> {
+    let path = golden_dir().join(format!("{name}.wal"));
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden/wal");
+        std::fs::write(&path, produced).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+        return produced.to_vec();
+    }
+    let pinned = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}\n(run GOLDEN_BLESS=1 cargo test --test golden_wal to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        produced,
+        &pinned[..],
+        "WAL writer output for {name}.wal drifted from the pinned image; \
+         if the format change is intentional, bump WAL_MAGIC and re-bless"
+    );
+    pinned
+}
+
+#[test]
+fn empty_log_image_is_pinned() {
+    let pinned = check_fixture("empty", &image(&[]));
+    assert_eq!(pinned, WAL_MAGIC, "an empty log is exactly the magic");
+    let log = scan_wal(&pinned);
+    assert!(log.records.is_empty() && !log.torn);
+}
+
+#[test]
+fn full_log_image_is_pinned_and_recovers() {
+    let pinned = check_fixture("basic", &image(&STATEMENTS));
+    // Field-level pins, independent of the encoder: magic, then record 0's
+    // little-endian length prefix.
+    assert_eq!(&pinned[..8], b"LEGOWAL1");
+    let len0 = STATEMENTS[0].len() as u32;
+    assert_eq!(&pinned[8..12], &len0.to_le_bytes(), "length prefix must be u32le");
+    let log = scan_wal(&pinned);
+    assert_eq!(log.records, STATEMENTS);
+    assert!(!log.torn);
+    assert_eq!(log.valid_len, pinned.len() as u64);
+}
+
+#[test]
+fn torn_log_image_is_pinned_and_recovers_the_prefix() {
+    // The committed fixture ends mid-record: the last statement's image is
+    // cut 5 bytes short, the crash artifact the reader must tolerate.
+    let mut img = image(&STATEMENTS);
+    img.truncate(img.len() - 5);
+    let pinned = check_fixture("torn", &img);
+    let log = scan_wal(&pinned);
+    assert_eq!(log.records, STATEMENTS[..STATEMENTS.len() - 1]);
+    assert!(log.torn, "a mid-record cut must read as torn");
+}

@@ -173,6 +173,20 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     }
 }
 
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(',');
+        self.3.serialize_json(out);
+        out.push(']');
+    }
+}
+
 fn write_map<'a, V: Serialize + 'a>(
     entries: impl Iterator<Item = (&'a String, &'a V)>,
     out: &mut String,

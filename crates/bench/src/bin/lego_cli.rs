@@ -3,6 +3,7 @@
 //! ```text
 //! lego_cli fuzz <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S]
 //!               [--out DIR] [--corpus DIR]   # --corpus: resume from saved seeds
+//!               [--rule-cov]                 # grammar-rule coverage feedback
 //!               [--telemetry PATH] [--heartbeat] [--oracles[=LIST]] [--wal-dir DIR]
 //!               [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]
 //!               [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
@@ -39,13 +40,21 @@
 //! `--corpus DIR/corpus` resumes from it (the paper's continuous-fuzzing
 //! workflow).
 //!
+//! `--rule-cov` adds the grammar-rule coverage dimension: every non-aborted
+//! case is re-parsed through the instrumented grammar and cases that
+//! traverse never-seen rule→rule edges are admitted to the corpus even when
+//! the branch map reports nothing new (the LEGO engine additionally mines
+//! their type-affinities and schedules a FuzzySQL-style "special features"
+//! seed pack). Off by default; with the flag absent the campaign is
+//! byte-identical to previous releases.
+//!
 //! `--checkpoint DIR` persists the complete campaign state to `DIR` every
 //! `--checkpoint-every N` units (default: a tenth of the budget); a later
 //! `--resume DIR` with the *same* seed, budget, and cadence continues the
 //! interrupted campaign and produces the byte-identical deterministic
 //! report of an uninterrupted run.
 
-use lego::campaign::{run_campaign_durable, Budget, FuzzEngine};
+use lego::campaign::{run_campaign_full, Budget, FuzzEngine};
 use lego::checkpoint::{load_campaign_checkpoint, CheckpointCfg};
 use lego::corpus_io::{load_corpus, save_corpus};
 use lego::fuzzer::{Config, LegoFuzzer};
@@ -70,7 +79,7 @@ fn dialect_of(arg: &str) -> Option<Dialect> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--telemetry PATH] [--heartbeat]\n                  [--oracles[=tlp,norec,differential,recovery]] [--wal-dir DIR]\n                  [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
+        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--rule-cov] [--telemetry PATH] [--heartbeat]\n                  [--oracles[=tlp,norec,differential,recovery]] [--wal-dir DIR]\n                  [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
     );
     ExitCode::from(2)
 }
@@ -109,6 +118,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut checkpoint_every: Option<usize> = None;
     let mut resume_dir: Option<PathBuf> = None;
+    let mut rule_cov = false;
     let mut i = 1;
     while i + 1 < args.len() + 1 {
         match args.get(i).map(String::as_str) {
@@ -169,6 +179,10 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 heartbeat = true;
                 i += 1;
             }
+            Some("--rule-cov") => {
+                rule_cov = true;
+                i += 1;
+            }
             Some("--oracles") => {
                 oracles = OracleConfig::all();
                 i += 1;
@@ -216,15 +230,25 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 eprintln!("skipped {} unparseable corpus files", skipped.len());
             }
             println!("resuming from {} seeds in {}", corpus.len(), dir.display());
-            let cfg = Config { rng_seed: seed, ..Config::default() };
+            let cfg = Config { rng_seed: seed, rule_cov, ..Config::default() };
             Box::new(LegoFuzzer::with_corpus(dialect, cfg, corpus))
         }
         Some(_) => {
             eprintln!("--corpus is only supported for the LEGO engine");
             return ExitCode::from(2);
         }
+        // The engine-side rule_cov switch (special seed pack + rule-novelty
+        // boosting) is LEGO-only; baselines still get the campaign-side
+        // rule map and corpus-admission widening.
+        None if rule_cov && fuzzer == "LEGO" => {
+            let cfg = Config { rng_seed: seed, rule_cov: true, ..Config::default() };
+            Box::new(LegoFuzzer::new(dialect, cfg))
+        }
         None => engine_by_name(&fuzzer, dialect, seed),
     };
+    if rule_cov {
+        println!("grammar-rule coverage feedback enabled");
+    }
     if oracles.enabled() {
         let mut kinds = Vec::new();
         if oracles.tlp {
@@ -299,7 +323,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         plot_every_ms,
         run_name: format!("fuzz_{}", dialect.name()),
     });
-    let stats = match run_campaign_durable(
+    let stats = match run_campaign_full(
         engine.as_mut(),
         dialect,
         Budget::units(units),
@@ -307,6 +331,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         oracles,
         &ckpt,
         wal_dir.as_deref(),
+        rule_cov,
     ) {
         Ok(stats) => stats,
         Err(e) => {
@@ -325,6 +350,10 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         stats.validity_pct(),
         stats.bugs.len()
     );
+    if rule_cov {
+        // Kept on its own line: scripts/check_rule_cov.sh scrapes it.
+        println!("rule branches: {}", stats.rule_branches);
+    }
     for bug in &stats.bugs {
         println!(
             "  [{}] {} in {} at exec #{}",

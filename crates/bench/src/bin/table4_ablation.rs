@@ -6,16 +6,29 @@
 //! PostgreSQL / MySQL / MariaDB / Comdb2), with Comdb2's 24 types capping
 //! its headroom.
 //!
-//! Usage: `table4_ablation [UNITS] [SEEDS] [--workers N]` — the
+//! Usage: `table4_ablation [UNITS] [SEEDS] [--workers N] [--rule-cov]` — the
 //! dialect×seed×variant cells run across a worker pool; results are
-//! identical for any worker count.
+//! identical for any worker count. With `--rule-cov` a third variant
+//! (LEGO plus grammar-rule coverage feedback) joins the grid and the table
+//! gains its branch and rule-edge columns — the ablation recipe from
+//! EXPERIMENTS.md §rule-coverage.
 
-use lego::campaign::{run_campaign_observed, Budget};
+use lego::campaign::{run_campaign_full, run_campaign_observed, Budget};
+use lego::checkpoint::CheckpointCfg;
 use lego::fuzzer::{Config, LegoFuzzer};
+use lego::OracleConfig;
 use lego_bench::grid::{run_grid, Cli};
 use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
+
+/// Cell variants, in grid order. `Rule` only joins under `--rule-cov`.
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Minus,
+    Lego,
+    Rule,
+}
 
 #[derive(Serialize)]
 struct Row {
@@ -27,6 +40,11 @@ struct Row {
     branches_minus: usize,
     branches_lego: usize,
     branch_improvement_pct: f64,
+    /// Mean branches of the rule-coverage variant (0 without `--rule-cov`).
+    branches_rule: usize,
+    /// Mean grammar-rule edges of the rule-coverage variant (0 without
+    /// `--rule-cov`).
+    rule_branches: usize,
     wall_ms: u64,
 }
 
@@ -34,29 +52,56 @@ fn main() {
     let cli = Cli::parse();
     let units: usize = cli.arg(0, DAY_BUDGET_UNITS);
     let seeds: u64 = cli.arg(1, 3);
+    let variants: &[Variant] = if cli.rule_cov {
+        &[Variant::Minus, Variant::Lego, Variant::Rule]
+    } else {
+        &[Variant::Minus, Variant::Lego]
+    };
     println!(
-        "Table IV — LEGO- vs LEGO ablation ({units} units, mean of {seeds} seeds, {} workers)\n",
-        cli.workers
+        "Table IV — LEGO- vs LEGO ablation ({units} units, mean of {seeds} seeds, {} workers{})\n",
+        cli.workers,
+        if cli.rule_cov { ", +rule-cov variant" } else { "" }
     );
 
-    // The grid: (dialect, seed, ablated?) campaign cells in fixed order.
-    let specs: Vec<(Dialect, u64, bool)> = Dialect::ALL
+    // The grid: (dialect, seed, variant) campaign cells in fixed order.
+    let specs: Vec<(Dialect, u64, Variant)> = Dialect::ALL
         .into_iter()
-        .flat_map(|d| (0..seeds).flat_map(move |s| [(d, s, false), (d, s, true)]))
+        .flat_map(|d| (0..seeds).flat_map(move |s| variants.iter().map(move |&v| (d, s, v))))
         .collect();
     let mut guard = build_telemetry(&cli, DEFAULT_SEED);
     let tel = &guard.tel;
     let jobs: Vec<_> = specs
         .iter()
-        .map(|&(dialect, s, minus)| {
+        .map(|&(dialect, s, variant)| {
             move || {
-                let cfg = Config { rng_seed: DEFAULT_SEED + s * 7717, ..Config::default() };
-                let mut engine = if minus {
-                    LegoFuzzer::lego_minus(dialect, cfg)
-                } else {
-                    LegoFuzzer::new(dialect, cfg)
-                };
-                run_campaign_observed(&mut engine, dialect, Budget::units(units), tel)
+                let rng_seed = DEFAULT_SEED + s * 7717;
+                match variant {
+                    Variant::Minus => {
+                        let cfg = Config { rng_seed, ..Config::default() };
+                        let mut engine = LegoFuzzer::lego_minus(dialect, cfg);
+                        run_campaign_observed(&mut engine, dialect, Budget::units(units), tel)
+                    }
+                    Variant::Lego => {
+                        let cfg = Config { rng_seed, ..Config::default() };
+                        let mut engine = LegoFuzzer::new(dialect, cfg);
+                        run_campaign_observed(&mut engine, dialect, Budget::units(units), tel)
+                    }
+                    Variant::Rule => {
+                        let cfg = Config { rng_seed, rule_cov: true, ..Config::default() };
+                        let mut engine = LegoFuzzer::new(dialect, cfg);
+                        run_campaign_full(
+                            &mut engine,
+                            dialect,
+                            Budget::units(units),
+                            tel,
+                            OracleConfig::disabled(),
+                            &CheckpointCfg::disabled(),
+                            None,
+                            true,
+                        )
+                        .expect("rule-cov campaign without checkpointing cannot fail")
+                    }
+                }
             }
         })
         .collect();
@@ -66,15 +111,26 @@ fn main() {
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for dialect in Dialect::ALL {
-        let mut acc = [0usize; 4]; // aff-, aff, br-, br
+        let mut acc = [0usize; 6]; // aff-, aff, br-, br, br+rule, rule-edges
         let mut wall_ms = 0u64;
-        for (&(d, _, minus), s) in specs.iter().zip(&stats) {
+        for (&(d, _, variant), s) in specs.iter().zip(&stats) {
             if d != dialect {
                 continue;
             }
-            let (ai, bi) = if minus { (0, 2) } else { (1, 3) };
-            acc[ai] += s.corpus_affinities;
-            acc[bi] += s.branches;
+            match variant {
+                Variant::Minus => {
+                    acc[0] += s.corpus_affinities;
+                    acc[2] += s.branches;
+                }
+                Variant::Lego => {
+                    acc[1] += s.corpus_affinities;
+                    acc[3] += s.branches;
+                }
+                Variant::Rule => {
+                    acc[4] += s.branches;
+                    acc[5] += s.rule_branches;
+                }
+            }
             wall_ms += s.wall_ms;
         }
         let n = seeds as usize;
@@ -88,9 +144,11 @@ fn main() {
             branches_minus: bm,
             branches_lego: bl,
             branch_improvement_pct: pct_more(bl, bm),
+            branches_rule: acc[4] / n,
+            rule_branches: acc[5] / n,
             wall_ms,
         };
-        rows.push(vec![
+        let mut cells = vec![
             row.dialect.clone(),
             row.types.to_string(),
             row.affinities_minus.to_string(),
@@ -99,21 +157,28 @@ fn main() {
             row.branches_minus.to_string(),
             row.branches_lego.to_string(),
             format!("{:+.0}%", row.branch_improvement_pct),
-        ]);
+        ];
+        if cli.rule_cov {
+            cells.push(row.branches_rule.to_string());
+            cells.push(row.rule_branches.to_string());
+        }
+        rows.push(cells);
         out.push(row);
     }
-    print_table(
-        &[
-            "DBMS",
-            "Types",
-            "Aff(LEGO-)",
-            "Aff(LEGO)",
-            "Increment",
-            "Br(LEGO-)",
-            "Br(LEGO)",
-            "Improvement",
-        ],
-        &rows,
-    );
+    let mut headers = vec![
+        "DBMS",
+        "Types",
+        "Aff(LEGO-)",
+        "Aff(LEGO)",
+        "Increment",
+        "Br(LEGO-)",
+        "Br(LEGO)",
+        "Improvement",
+    ];
+    if cli.rule_cov {
+        headers.push("Br(+rule)");
+        headers.push("RuleEdges");
+    }
+    print_table(&headers, &rows);
     save_json("table4_ablation", &out);
 }

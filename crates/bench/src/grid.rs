@@ -91,6 +91,8 @@ where
 /// - `--plot-data PATH` — AFL-style `plot_data.csv` destination (default
 ///   `results/<bin>/plot_data.csv` when serving).
 /// - `--plot-every MS` — time-series sample cadence (default 1000 ms).
+/// - `--rule-cov` — grammar-rule coverage feedback (second virgin map over
+///   parser rule→rule edges; rule novelty widens corpus admission).
 pub struct Cli {
     /// Positional arguments, flags removed, program name excluded.
     pub positional: Vec<String>,
@@ -110,6 +112,8 @@ pub struct Cli {
     pub plot_data: Option<String>,
     /// Time-series sample cadence in milliseconds (`--plot-every`).
     pub plot_every_ms: u64,
+    /// Grammar-rule coverage feedback (`--rule-cov`).
+    pub rule_cov: bool,
 }
 
 /// Parse an `--oracles` value: a comma-separated subset of
@@ -152,6 +156,7 @@ impl Cli {
         let mut trace = None;
         let mut plot_data = None;
         let mut plot_every_ms = None;
+        let mut rule_cov = false;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             if a == "--workers" {
@@ -188,6 +193,8 @@ impl Cli {
                 plot_every_ms = args.next().and_then(|v| v.parse().ok());
             } else if let Some(v) = a.strip_prefix("--plot-every=") {
                 plot_every_ms = v.parse().ok();
+            } else if a == "--rule-cov" {
+                rule_cov = true;
             } else {
                 positional.push(a);
             }
@@ -207,6 +214,7 @@ impl Cli {
             trace: trace.or_else(|| std::env::var("LEGO_TRACE").ok()).filter(|p| !p.is_empty()),
             plot_data: plot_data.filter(|p| !p.is_empty()),
             plot_every_ms: plot_every_ms.unwrap_or(1000).max(10),
+            rule_cov,
         }
     }
 
@@ -324,6 +332,15 @@ mod tests {
     fn cli_clamps_plot_cadence() {
         let cli = Cli::from_args(["--plot-every=1"].into_iter().map(String::from));
         assert!(cli.plot_every_ms >= 10, "sub-10ms cadence must be clamped");
+    }
+
+    #[test]
+    fn cli_extracts_rule_cov_flag() {
+        let on = Cli::from_args(["9000", "--rule-cov", "2"].into_iter().map(String::from));
+        assert!(on.rule_cov);
+        assert_eq!(on.positional, vec!["9000", "2"]);
+        let off = Cli::from_args(["9000"].into_iter().map(String::from));
+        assert!(!off.rule_cov);
     }
 
     #[test]

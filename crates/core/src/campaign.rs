@@ -7,7 +7,7 @@ use crate::checkpoint::{
     self, CheckpointCfg, CheckpointMeta, FindingCk, LogicFindingCk, SnapCk, WorkerCheckpoint,
     WorkerResume, CHECKPOINT_VERSION,
 };
-use lego_coverage::{CoverageSink, GlobalCoverage};
+use lego_coverage::{CovMap, CovRecorder, CoverageSink, GlobalCoverage};
 use lego_dbms::{CrashReport, Dbms, ExecReport, PANIC_BUG_ID};
 use lego_observe::{Event, Stage, StageProfile, Telemetry};
 use lego_oracle::{reduce::reduce_logic_bug, LogicBug, OracleConfig, OracleKind, OracleSuite};
@@ -35,6 +35,12 @@ pub trait FuzzEngine {
     /// verdict against the campaign-global map. Admitting `case` to the
     /// corpus is an `Arc` bump.
     fn feedback(&mut self, case: &Arc<TestCase>, report: &ExecReport, new_coverage: bool);
+    /// Grammar-rule coverage feedback, called (after [`FuzzEngine::feedback`])
+    /// only when the campaign runs with rule coverage enabled and this case
+    /// traversed `new_rule_edges > 0` parser rule→rule edges never seen
+    /// before. Default is a no-op so engines without a rule-novelty response
+    /// need no changes.
+    fn rule_feedback(&mut self, _case: &Arc<TestCase>, _new_rule_edges: usize) {}
     /// The engine's retained corpus (for Table II affinity accounting),
     /// shared — not cloned — out of the pool.
     fn corpus(&self) -> Vec<Arc<TestCase>>;
@@ -132,6 +138,9 @@ pub struct CampaignStats {
     pub coverage_curve: Vec<(usize, usize)>,
     /// Final branch (edge) coverage.
     pub branches: usize,
+    /// Final grammar-rule (parser rule→rule edge) coverage; 0 unless the
+    /// campaign ran with `--rule-cov`.
+    pub rule_branches: usize,
     /// Deduplicated bugs in discovery order.
     pub bugs: Vec<BugFinding>,
     /// Deduplicated oracle-flagged wrong-result bugs in discovery order
@@ -477,7 +486,29 @@ pub fn run_campaign_durable(
     ckpt: &CheckpointCfg,
     wal_dir: Option<&Path>,
 ) -> Result<CampaignStats, String> {
-    let out = run_campaign_resilient_inner(engine, dialect, budget, tel, oracles, ckpt, wal_dir);
+    run_campaign_full(engine, dialect, budget, tel, oracles, ckpt, wal_dir, false)
+}
+
+/// [`run_campaign_durable`] plus the grammar-rule coverage dimension. With
+/// `rule_cov`, every non-aborted case is re-parsed through the instrumented
+/// grammar ([`lego_sqlparser::parse_script_traced`]) and its rule→rule edges
+/// are merged into a second virgin map; rule novelty admits cases the branch
+/// map alone would reject and triggers [`FuzzEngine::rule_feedback`]. With
+/// `rule_cov == false` this is byte-for-byte [`run_campaign_durable`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_full(
+    engine: &mut dyn FuzzEngine,
+    dialect: Dialect,
+    budget: Budget,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
+    rule_cov: bool,
+) -> Result<CampaignStats, String> {
+    let out = run_campaign_resilient_inner(
+        engine, dialect, budget, tel, oracles, ckpt, wal_dir, rule_cov,
+    );
     if out.is_err() {
         // A dying campaign still owes the operator a closing heartbeat line
         // and flushed sinks (the success path does this in finish_telemetry).
@@ -495,10 +526,17 @@ fn run_campaign_resilient_inner(
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
     wal_dir: Option<&Path>,
+    rule_cov: bool,
 ) -> Result<CampaignStats, String> {
     let start = Instant::now();
     engine.attach_telemetry(tel.clone());
     let mut global = GlobalCoverage::new();
+    // Grammar-rule virgin map (tentpole). `None` when the dimension is off so
+    // the disabled path touches no extra state. The recorder map is recycled
+    // between cases like the DBMS coverage map: the hot loop allocates once.
+    let mut rules: Option<GlobalCoverage> =
+        if rule_cov { Some(GlobalCoverage::new()) } else { None };
+    let mut rule_recycle = CovMap::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
     let mut oracle_rt = OracleRuntime::new(dialect, oracles, wal_dir, 0);
@@ -521,9 +559,18 @@ fn run_campaign_resilient_inner(
                 resume.meta.workers
             ));
         }
+        if resume.meta.rule_cov != rule_cov {
+            return Err(format!(
+                "checkpoint was taken with rule_cov={}; resuming with rule_cov={} would change the exploration order",
+                resume.meta.rule_cov, rule_cov
+            ));
+        }
         let w = &resume.workers[0];
         engine.restore(&w.engine)?;
         global = GlobalCoverage::from_sparse(&w.coverage);
+        if let Some(rules) = rules.as_mut() {
+            *rules = GlobalCoverage::from_sparse(&w.rule_coverage);
+        }
         seen_stacks = w.seen_stacks.iter().copied().collect();
         bugs = rebuild_bugs(dialect, &w.bugs)?;
         let logic = rebuild_logic_bugs(&mut oracle_rt, &w.logic_bugs)?;
@@ -551,6 +598,7 @@ fn run_campaign_resilient_inner(
                 sync_every: 0,
                 every_units: ckpt.every_units,
                 oracles: (oracles.tlp, oracles.norec, oracles.differential, oracles.recovery),
+                rule_cov,
             },
         )
         .map_err(|e| format!("write checkpoint meta: {e}"))?;
@@ -590,13 +638,37 @@ fn run_campaign_resilient_inner(
             tel.set_pending_edges((edges - prev_edges) as u64);
             tel.live_progress(edges as u64);
         }
+        // Rule-coverage dimension: re-parse through the instrumented grammar
+        // and test the rule→rule edges against the rule virgin map. A case is
+        // corpus-worthy if EITHER map reports novelty.
+        let mut rule_delta = 0usize;
+        if let Some(rules) = rules.as_mut() {
+            if aborted.is_none() {
+                let rec = CovRecorder::from_recycled(std::mem::take(&mut rule_recycle));
+                let (parsed, map) = tel.time(Stage::CoverageUnion, || {
+                    lego_sqlparser::parse_script_traced(&case.to_sql(), rec)
+                });
+                if parsed.is_ok() {
+                    let before = rules.edges_covered();
+                    if rules.merge(&map) {
+                        // Hit-count bucket changes can report novelty with no
+                        // new edge index; count only genuinely new edges but
+                        // keep the bucketed admit verdict.
+                        rule_delta = (rules.edges_covered() - before).max(1);
+                    }
+                }
+                rule_recycle = map;
+            }
+        }
+        let rule_new = rule_delta > 0;
+        let accepted = new_coverage || rule_new;
         tel.emit(|| Event::ExecEnd {
             worker: 0,
             exec: execs as u64,
             statements: report.statements_executed as u64,
             ok: report.stmts_ok as u64,
             err: report.stmts_err as u64,
-            new_coverage,
+            new_coverage: accepted,
         });
         if let Some(crash) = report.crash() {
             let h = crash.stack_hash();
@@ -621,10 +693,20 @@ fn run_campaign_resilient_inner(
                 });
             }
         }
-        if new_coverage && report.crash().is_none() {
+        if accepted && report.crash().is_none() {
             units += oracle_rt.check(&case, 0, execs, tel);
         }
-        tel.time(Stage::Feedback, || engine.feedback(&case, &report, new_coverage));
+        tel.time(Stage::Feedback, || engine.feedback(&case, &report, accepted));
+        if rule_new {
+            // After feedback so the just-admitted case is the newest pool
+            // entry when the engine boosts it.
+            tel.time(Stage::Feedback, || engine.rule_feedback(&case, rule_delta));
+            tel.emit(|| Event::RuleCoverageGain {
+                worker: 0,
+                exec: execs as u64,
+                edges: rule_delta as u64,
+            });
+        }
         db.recycle(report.coverage);
         execs += 1;
         if units >= next_snapshot {
@@ -659,6 +741,10 @@ fn run_campaign_resilient_inner(
                         curve: curve.clone(),
                         snaps: Vec::new(),
                         coverage: checkpoint::sparse_out(&global.to_sparse()),
+                        rule_coverage: rules
+                            .as_ref()
+                            .map(|r| checkpoint::sparse_out(&r.to_sparse()))
+                            .unwrap_or_default(),
                         seen_stacks: sorted_pairs(&seen_stacks),
                         bugs: bugs
                             .iter()
@@ -706,6 +792,7 @@ fn run_campaign_resilient_inner(
         units,
         coverage_curve: curve,
         branches: global.edges_covered(),
+        rule_branches: rules.as_ref().map_or(0, |r| r.edges_covered()),
         corpus_affinities: corpus_affinities(&corpus).len(),
         corpus_size: corpus.len(),
         stmts_ok,
@@ -842,6 +929,7 @@ fn run_worker(
     shard_cfg: Shard,
     dialect: Dialect,
     sink: &CoverageSink,
+    rule_sink: Option<&CoverageSink>,
     tel: &Telemetry,
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
@@ -851,6 +939,12 @@ fn run_worker(
     let Shard { worker, sub_units, snapshots, sync_every } = shard_cfg;
     engine.attach_telemetry(tel.clone());
     let mut shard = GlobalCoverage::new();
+    // Rule-coverage shard, judged locally like the branch shard so worker
+    // behaviour never depends on scheduler interleaving; published to the
+    // shared rule sink at the same sync cadence.
+    let mut rules: Option<GlobalCoverage> =
+        if rule_sink.is_some() { Some(GlobalCoverage::new()) } else { None };
+    let mut rule_recycle = CovMap::new();
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
     let mut oracle_rt = OracleRuntime::new(dialect, oracles, wal_dir, worker);
@@ -870,6 +964,12 @@ fn run_worker(
     if let Some(w) = resume {
         engine.restore(&w.engine)?;
         shard = GlobalCoverage::from_sparse(&w.coverage);
+        if let Some(rules) = rules.as_mut() {
+            *rules = GlobalCoverage::from_sparse(&w.rule_coverage);
+            if let Some(rs) = rule_sink {
+                rs.publish_dirty(rules);
+            }
+        }
         seen_stacks = w.seen_stacks.iter().copied().collect();
         bugs = rebuild_bugs(dialect, &w.bugs)?;
         let logic = rebuild_logic_bugs(&mut oracle_rt, &w.logic_bugs)?;
@@ -920,13 +1020,33 @@ fn run_worker(
             tel.set_pending_edges((edges - prev_edges) as u64);
             tel.live_progress(edges as u64);
         }
+        // Rule-coverage novelty, judged against the local rule shard only
+        // (see the serial loop for the admit semantics).
+        let mut rule_delta = 0usize;
+        if let Some(rules) = rules.as_mut() {
+            if aborted.is_none() {
+                let rec = CovRecorder::from_recycled(std::mem::take(&mut rule_recycle));
+                let (parsed, map) = tel.time(Stage::CoverageUnion, || {
+                    lego_sqlparser::parse_script_traced(&case.to_sql(), rec)
+                });
+                if parsed.is_ok() {
+                    let before = rules.edges_covered();
+                    if rules.merge(&map) {
+                        rule_delta = (rules.edges_covered() - before).max(1);
+                    }
+                }
+                rule_recycle = map;
+            }
+        }
+        let rule_new = rule_delta > 0;
+        let accepted = new_coverage || rule_new;
         tel.emit(|| Event::ExecEnd {
             worker,
             exec: execs as u64,
             statements: report.statements_executed as u64,
             ok: report.stmts_ok as u64,
             err: report.stmts_err as u64,
-            new_coverage,
+            new_coverage: accepted,
         });
         if let Some(crash) = report.crash() {
             let h = crash.stack_hash();
@@ -948,10 +1068,18 @@ fn run_worker(
                 });
             }
         }
-        if new_coverage && report.crash().is_none() {
+        if accepted && report.crash().is_none() {
             units += oracle_rt.check(&case, worker, execs, tel);
         }
-        tel.time(Stage::Feedback, || engine.feedback(&case, &report, new_coverage));
+        tel.time(Stage::Feedback, || engine.feedback(&case, &report, accepted));
+        if rule_new {
+            tel.time(Stage::Feedback, || engine.rule_feedback(&case, rule_delta));
+            tel.emit(|| Event::RuleCoverageGain {
+                worker,
+                exec: execs as u64,
+                edges: rule_delta as u64,
+            });
+        }
         db.recycle(report.coverage);
         execs += 1;
         since_sync += 1;
@@ -959,6 +1087,9 @@ fn run_worker(
             // Publishes only the words dirtied since the last sync; a
             // novelty-free epoch performs zero atomic operations.
             tel.time(Stage::CoverageUnion, || sink.publish_dirty(&mut shard));
+            if let (Some(rules), Some(rs)) = (rules.as_mut(), rule_sink) {
+                tel.time(Stage::CoverageUnion, || rs.publish_dirty(rules));
+            }
             tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
             since_sync = 0;
         }
@@ -998,6 +1129,10 @@ fn run_worker(
                             })
                             .collect(),
                         coverage: checkpoint::sparse_out(&shard.to_sparse()),
+                        rule_coverage: rules
+                            .as_ref()
+                            .map(|r| checkpoint::sparse_out(&r.to_sparse()))
+                            .unwrap_or_default(),
                         seen_stacks: sorted_pairs(&seen_stacks),
                         bugs: bugs
                             .iter()
@@ -1040,8 +1175,11 @@ fn run_worker(
         snaps.push((units, shard.to_sparse()));
         next_snap += 1;
     }
-    // Final flush: after this, the sink holds everything the shard saw.
+    // Final flush: after this, the sinks hold everything the shards saw.
     tel.time(Stage::CoverageUnion, || sink.publish_dirty(&mut shard));
+    if let (Some(rules), Some(rs)) = (rules.as_mut(), rule_sink) {
+        tel.time(Stage::CoverageUnion, || rs.publish_dirty(rules));
+    }
     tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
 
     Ok(WorkerOut {
@@ -1182,8 +1320,31 @@ pub fn run_campaign_parallel_durable<F>(
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
 {
+    run_campaign_parallel_full(factory, dialect, budget, opts, tel, oracles, ckpt, wal_dir, false)
+}
+
+/// [`run_campaign_parallel_durable`] plus the grammar-rule coverage
+/// dimension — the parallel counterpart of [`run_campaign_full`]. Rule
+/// novelty is judged against each worker's local rule shard and merged
+/// through a second lock-free [`CoverageSink`], so serial and N-worker
+/// rule-coverage campaigns with the same seeds stay deterministic.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_parallel_full<F>(
+    factory: F,
+    dialect: Dialect,
+    budget: Budget,
+    opts: ParallelOpts,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
+    rule_cov: bool,
+) -> Result<CampaignStats, String>
+where
+    F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
+{
     let out = run_campaign_parallel_resilient_inner(
-        factory, dialect, budget, opts, tel, oracles, ckpt, wal_dir,
+        factory, dialect, budget, opts, tel, oracles, ckpt, wal_dir, rule_cov,
     );
     if out.is_err() {
         // Worker-death and checkpoint-I/O exits still flush the heartbeat
@@ -1203,6 +1364,7 @@ fn run_campaign_parallel_resilient_inner<F>(
     oracles: OracleConfig,
     ckpt: &CheckpointCfg,
     wal_dir: Option<&Path>,
+    rule_cov: bool,
 ) -> Result<CampaignStats, String>
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
@@ -1218,6 +1380,7 @@ where
             oracles,
             ckpt,
             wal_dir,
+            rule_cov,
         );
     }
 
@@ -1235,6 +1398,12 @@ where
                 resume.meta.workers
             ));
         }
+        if resume.meta.rule_cov != rule_cov {
+            return Err(format!(
+                "checkpoint was taken with rule_cov={}; resuming with rule_cov={} would change the exploration order",
+                resume.meta.rule_cov, rule_cov
+            ));
+        }
     }
     if let Some(dir) = &ckpt.dir {
         checkpoint::write_meta(
@@ -1249,6 +1418,7 @@ where
                 sync_every: opts.sync_every,
                 every_units: ckpt.every_units,
                 oracles: (oracles.tlp, oracles.norec, oracles.differential, oracles.recovery),
+                rule_cov,
             },
         )
         .map_err(|e| format!("write checkpoint meta: {e}"))?;
@@ -1256,6 +1426,7 @@ where
 
     let children: Vec<Telemetry> = (0..workers).map(|w| tel.worker_child(w)).collect();
     let sink = CoverageSink::new();
+    let rule_sink: Option<CoverageSink> = if rule_cov { Some(CoverageSink::new()) } else { None };
     // Each slot: Ok(Ok) = survivor, Ok(Err) = fatal campaign error
     // (checkpoint I/O, bad resume), Err(msg) = worker died by panic.
     type Joined = Result<Result<WorkerOut, String>, String>;
@@ -1263,6 +1434,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let sink = &sink;
+                let rule_sink = rule_sink.as_ref();
                 let factory = &factory;
                 let wtel = &children[w];
                 let resume_w = ckpt.resume.as_ref().map(|r| &r.workers[w]);
@@ -1278,6 +1450,7 @@ where
                         shard,
                         dialect,
                         sink,
+                        rule_sink,
                         wtel,
                         oracles,
                         ckpt,
@@ -1295,6 +1468,7 @@ where
             .collect()
     });
     let global = sink.into_global();
+    let rule_branches = rule_sink.map_or(0, |rs| rs.into_global().edges_covered());
     // Replay buffered worker events into the parent sinks, in worker order.
     for child in &children {
         tel.merge_worker(child);
@@ -1375,6 +1549,7 @@ where
         units: survivors().map(|o| o.units).sum(),
         coverage_curve: curve,
         branches: global.edges_covered(),
+        rule_branches,
         corpus_affinities: corpus_affinities(&corpus).len(),
         corpus_size: corpus.len(),
         stmts_ok: survivors().map(|o| o.stmts_ok).sum(),

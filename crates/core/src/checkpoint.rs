@@ -28,14 +28,16 @@ use serde::Serialize;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Format version; bumped on any layout change. v3 records the recovery
-/// oracle as a fourth `meta.json` oracle flag (older metas parse with it
-/// defaulted off). v2 embeds engine snapshots whose `executed_ngrams` are
-/// packed `u64` keys (see `lego::ngram`); v1 stored them as arrays of
-/// kind-code arrays. The read side accepts
+/// Format version; bumped on any layout change. v4 records the grammar-rule
+/// coverage map per worker plus a `rule_cov` meta flag (older checkpoints
+/// parse with both empty/off, matching the runs that produced them). v3
+/// records the recovery oracle as a fourth `meta.json` oracle flag (older
+/// metas parse with it defaulted off). v2 embeds engine snapshots whose
+/// `executed_ngrams` are packed `u64` keys (see `lego::ngram`); v1 stored
+/// them as arrays of kind-code arrays. The read side accepts
 /// [`MIN_CHECKPOINT_VERSION`]..=[`CHECKPOINT_VERSION`] — v1 checkpoints are
 /// migrated on restore.
-pub const CHECKPOINT_VERSION: u64 = 3;
+pub const CHECKPOINT_VERSION: u64 = 4;
 
 /// Oldest checkpoint format this build can still restore.
 pub const MIN_CHECKPOINT_VERSION: u64 = 1;
@@ -87,6 +89,9 @@ pub struct CheckpointMeta {
     pub every_units: usize,
     /// `(tlp, norec, differential, recovery)`.
     pub oracles: (bool, bool, bool, bool),
+    /// Whether the campaign ran with grammar-rule coverage feedback (v4;
+    /// resume must be invoked with the same flag).
+    pub rule_cov: bool,
 }
 
 /// One worker's (or the serial loop's) complete persisted state.
@@ -114,6 +119,9 @@ pub struct WorkerCheckpoint {
     pub snaps: Vec<SnapCk>,
     /// Sparse dump of the coverage accumulator.
     pub coverage: Vec<(usize, u64)>,
+    /// Sparse dump of the grammar-rule coverage accumulator (v4; empty when
+    /// the campaign ran without `rule_cov`).
+    pub rule_coverage: Vec<(usize, u64)>,
     /// Crash dedup state: `(stack_hash, first_exec)`, hash-sorted.
     pub seen_stacks: Vec<(u64, usize)>,
     pub bugs: Vec<FindingCk>,
@@ -206,6 +214,8 @@ pub struct ResumeMeta {
     /// `(tlp, norec, differential, recovery)`. Pre-v3 metas carry three
     /// flags; recovery parses as `false`.
     pub oracles: (bool, bool, bool, bool),
+    /// Grammar-rule coverage flag (v4; pre-v4 metas parse as `false`).
+    pub rule_cov: bool,
 }
 
 /// Parsed per-worker checkpoint, ready for the campaign runner to apply.
@@ -224,6 +234,9 @@ pub struct WorkerResume {
     pub curve: Vec<(usize, usize)>,
     pub snaps: Vec<(usize, Vec<(usize, u8)>)>,
     pub coverage: Vec<(usize, u8)>,
+    /// Grammar-rule coverage shard (v4; empty for pre-v4 checkpoints and
+    /// rule-cov-off runs).
+    pub rule_coverage: Vec<(usize, u8)>,
     pub seen_stacks: Vec<(u64, usize)>,
     pub bugs: Vec<FindingCk>,
     pub logic_bugs: Vec<LogicFindingCk>,
@@ -300,6 +313,11 @@ fn parse_meta(src: &str) -> Result<ResumeMeta, String> {
         sync_every: get_usize(&v, "sync_every")?,
         every_units: get_usize(&v, "every_units")?,
         oracles: (flag(0)?, flag(1)?, flag(2)?, flag(3)?),
+        // Pre-v4 metas predate rule coverage; those runs had it off.
+        rule_cov: match v.get("rule_cov") {
+            Some(b) => b.as_bool().ok_or("meta.json: rule_cov must be a bool")?,
+            None => false,
+        },
     })
 }
 
@@ -329,6 +347,11 @@ fn parse_worker(src: &str) -> Result<WorkerResume, String> {
         curve: pairs_usize(get(&v, "curve")?)?,
         snaps,
         coverage: sparse_in(get(&v, "coverage")?)?,
+        // Pre-v4 checkpoints carry no rule map; resume with an empty one.
+        rule_coverage: match v.get("rule_coverage") {
+            Some(rc) => sparse_in(rc)?,
+            None => Vec::new(),
+        },
         seen_stacks: pairs_u64_usize(get(&v, "seen_stacks")?)?,
         bugs: findings_in(get(&v, "bugs")?)?,
         logic_bugs: logic_findings_in(get(&v, "logic_bugs")?)?,
@@ -463,6 +486,7 @@ mod tests {
             curve: vec![(0, 0), (500, 42)],
             snaps: vec![SnapCk { units: 500, coverage: vec![(9, 3)] }],
             coverage: vec![(3, 1), (70_000, 255)],
+            rule_coverage: vec![(17, 1)],
             seen_stacks: vec![(u64::MAX - 3, 11)],
             bugs: vec![FindingCk {
                 first_exec: 11,
@@ -507,6 +531,7 @@ mod tests {
             sync_every: 16,
             every_units: 2_000,
             oracles: (false, true, false, false),
+            rule_cov: true,
         };
         write_meta(&dir, &meta).unwrap();
         // Worker 0 reached seq 3; worker 1 only seq 2 — the consistent
@@ -537,6 +562,7 @@ mod tests {
             sync_every: 16,
             every_units: 1,
             oracles: (false, false, false, false),
+            rule_cov: false,
         };
         write_meta(&dir, &meta).unwrap();
         write_worker(&dir, &sample_worker(0, 1)).unwrap();

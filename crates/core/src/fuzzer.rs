@@ -26,10 +26,11 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Engine-snapshot format version. v2 packs `executed_ngrams` as sorted
+/// Engine-snapshot format version. v3 adds the `rule_cov` config knob and
+/// the `rule_boosted` stats counter; v2 packs `executed_ngrams` as sorted
 /// `u64` keys (see [`crate::ngram`]); v1 stored arrays of kind-code arrays.
-/// Restore accepts both.
-pub const ENGINE_SNAPSHOT_VERSION: u64 = 2;
+/// Restore accepts all three (older snapshots imply `rule_cov = false`).
+pub const ENGINE_SNAPSHOT_VERSION: u64 = 3;
 
 /// Tuning knobs. Defaults follow the paper where it gives numbers
 /// (`LEN = 5`; the length-ablation experiment uses 3/5/8).
@@ -69,6 +70,12 @@ pub struct Config {
     pub queue_cap: usize,
     /// RNG seed for the whole campaign.
     pub rng_seed: u64,
+    /// Grammar-rule coverage feedback: react to parser-rule novelty reported
+    /// by the campaign loop (seed boosting + gap-pair affinity harvesting)
+    /// and start from the dialect "special features" template pack. Kept
+    /// LAST so that v2 snapshots differ from v3 only by this field's
+    /// trailing JSON fragment (see `apply_snapshot`).
+    pub rule_cov: bool,
 }
 
 impl Default for Config {
@@ -86,6 +93,7 @@ impl Default for Config {
             nonadjacent_affinities: false,
             queue_cap: 20_000,
             rng_seed: 0x1e60,
+            rule_cov: false,
         }
     }
 }
@@ -202,6 +210,9 @@ pub struct LegoStats {
     pub queue_dropped: usize,
     pub seq_mutants: usize,
     pub conventional_mutants: usize,
+    /// Corpus entries whose admission was driven (at least in part) by
+    /// grammar-rule novelty — each one also got a scheduling boost.
+    pub rule_boosted: usize,
 }
 
 impl LegoFuzzer {
@@ -228,7 +239,20 @@ impl LegoFuzzer {
         for case in initial_corpus(dialect) {
             fz.queue.push_back(Pending { case: Arc::new(case), origin: Origin::Seed });
         }
+        fz.push_special_pack();
         fz
+    }
+
+    /// Queue the dialect "special features" templates (rule-coverage mode
+    /// only). They ride behind the mundane corpus so the baseline seeds
+    /// still execute first.
+    fn push_special_pack(&mut self) {
+        if !self.cfg.rule_cov {
+            return;
+        }
+        for case in crate::special::special_templates(self.dialect) {
+            self.queue.push_back(Pending { case: Arc::new(case), origin: Origin::Seed });
+        }
     }
 
     /// Convenience constructor for the LEGO- ablation (§ V-D).
@@ -245,6 +269,7 @@ impl LegoFuzzer {
         for case in corpus {
             fz.queue.push_back(Pending { case: Arc::new(case), origin: Origin::Seed });
         }
+        fz.push_special_pack();
         fz
     }
 
@@ -637,6 +662,7 @@ impl LegoFuzzer {
                 self.stats.queue_dropped,
                 self.stats.seq_mutants,
                 self.stats.conventional_mutants,
+                self.stats.rule_boosted,
             ],
         }
     }
@@ -665,7 +691,16 @@ impl LegoFuzzer {
         }
         let cfg = get_string(v, "cfg")?;
         let own_cfg = serde_json::to_string(&self.cfg).expect("config serialize");
-        if cfg != own_cfg {
+        // v2 snapshots predate `rule_cov`; since that field is declared LAST
+        // it is exactly the trailing `,"rule_cov":…}` fragment of a v3 cfg
+        // string, so a pre-v3 snapshot matches iff this engine runs with the
+        // default (`false`).
+        let cmp_cfg = if version < 3 {
+            own_cfg.replacen(",\"rule_cov\":false}", "}", 1)
+        } else {
+            own_cfg.clone()
+        };
+        if cfg != cmp_cfg {
             return Err(format!(
                 "snapshot config does not match this engine's config:\n  snapshot: {cfg}\n  engine:   {own_cfg}"
             ));
@@ -780,8 +815,11 @@ impl LegoFuzzer {
             }
         }
         let stats = get(v, "stats")?.as_array().ok_or("field 'stats' must be an array")?;
-        if stats.len() != 7 {
-            return Err(format!("expected 7 stats counters, got {}", stats.len()));
+        // Pre-v3 snapshots carry 7 counters (no `rule_boosted`, which is 0
+        // by definition since those engines had no rule feedback).
+        let expected = if version < 3 { 7 } else { 8 };
+        if stats.len() != expected {
+            return Err(format!("expected {expected} stats counters, got {}", stats.len()));
         }
         let counter = |i: usize| -> Result<usize, String> {
             stats[i].as_usize().ok_or_else(|| "stats counter must be an integer".to_string())
@@ -794,6 +832,7 @@ impl LegoFuzzer {
             queue_dropped: counter(4)?,
             seq_mutants: counter(5)?,
             conventional_mutants: counter(6)?,
+            rule_boosted: if version < 3 { 0 } else { counter(7)? },
         };
         Ok(())
     }
@@ -900,6 +939,40 @@ impl FuzzEngine for LegoFuzzer {
         // synthesis jobs. Interesting cases are rare, so this stays off the
         // per-exec hot path.
         self.tel.set_queue_depth((self.queue.len() + self.synth_queue.len()) as u64);
+    }
+
+    fn rule_feedback(&mut self, case: &Arc<TestCase>, new_rule_edges: usize) {
+        if !self.cfg.rule_cov || new_rule_edges == 0 {
+            return;
+        }
+        // The campaign calls `feedback` (with `new_coverage = true`) before
+        // this, so the case is the pool's newest seed: make it win more
+        // best-of-two scheduling draws.
+        self.stats.rule_boosted += 1;
+        self.pool.boost_newest();
+        if self.cfg.sequence_oriented {
+            // Affinity bonus: a case that unlocked new grammar productions
+            // earns the gap-1 pair treatment normally reserved for the
+            // `nonadjacent_affinities` mode, feeding extra sequences to
+            // Algorithm 3.
+            let seq = case.type_sequence();
+            let mut new_affs = Vec::new();
+            for w in seq.windows(3) {
+                if w[0] != w[2] && self.affinities.insert(w[0], w[2]) {
+                    new_affs.push((w[0], w[2]));
+                }
+            }
+            if !new_affs.is_empty() {
+                self.stats.affinities_found = self.affinities.len();
+                if self.tel.enabled() {
+                    for &(t1, t2) in &new_affs {
+                        self.tel
+                            .emit(|| Event::AffinityDiscovered { t1: t1.name(), t2: t2.name() });
+                    }
+                }
+                self.synthesize_for(&new_affs);
+            }
+        }
     }
 
     fn corpus(&self) -> Vec<Arc<TestCase>> {

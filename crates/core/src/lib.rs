@@ -38,12 +38,14 @@ pub mod ngram;
 pub mod pool;
 pub mod reduce;
 pub mod seeds;
+pub mod special;
 pub mod synthesis;
 
 pub use affinity::AffinityMap;
 pub use campaign::{
-    run_campaign, run_campaign_durable, run_campaign_observed, run_campaign_parallel,
-    run_campaign_parallel_durable, run_campaign_parallel_observed, run_campaign_parallel_resilient,
+    run_campaign, run_campaign_durable, run_campaign_full, run_campaign_observed,
+    run_campaign_parallel, run_campaign_parallel_durable, run_campaign_parallel_full,
+    run_campaign_parallel_observed, run_campaign_parallel_resilient,
     run_campaign_parallel_with_oracles, run_campaign_resilient, run_campaign_with_oracles, Budget,
     CampaignStats, FuzzEngine, LogicBugFinding, ParallelOpts,
 };

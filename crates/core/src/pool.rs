@@ -97,6 +97,16 @@ impl SeedPool {
     pub fn get(&self, id: usize) -> Option<&Seed> {
         self.seeds.get(id)
     }
+
+    /// Halve the most recently added seed's cost (floor 1), making it win
+    /// more best-of-two draws in [`SeedPool::pick`]. Used by rule-coverage
+    /// feedback to favour seeds that unlocked new grammar productions;
+    /// deterministic (no RNG, pure function of pool state).
+    pub fn boost_newest(&mut self) {
+        if let Some(seed) = self.seeds.last_mut() {
+            seed.cost = (seed.cost / 2).max(1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +164,21 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let newest = (0..1000).filter(|_| pool.pick(&mut rng).unwrap().id >= 6).count();
         assert!((540..=710).contains(&newest), "newest-quarter picks = {newest}/1000");
+    }
+
+    #[test]
+    fn boost_newest_halves_cost_with_floor_one() {
+        let mut pool = SeedPool::new();
+        pool.boost_newest(); // empty pool: no-op
+        pool.add(case("SELECT 1;"), 9);
+        pool.add(case("SELECT 2;"), 10);
+        pool.boost_newest();
+        assert_eq!(pool.get(1).unwrap().cost, 5);
+        assert_eq!(pool.get(0).unwrap().cost, 9, "only the newest seed is boosted");
+        for _ in 0..4 {
+            pool.boost_newest();
+        }
+        assert_eq!(pool.get(1).unwrap().cost, 1);
     }
 
     #[test]

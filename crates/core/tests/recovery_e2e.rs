@@ -21,7 +21,7 @@ use lego::oracle::{OracleKind, OracleSuite};
 use lego::OracleConfig;
 use lego_dbms::faults::FaultGuard;
 use lego_sqlast::{Dialect, TestCase};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 static FAULT_LOCK: Mutex<()> = Mutex::new(());
@@ -80,7 +80,7 @@ INSERT INTO t VALUES (5, 50), (6, 60), (7, 70);
 UPDATE t SET b = 0 WHERE a = 5;
 SELECT * FROM t WHERE a > 5;";
 
-fn run_recovery_campaign(dir: &PathBuf, tel: &Telemetry) -> lego::CampaignStats {
+fn run_recovery_campaign(dir: &Path, tel: &Telemetry) -> lego::CampaignStats {
     let mut engine = Replay::new(&[VARIANT_A, VARIANT_B]);
     run_campaign_durable(
         &mut engine,

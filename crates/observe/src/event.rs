@@ -75,6 +75,10 @@ pub enum Event {
     SynthesisStep { t1: String, t2: String, sequences: u64, instantiated: u64 },
     /// A case covered new branches; attributed to its producing operator.
     CoverageGain { op: MutOp, edges: u64 },
+    /// A case traversed grammar-rule edges never seen before (`--rule-cov`
+    /// campaigns only). `edges` is the number of newly covered rule→rule
+    /// edges, minimum 1 (hit-count bucket novelty with no new index).
+    RuleCoverageGain { worker: usize, exec: u64, edges: u64 },
     /// A deduplicated bug was recorded.
     BugFound { worker: usize, exec: u64, identifier: String, stack_hash: u64 },
     /// A correctness oracle (TLP / NoREC / differential) flagged a
@@ -105,6 +109,7 @@ impl Event {
             Event::AffinityDiscovered { .. } => "AffinityDiscovered",
             Event::SynthesisStep { .. } => "SynthesisStep",
             Event::CoverageGain { .. } => "CoverageGain",
+            Event::RuleCoverageGain { .. } => "RuleCoverageGain",
             Event::BugFound { .. } => "BugFound",
             Event::LogicBugFound { .. } => "LogicBugFound",
             Event::DurabilityBugFound { .. } => "DurabilityBugFound",
@@ -150,6 +155,11 @@ impl Event {
             }
             Event::CoverageGain { op, edges } => {
                 push_str(&mut s, "op", op.name());
+                push_num(&mut s, "edges", *edges);
+            }
+            Event::RuleCoverageGain { worker, exec, edges } => {
+                push_num(&mut s, "worker", *worker as u64);
+                push_num(&mut s, "exec", *exec);
                 push_num(&mut s, "edges", *edges);
             }
             Event::BugFound { worker, exec, identifier, stack_hash } => {

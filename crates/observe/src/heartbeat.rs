@@ -26,6 +26,7 @@ pub struct LiveCounters {
     bugs: AtomicU64,
     logic_bugs: AtomicU64,
     cases_aborted: AtomicU64,
+    rule_edges: AtomicU64,
 }
 
 impl Default for LiveCounters {
@@ -41,6 +42,7 @@ impl Default for LiveCounters {
             bugs: AtomicU64::new(0),
             logic_bugs: AtomicU64::new(0),
             cases_aborted: AtomicU64::new(0),
+            rule_edges: AtomicU64::new(0),
         }
     }
 }
@@ -92,6 +94,12 @@ impl LiveCounters {
         self.cases_aborted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// New grammar-rule edges covered (`--rule-cov` campaigns; workers add
+    /// their per-case deltas to the shared total).
+    pub fn add_rule_edges(&self, v: u64) {
+        self.rule_edges.fetch_add(v, Ordering::Relaxed);
+    }
+
     /// Scheduler backlog gauge: pending + synthesis queue entries.
     pub fn set_queued(&self, v: u64) {
         self.queued.store(v, Ordering::Relaxed);
@@ -123,6 +131,10 @@ impl LiveCounters {
 
     pub fn cases_aborted(&self) -> u64 {
         self.cases_aborted.load(Ordering::Relaxed)
+    }
+
+    pub fn rule_edges(&self) -> u64 {
+        self.rule_edges.load(Ordering::Relaxed)
     }
 
     pub fn stmts_ok(&self) -> u64 {

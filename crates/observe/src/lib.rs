@@ -125,6 +125,7 @@ impl Telemetry {
                 Event::BugFound { .. } => inner.live.record_bug(),
                 Event::LogicBugFound { .. } => inner.live.record_logic_bug(),
                 Event::CaseAborted { .. } => inner.live.record_abort(),
+                Event::RuleCoverageGain { edges, .. } => inner.live.add_rule_edges(*edges),
                 _ => {}
             }
             inner.emit_now(&ev);

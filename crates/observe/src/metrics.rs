@@ -44,6 +44,9 @@ fn metric_meta(base: &str) -> Option<(&'static str, &'static str)> {
         "lego_instantiated_cases_total" => ("counter", "Synthesized sequences instantiated."),
         "lego_coverage_gains_total" => ("counter", "Coverage-gaining cases, by operator."),
         "lego_coverage_gain_edges_total" => ("counter", "New edges gained, by operator."),
+        "lego_rule_edges_total" => {
+            ("counter", "New grammar-rule edges covered (--rule-cov campaigns).")
+        }
         "lego_bugs_total" => ("counter", "Deduplicated crash bugs."),
         "lego_logic_bugs_total" => ("counter", "Deduplicated oracle-flagged wrong-result bugs."),
         "lego_durability_bugs_total" => {
@@ -194,6 +197,7 @@ impl MetricsRegistry {
                 self.inc(&labeled("lego_coverage_gains_total", "op", op.name()), 1);
                 self.inc(&labeled("lego_coverage_gain_edges_total", "op", op.name()), *edges);
             }
+            Event::RuleCoverageGain { edges, .. } => self.inc("lego_rule_edges_total", *edges),
             Event::BugFound { .. } => self.inc("lego_bugs_total", 1),
             Event::LogicBugFound { .. } => self.inc("lego_logic_bugs_total", 1),
             Event::DurabilityBugFound { .. } => self.inc("lego_durability_bugs_total", 1),

@@ -21,7 +21,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Column order for both the CSV header and the JSON `rows` arrays.
-pub const COLUMNS: [&str; 10] = [
+pub const COLUMNS: [&str; 11] = [
     "t_s",
     "execs",
     "execs_per_sec",
@@ -32,6 +32,7 @@ pub const COLUMNS: [&str; 10] = [
     "bugs",
     "logic_bugs",
     "aborted",
+    "rule_edges",
 ];
 
 #[derive(Clone, Copy, Debug)]
@@ -46,12 +47,13 @@ struct Row {
     bugs: u64,
     logic_bugs: u64,
     aborted: u64,
+    rule_edges: u64,
 }
 
 impl Row {
     fn csv(&self) -> String {
         format!(
-            "{:.3},{},{:.1},{},{},{},{:.2},{},{},{}\n",
+            "{:.3},{},{:.1},{},{},{},{:.2},{},{},{},{}\n",
             self.t_s,
             self.execs,
             self.execs_per_sec,
@@ -61,13 +63,14 @@ impl Row {
             self.validity_pct,
             self.bugs,
             self.logic_bugs,
-            self.aborted
+            self.aborted,
+            self.rule_edges
         )
     }
 
     fn json(&self) -> String {
         format!(
-            "[{:.3},{},{:.1},{},{},{},{:.2},{},{},{}]",
+            "[{:.3},{},{:.1},{},{},{},{:.2},{},{},{},{}]",
             self.t_s,
             self.execs,
             self.execs_per_sec,
@@ -77,7 +80,8 @@ impl Row {
             self.validity_pct,
             self.bugs,
             self.logic_bugs,
-            self.aborted
+            self.aborted,
+            self.rule_edges
         )
     }
 }
@@ -115,6 +119,7 @@ impl Shared {
             bugs: self.live.bugs(),
             logic_bugs: self.live.logic_bugs(),
             aborted: self.live.cases_aborted(),
+            rule_edges: self.live.rule_edges(),
         };
         state.last = (t_s, execs);
         if let Some(w) = state.out.as_mut() {

@@ -29,23 +29,43 @@ impl fmt::Display for Tok {
         match self {
             Tok::Ident(s) => f.write_str(s),
             Tok::Int(v) => write!(f, "{}", v),
-            Tok::Float(v) => write!(f, "{}", v),
+            Tok::Float(v) => {
+                // Non-finite values cannot be written as a numeric literal
+                // ("inf"/"NaN" re-lex as identifiers); degrade to the same
+                // finite sentinel the lexer's overflow path uses. Integral
+                // floats keep a `.0` suffix so they re-lex as floats, not
+                // ints.
+                let v = if v.is_finite() { *v } else { f64::MAX };
+                if v.fract() == 0.0 {
+                    write!(f, "{:.1}", v)
+                } else {
+                    write!(f, "{}", v)
+                }
+            }
             Tok::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
             Tok::Sym(s) => f.write_str(s),
         }
     }
 }
 
-/// A lexer error with byte offset.
+/// A lexer error. `offset` is a byte offset into the source; `token_index`
+/// is the number of tokens successfully lexed before the failure, i.e. the
+/// index the bad token would have had — the same coordinate system as
+/// `ParseError::pos`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LexError {
     pub offset: usize,
+    pub token_index: usize,
     pub message: String,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "lex error at byte {} (token {}): {}",
+            self.offset, self.token_index, self.message
+        )
     }
 }
 
@@ -54,10 +74,29 @@ impl std::error::Error for LexError {}
 const SYMBOLS2: &[&str] = &["||", "<>", "!=", "<=", ">=", "@@", "::"];
 const SYMBOLS1: &[&str] = &["(", ")", ",", ".", ";", "=", "<", ">", "+", "-", "*", "/", "%"];
 
+/// Clamp a parsed float literal to a finite value. Literals like `1e999`
+/// overflow `f64` to infinity, and a non-finite `Tok::Float` cannot survive
+/// a print→re-lex roundtrip, so both numeric paths degrade to `f64::MAX`.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::MAX
+    }
+}
+
 /// Tokenize a SQL script. Comments (`-- …` to end of line) are skipped.
 pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
+    Ok(lex_spanned(input)?.0)
+}
+
+/// Tokenize, also returning each token's starting byte offset (same length
+/// as the token vector). The spans let parse errors report a source snippet
+/// alongside their token index.
+pub fn lex_spanned(input: &str) -> Result<(Vec<Tok>, Vec<usize>), LexError> {
     let bytes = input.as_bytes();
     let mut out = Vec::new();
+    let mut spans = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
@@ -84,6 +123,7 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                     None => {
                         return Err(LexError {
                             offset: start,
+                            token_index: out.len(),
                             message: "unterminated string".into(),
                         })
                     }
@@ -96,12 +136,22 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                             break;
                         }
                     }
-                    Some(&b) => {
+                    Some(&b) if b < 0x80 => {
                         s.push(b as char);
                         i += 1;
                     }
+                    Some(_) => {
+                        // Multi-byte UTF-8 inside a string literal: consume
+                        // the whole character. Byte-at-a-time `b as char`
+                        // would mangle it into Latin-1 and break the
+                        // print→re-lex roundtrip.
+                        let ch = input[i..].chars().next().expect("mid-string char");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
                 }
             }
+            spans.push(start);
             out.push(Tok::Str(s));
             continue;
         }
@@ -135,17 +185,20 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                 }
             }
             let text = &input[start..i];
+            spans.push(start);
             if is_float {
                 let v: f64 = text.parse().map_err(|_| LexError {
                     offset: start,
+                    token_index: out.len(),
                     message: format!("bad float literal {text}"),
                 })?;
-                out.push(Tok::Float(v));
+                // `1e999` parses Ok as +inf — clamp, don't pass through.
+                out.push(Tok::Float(finite(v)));
             } else {
                 match text.parse::<i64>() {
                     Ok(v) => out.push(Tok::Int(v)),
                     // Overflowing integers degrade to floats, like real DBMSs.
-                    Err(_) => out.push(Tok::Float(text.parse::<f64>().unwrap_or(f64::MAX))),
+                    Err(_) => out.push(Tok::Float(finite(text.parse::<f64>().unwrap_or(f64::MAX)))),
                 }
             }
             continue;
@@ -160,22 +213,29 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                     break;
                 }
             }
+            spans.push(start);
             out.push(Tok::Ident(input[start..i].to_string()));
             continue;
         }
         if let Some(&sym) = SYMBOLS2.iter().find(|s| input[i..].starts_with(**s)) {
+            spans.push(i);
             out.push(Tok::Sym(sym));
             i += sym.len();
             continue;
         }
         if let Some(&sym) = SYMBOLS1.iter().find(|s| input[i..].starts_with(**s)) {
+            spans.push(i);
             out.push(Tok::Sym(sym));
             i += sym.len();
             continue;
         }
-        return Err(LexError { offset: i, message: format!("unexpected character {c:?}") });
+        return Err(LexError {
+            offset: i,
+            token_index: out.len(),
+            message: format!("unexpected character {c:?}"),
+        });
     }
-    Ok(out)
+    Ok((out, spans))
 }
 
 #[cfg(test)]
@@ -231,5 +291,62 @@ mod tests {
     fn lex_giant_int_degrades_to_float() {
         let toks = lex("99999999999999999999999").unwrap();
         assert!(matches!(toks[0], Tok::Float(_)));
+    }
+
+    #[test]
+    fn lex_spanned_reports_token_start_offsets() {
+        let (toks, spans) = lex_spanned("SELECT  'ab', 12 -- c\n+ x").unwrap();
+        assert_eq!(toks.len(), spans.len());
+        assert_eq!(spans, vec![0, 8, 12, 14, 22, 24]);
+    }
+
+    #[test]
+    fn lex_errors_carry_both_coordinates() {
+        let err = lex("SELECT 1 ? 2").unwrap_err();
+        assert_eq!(err.offset, 9);
+        assert_eq!(err.token_index, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("byte 9") && msg.contains("token 2"), "{msg}");
+    }
+
+    #[test]
+    fn overflowing_float_literals_clamp_to_finite() {
+        // `1e999` overflows f64 to +inf via the *float* path; the giant
+        // integer overflows via the *int* path. Both must stay finite.
+        for src in ["1e999", "123456789e3000", "9e999999"] {
+            let toks = lex(src).unwrap();
+            match &toks[0] {
+                Tok::Float(v) => assert!(v.is_finite(), "{src} lexed to non-finite {v}"),
+                t => panic!("{src} lexed to {t:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn float_display_roundtrips_through_the_lexer() {
+        // lex → print → lex must preserve token kind and value, including
+        // the non-finite sentinel and integral floats (`1.0` must not print
+        // as `1`, which would re-lex as an Int).
+        for src in ["1e999", "1.0", "2.5", "1e3", "0.125", "99999999999999999999999"] {
+            let toks = lex(src).unwrap();
+            let printed = toks[0].to_string();
+            let again = lex(&printed).unwrap();
+            assert_eq!(again.len(), 1, "{src} printed as {printed}");
+            assert_eq!(toks[0], again[0], "{src} printed as {printed}");
+        }
+        // Direct non-finite values (constructed, not lexed) degrade to the
+        // sentinel rather than printing `inf`/`NaN` identifier text.
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let printed = Tok::Float(v).to_string();
+            assert_eq!(lex(&printed).unwrap(), vec![Tok::Float(f64::MAX)], "{v} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn multibyte_string_literals_roundtrip() {
+        let toks = lex("'café — ☕'").unwrap();
+        assert_eq!(toks, vec![Tok::Str("café — ☕".into())]);
+        let printed = toks[0].to_string();
+        assert_eq!(lex(&printed).unwrap(), toks);
     }
 }

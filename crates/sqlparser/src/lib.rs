@@ -24,27 +24,99 @@ pub mod lexer;
 mod parser;
 mod phrases;
 
-pub use lexer::{lex, LexError, Tok};
+pub use lexer::{lex, lex_spanned, LexError, Tok};
 pub use parser::{ParseError, Parser};
 
+use lego_coverage::{CovMap, CovRecorder};
 use lego_sqlast::{Statement, TestCase};
+
+/// A short source excerpt starting at byte `offset`, for error messages.
+/// Clamped to char boundaries, newlines flattened.
+fn snippet(sql: &str, offset: usize) -> String {
+    let mut start = offset.min(sql.len());
+    while start > 0 && !sql.is_char_boundary(start) {
+        start -= 1;
+    }
+    let mut end = (start + 24).min(sql.len());
+    while end < sql.len() && !sql.is_char_boundary(end) {
+        end += 1;
+    }
+    sql[start..end].replace(['\n', '\r'], " ")
+}
+
+/// Attach the byte offset and a source snippet to a parse error. `pos`
+/// keeps its token-index semantics; errors past the last token point at
+/// end-of-input.
+fn enrich(sql: &str, spans: &[usize], e: ParseError) -> ParseError {
+    let offset = spans.get(e.pos).copied().unwrap_or(sql.len());
+    ParseError {
+        pos: e.pos,
+        message: format!("{} at byte {offset} (near `{}`)", e.message, snippet(sql, offset)),
+    }
+}
+
+/// Map a lexer failure into the `ParseError` coordinate system: the token
+/// index the bad token would have had, with byte offset and snippet in the
+/// message.
+fn lex_error(sql: &str, e: LexError) -> ParseError {
+    ParseError { pos: e.token_index, message: format!("{e} (near `{}`)", snippet(sql, e.offset)) }
+}
 
 /// Parse a SQL script (statements separated by `;`) into a test case.
 pub fn parse_script(sql: &str) -> Result<TestCase, ParseError> {
-    let toks = lex(sql).map_err(|e| ParseError { pos: 0, message: e.to_string() })?;
-    let mut p = Parser::new(toks);
+    match parse_script_inner(sql, None) {
+        Ok((case, _)) => Ok(case),
+        Err((e, _)) => Err(e),
+    }
+}
+
+/// Parse a SQL script while recording grammar-rule traversal coverage into
+/// `rec` (AFL-style rule→rule edges, chain reset at each statement
+/// boundary). Returns the rule map even when parsing fails, so partial
+/// traversals of malformed inputs still count as coverage.
+pub fn parse_script_traced(sql: &str, rec: CovRecorder) -> (Result<TestCase, ParseError>, CovMap) {
+    match parse_script_inner(sql, Some(rec)) {
+        Ok((case, map)) => (Ok(case), map.expect("traced parse returns its map")),
+        Err((e, map)) => (Err(e), map.unwrap_or_default()),
+    }
+}
+
+type TracedError = (ParseError, Option<CovMap>);
+
+fn parse_script_inner(
+    sql: &str,
+    rec: Option<CovRecorder>,
+) -> Result<(TestCase, Option<CovMap>), TracedError> {
+    let traced = rec.is_some();
+    let (toks, spans) = match lexer::lex_spanned(sql) {
+        Ok(x) => x,
+        Err(e) => return Err((lex_error(sql, e), rec.map(CovRecorder::into_map))),
+    };
+    let mut p = match rec {
+        Some(r) => Parser::with_rules(toks, r),
+        None => Parser::new(toks),
+    };
     let mut statements = Vec::new();
     loop {
         p.skip_semicolons();
         if p.at_end() {
             break;
         }
-        statements.push(p.parse_statement()?);
+        p.reset_rule_chain();
+        match p.parse_statement() {
+            Ok(s) => statements.push(s),
+            Err(e) => {
+                let e = enrich(sql, &spans, e);
+                return Err((e, traced.then(|| p.into_rule_map())));
+            }
+        }
         if !p.at_end() && !p.eat_sym(";") {
-            return Err(p.error("expected ';' between statements"));
+            let e = enrich(sql, &spans, p.error("expected ';' between statements"));
+            return Err((e, traced.then(|| p.into_rule_map())));
         }
     }
-    Ok(TestCase::new(statements))
+    let map = traced.then(|| p.into_rule_map());
+    Ok((TestCase::new(statements), map))
 }
 
 /// Parse exactly one statement.
@@ -298,5 +370,88 @@ mod roundtrip_tests {
                 assert_eq!(parsed.statements[0].kind(), k, "for {sql:?}");
             }
         }
+    }
+
+    #[test]
+    fn roundtrip_multibyte_string_literals() {
+        // Regression: the lexer used to consume string-literal bytes one at
+        // a time, mangling multi-byte UTF-8 into Latin-1 on re-render.
+        roundtrip("SELECT 'café';");
+        roundtrip("INSERT INTO t1 VALUES ('naïve — ☕', 1);");
+    }
+
+    #[test]
+    fn parse_errors_carry_token_index_and_snippet() {
+        // Parser error: pos is a token index, message carries the byte
+        // offset plus a source excerpt.
+        let err = parse_script("SELECT a FROM t1 WHERE;").unwrap_err();
+        assert!(err.message.contains("at byte"), "{}", err.message);
+        assert!(err.message.contains("near `"), "{}", err.message);
+        // Lexer error: same coordinate system — pos is the index the bad
+        // token would have had, not a byte offset masquerading as one.
+        let err = parse_script("SELECT 1 $ 2;").unwrap_err();
+        assert_eq!(err.pos, 2);
+        assert!(err.message.contains("byte 9"), "{}", err.message);
+        assert!(err.message.contains("near `$ 2;`"), "{}", err.message);
+        // Errors at end-of-input clamp the snippet instead of panicking.
+        let err = parse_script("SELECT").unwrap_err();
+        assert!(err.message.contains("at byte 6"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_snippets_respect_char_boundaries() {
+        // A multi-byte char straddling the 24-byte snippet window must not
+        // cause a slice panic.
+        let sql = format!("SELECT a FROM t1 WHERE '{}' ☕☕☕☕☕☕☕☕", "é".repeat(16));
+        let err = parse_script(&sql).unwrap_err();
+        assert!(err.message.contains("near `"), "{}", err.message);
+    }
+
+    #[test]
+    fn traced_parse_records_rule_edges() {
+        use lego_coverage::{CovRecorder, GlobalCoverage};
+        let rec = CovRecorder::new();
+        let (res, map) = parse_script_traced("SELECT v1 FROM t1 WHERE v1 = 1;", rec);
+        assert!(res.is_ok());
+        let mut virgin = GlobalCoverage::new();
+        assert!(virgin.merge(&map), "traced parse produced no rule edges");
+        assert!(virgin.edges_covered() > 3);
+    }
+
+    #[test]
+    fn traced_parse_is_deterministic_and_matches_untraced() {
+        use lego_coverage::CovRecorder;
+        let sql = "CREATE TABLE t1 (a INT); INSERT INTO t1 VALUES (1); SELECT * FROM t1;";
+        let (a, map_a) = parse_script_traced(sql, CovRecorder::new());
+        let (b, map_b) = parse_script_traced(sql, CovRecorder::new());
+        assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(map_a.digest(), map_b.digest());
+        // Tracing must not change the parse result.
+        assert_eq!(a.unwrap(), parse_script(sql).unwrap());
+    }
+
+    #[test]
+    fn traced_parse_returns_partial_map_on_error() {
+        use lego_coverage::{CovRecorder, GlobalCoverage};
+        let (res, map) = parse_script_traced("SELECT a FROM t1 WHERE;", CovRecorder::new());
+        assert!(res.is_err());
+        let mut virgin = GlobalCoverage::new();
+        assert!(virgin.merge(&map), "partial traversal should still record rules");
+    }
+
+    #[test]
+    fn statement_boundaries_reset_the_rule_chain() {
+        use lego_coverage::CovRecorder;
+        // Two identical statements traverse the same rule→rule edge *set*
+        // (hit counts double, but indices match) because the chain resets at
+        // each `;`. A leaked chain would record an extra cross-statement
+        // edge: first-rule-of-stmt2 XORed with stmt1's final prev instead of
+        // with 0.
+        let (_, once) = parse_script_traced("SELECT 1;", CovRecorder::new());
+        let (_, twice) = parse_script_traced("SELECT 1; SELECT 1;", CovRecorder::new());
+        let idx = |m: &lego_coverage::CovMap| -> Vec<usize> {
+            m.iter_nonzero().map(|(i, _)| i).collect()
+        };
+        assert_eq!(idx(&once), idx(&twice), "chain leaked across statement boundary");
     }
 }

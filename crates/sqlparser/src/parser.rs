@@ -2,10 +2,24 @@
 
 use crate::lexer::Tok;
 use crate::phrases;
+use lego_coverage::{CovMap, CovRecorder};
 use lego_sqlast::ast::*;
 use lego_sqlast::expr::*;
 use lego_sqlast::kind::DdlVerb;
 use std::fmt;
+
+/// Record a grammar-rule entry on a tracing parser. Each invocation site
+/// gets its own compile-time [`lego_coverage::SiteId`] (the macro expands
+/// `site_id!` at the call site), and [`CovRecorder::hit`] chains rule→rule
+/// edges AFL-style, so the rule map captures *paths* through the grammar,
+/// not just the set of rules entered. One branch when tracing is off.
+macro_rules! rule {
+    ($p:expr) => {
+        if let Some(r) = $p.rules.as_mut() {
+            r.hit(lego_coverage::site_id!());
+        }
+    };
+}
 
 /// A parse error with token position.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,11 +41,36 @@ type PResult<T> = Result<T, ParseError>;
 pub struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    /// Grammar-rule coverage recorder; `None` on the (default) untraced
+    /// path, which keeps plain parsing allocation- and branch-cheap.
+    rules: Option<CovRecorder>,
 }
 
 impl Parser {
     pub fn new(toks: Vec<Tok>) -> Self {
-        Self { toks, pos: 0 }
+        Self { toks, pos: 0, rules: None }
+    }
+
+    /// A parser that records grammar-rule traversal coverage into `rec`.
+    pub fn with_rules(toks: Vec<Tok>, rec: CovRecorder) -> Self {
+        Self { toks, pos: 0, rules: Some(rec) }
+    }
+
+    /// Reset the rule→rule edge chain (call at each statement boundary so
+    /// rule edges never span statements — mirroring how the engine resets
+    /// its branch-edge chain per statement).
+    pub fn reset_rule_chain(&mut self) {
+        if let Some(r) = self.rules.as_mut() {
+            r.reset_edge_chain();
+        }
+    }
+
+    /// Take back the rule-coverage map (empty map if tracing was off).
+    pub fn into_rule_map(self) -> CovMap {
+        match self.rules {
+            Some(r) => r.into_map(),
+            None => CovMap::new(),
+        }
     }
 
     // -- token plumbing ----------------------------------------------------
@@ -150,6 +189,7 @@ impl Parser {
     // -- statements ---------------------------------------------------------
 
     pub fn parse_statement(&mut self) -> PResult<Statement> {
+        rule!(self);
         // The generic long tail first: longest keyword-phrase match over all
         // statement kinds without dedicated parsers.
         if let Some((kind, n)) = phrases::match_misc(self.rest()) {
@@ -361,6 +401,7 @@ impl Parser {
     // -- DDL -----------------------------------------------------------------
 
     fn parse_create(&mut self) -> PResult<Statement> {
+        rule!(self);
         self.expect_kw("CREATE")?;
         let or_replace = if self.peek_kw("OR") && self.peek_kw_at(1, "REPLACE") {
             self.pos += 2;
@@ -508,6 +549,7 @@ impl Parser {
     }
 
     fn parse_alter(&mut self) -> PResult<Statement> {
+        rule!(self);
         self.expect_kw("ALTER")?;
         if self.eat_kw("TABLE") {
             let name = self.ident()?;
@@ -545,6 +587,7 @@ impl Parser {
     }
 
     fn parse_drop(&mut self) -> PResult<Statement> {
+        rule!(self);
         self.expect_kw("DROP")?;
         let (object, n) = phrases::match_object(self.rest())
             .ok_or_else(|| self.error("expected object kind after DROP"))?;
@@ -561,6 +604,7 @@ impl Parser {
     }
 
     fn parse_dml_event(&mut self) -> PResult<DmlEvent> {
+        rule!(self);
         if self.eat_kw("INSERT") {
             Ok(DmlEvent::Insert)
         } else if self.eat_kw("UPDATE") {
@@ -573,6 +617,7 @@ impl Parser {
     }
 
     fn parse_column_def(&mut self) -> PResult<ColumnDef> {
+        rule!(self);
         let name = self.ident()?;
         let ty = self.parse_data_type()?;
         let mut constraints = Vec::new();
@@ -610,6 +655,7 @@ impl Parser {
     }
 
     fn parse_data_type(&mut self) -> PResult<DataType> {
+        rule!(self);
         let name = self.ident()?.to_ascii_uppercase();
         let ty = match name.as_str() {
             "INT" | "INTEGER" => DataType::Int,
@@ -669,6 +715,7 @@ impl Parser {
     }
 
     fn parse_paren_names(&mut self) -> PResult<Vec<String>> {
+        rule!(self);
         self.expect_sym("(")?;
         let mut names = Vec::new();
         loop {
@@ -684,6 +731,7 @@ impl Parser {
     // -- DML -----------------------------------------------------------------
 
     fn parse_select_statement(&mut self) -> PResult<Statement> {
+        rule!(self);
         let selectv = self.peek_kw("SELECTV");
         if selectv {
             // Rewrite the head token so the query parser sees a plain SELECT.
@@ -702,6 +750,7 @@ impl Parser {
     }
 
     fn parse_insert(&mut self, replace: bool) -> PResult<Statement> {
+        rule!(self);
         self.bump(); // INSERT or REPLACE
         let low_priority = self.eat_kw("LOW_PRIORITY");
         let ignore = self.eat_kw("IGNORE");
@@ -729,6 +778,7 @@ impl Parser {
     }
 
     fn parse_values_rows(&mut self) -> PResult<Vec<Vec<Expr>>> {
+        rule!(self);
         let mut rows = Vec::new();
         loop {
             self.expect_sym("(")?;
@@ -751,6 +801,7 @@ impl Parser {
     }
 
     fn parse_update(&mut self) -> PResult<Statement> {
+        rule!(self);
         self.expect_kw("UPDATE")?;
         let table = self.ident()?;
         self.expect_kw("SET")?;
@@ -768,6 +819,7 @@ impl Parser {
     }
 
     fn parse_delete(&mut self) -> PResult<Statement> {
+        rule!(self);
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.ident()?;
@@ -776,6 +828,7 @@ impl Parser {
     }
 
     fn parse_with(&mut self) -> PResult<Statement> {
+        rule!(self);
         self.expect_kw("WITH")?;
         let mut ctes = Vec::new();
         loop {
@@ -802,6 +855,7 @@ impl Parser {
     }
 
     fn parse_copy(&mut self) -> PResult<Statement> {
+        rule!(self);
         self.expect_kw("COPY")?;
         let source = if self.eat_sym("(") {
             let q = self.parse_query()?;
@@ -830,6 +884,7 @@ impl Parser {
     }
 
     fn parse_grant(&mut self, revoke: bool) -> PResult<Statement> {
+        rule!(self);
         self.bump(); // GRANT or REVOKE
         let mut priv_words = Vec::new();
         while !self.peek_kw("ON") && !self.at_stmt_end() {
@@ -849,6 +904,7 @@ impl Parser {
     }
 
     fn parse_set(&mut self) -> PResult<Statement> {
+        rule!(self);
         self.expect_kw("SET")?;
         let mut scope = None;
         if self.eat_sym("@@") {
@@ -876,6 +932,7 @@ impl Parser {
     }
 
     fn parse_query_with_into(&mut self, into: Option<&mut Option<String>>) -> PResult<Query> {
+        rule!(self);
         let mut body = self.parse_set_atom(into)?;
         loop {
             let op = if self.peek_kw("UNION") {
@@ -916,6 +973,7 @@ impl Parser {
     }
 
     fn parse_set_atom(&mut self, into: Option<&mut Option<String>>) -> PResult<SetExpr> {
+        rule!(self);
         if self.eat_kw("VALUES") {
             return Ok(SetExpr::Values(self.parse_values_rows()?));
         }
@@ -923,6 +981,7 @@ impl Parser {
     }
 
     fn parse_select_core(&mut self, into: Option<&mut Option<String>>) -> PResult<Select> {
+        rule!(self);
         self.expect_kw("SELECT")?;
         let distinct = self.eat_kw("DISTINCT");
         let mut projection = Vec::new();
@@ -980,6 +1039,7 @@ impl Parser {
     }
 
     fn parse_table_ref(&mut self) -> PResult<TableRef> {
+        rule!(self);
         let mut left = self.parse_table_primary()?;
         loop {
             let kind = if self.peek_kw("JOIN") {
@@ -1013,6 +1073,7 @@ impl Parser {
     }
 
     fn parse_table_primary(&mut self) -> PResult<TableRef> {
+        rule!(self);
         if self.eat_sym("(") {
             let query = self.parse_query()?;
             self.expect_sym(")")?;
@@ -1032,6 +1093,7 @@ impl Parser {
     }
 
     fn parse_or(&mut self) -> PResult<Expr> {
+        rule!(self);
         let mut l = self.parse_and()?;
         while self.eat_kw("OR") {
             let r = self.parse_and()?;
@@ -1041,6 +1103,7 @@ impl Parser {
     }
 
     fn parse_and(&mut self) -> PResult<Expr> {
+        rule!(self);
         let mut l = self.parse_not()?;
         while self.eat_kw("AND") {
             let r = self.parse_not()?;
@@ -1050,6 +1113,7 @@ impl Parser {
     }
 
     fn parse_not(&mut self) -> PResult<Expr> {
+        rule!(self);
         if self.peek_kw("NOT") && self.peek_kw_at(1, "EXISTS") {
             self.pos += 2;
             self.expect_sym("(")?;
@@ -1074,6 +1138,7 @@ impl Parser {
     }
 
     fn parse_cmp(&mut self) -> PResult<Expr> {
+        rule!(self);
         let mut l = self.parse_add()?;
         loop {
             if let Some(op) = self.peek_cmp_op() {
@@ -1160,6 +1225,7 @@ impl Parser {
     }
 
     fn parse_add(&mut self) -> PResult<Expr> {
+        rule!(self);
         let mut l = self.parse_mul()?;
         loop {
             let op = if self.peek_sym("+") {
@@ -1179,6 +1245,7 @@ impl Parser {
     }
 
     fn parse_mul(&mut self) -> PResult<Expr> {
+        rule!(self);
         let mut l = self.parse_unary()?;
         loop {
             let op = if self.peek_sym("*") {
@@ -1198,6 +1265,7 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> PResult<Expr> {
+        rule!(self);
         if self.eat_sym("-") {
             // Fold negation of numeric literals so `-86` round-trips as the
             // literal the generators emit.
@@ -1214,6 +1282,7 @@ impl Parser {
     }
 
     fn parse_primary(&mut self) -> PResult<Expr> {
+        rule!(self);
         match self.peek().cloned() {
             Some(Tok::Int(v)) => {
                 self.pos += 1;
@@ -1289,6 +1358,7 @@ impl Parser {
     }
 
     fn parse_case(&mut self) -> PResult<Expr> {
+        rule!(self);
         self.expect_kw("CASE")?;
         let operand = if self.peek_kw("WHEN") { None } else { Some(Box::new(self.parse_expr()?)) };
         let mut whens = Vec::new();
@@ -1307,6 +1377,7 @@ impl Parser {
     }
 
     fn parse_func_call(&mut self, name: String) -> PResult<Expr> {
+        rule!(self);
         self.expect_sym("(")?;
         let mut call = FuncCall { name, args: vec![], distinct: false, star: false };
         if self.eat_sym("*") {
@@ -1329,6 +1400,7 @@ impl Parser {
     }
 
     fn parse_window_spec(&mut self) -> PResult<WindowSpec> {
+        rule!(self);
         self.expect_sym("(")?;
         let mut spec = WindowSpec::default();
         if self.peek_kw("PARTITION") {
@@ -1380,6 +1452,7 @@ impl Parser {
     }
 
     fn parse_frame_bound(&mut self) -> PResult<FrameBound> {
+        rule!(self);
         if self.eat_kw("UNBOUNDED") {
             if self.eat_kw("PRECEDING") {
                 return Ok(FrameBound::UnboundedPreceding);

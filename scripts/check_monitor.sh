@@ -94,7 +94,7 @@ diff -r "$work/off/corpus" "$work/on/corpus" >/dev/null || {
 # 5. Plot data: header + >=2 rows, time and coverage monotone, closing row
 #    consistent with the campaign report.
 awk -F, '
-  NR == 1 { if ($0 != "t_s,execs,execs_per_sec,branches,corpus,queued,validity_pct,bugs,logic_bugs,aborted")
+  NR == 1 { if ($0 != "t_s,execs,execs_per_sec,branches,corpus,queued,validity_pct,bugs,logic_bugs,aborted,rule_edges")
               { print "bad header: " $0; exit 1 } next }
   { if ($1 + 0 < t) { print "time not monotone at row " NR; exit 1 }
     if ($4 + 0 < b) { print "branches not monotone at row " NR; exit 1 }

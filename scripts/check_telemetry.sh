@@ -15,8 +15,9 @@ jq -e -s '
   (length > 0) and
   (map(type == "object" and (.type | type == "string")) | all) and
   (map(.type) - ["ExecStart","ExecEnd","MutationApplied","AffinityDiscovered",
-                 "SynthesisStep","CoverageGain","BugFound","LogicBugFound","WorkerSync",
-                 "CaseAborted","WorkerDied","CheckpointWritten","DurabilityBugFound"] == [])
+                 "SynthesisStep","CoverageGain","RuleCoverageGain","BugFound","LogicBugFound",
+                 "WorkerSync","CaseAborted","WorkerDied","CheckpointWritten",
+                 "DurabilityBugFound"] == [])
 ' "$log" >/dev/null || { echo "check_telemetry: malformed or unknown events in $log" >&2; exit 1; }
 
 # 2. Per-type invariants: paired exec markers, statement counters that add
@@ -28,6 +29,7 @@ jq -e -s '
   ($ends | map(.ok + .err == .statements) | all) and
   ($ends | map(.worker >= 0 and .exec >= 0) | all) and
   (map(select(.type == "CoverageGain")) | map(.edges >= 0 and (.op | type == "string")) | all) and
+  (map(select(.type == "RuleCoverageGain")) | map(.edges >= 1 and .worker >= 0 and .exec >= 0) | all) and
   (map(select(.type == "BugFound")) | map((.identifier | length) > 0) | all) and
   (map(select(.type == "LogicBugFound")) | map((.oracle | length) > 0) | all) and
   (map(select(.type == "DurabilityBugFound")) | map(.worker >= 0 and ((.fingerprint | tostring | length) > 0)) | all) and

@@ -4,6 +4,7 @@
 //! lego_cli fuzz <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S]
 //!               [--out DIR] [--corpus DIR]   # --corpus: resume from saved seeds
 //!               [--rule-cov]                 # grammar-rule coverage feedback
+//!               [--sema]                     # static sequence analyzer
 //!               [--telemetry PATH] [--heartbeat] [--oracles[=LIST]] [--wal-dir DIR]
 //!               [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]
 //!               [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
@@ -48,16 +49,27 @@
 //! seed pack). Off by default; with the flag absent the campaign is
 //! byte-identical to previous releases.
 //!
+//! `--sema` runs every generated case through the static sequence analyzer
+//! (`lego-sqlsema`) before execution: cases with a provably-invalid
+//! statement are charged to the budget but never executed (a deterministic
+//! 1-in-16 audit slice still runs, feeding the analyzer-vs-engine
+//! conformance oracle, whose divergence findings ride the logic-bug
+//! channel). The LEGO engine additionally repairs dangling references in
+//! mutants and prunes implausible synthesis candidates with the same
+//! analyzer. Off by default; with the flag absent the campaign is
+//! byte-identical to previous releases.
+//!
 //! `--checkpoint DIR` persists the complete campaign state to `DIR` every
 //! `--checkpoint-every N` units (default: a tenth of the budget); a later
 //! `--resume DIR` with the *same* seed, budget, and cadence continues the
 //! interrupted campaign and produces the byte-identical deterministic
 //! report of an uninterrupted run.
 
-use lego::campaign::{run_campaign_full, Budget, FuzzEngine};
+use lego::campaign::{run_campaign_sema, Budget, FuzzEngine};
 use lego::checkpoint::{load_campaign_checkpoint, CheckpointCfg};
 use lego::corpus_io::{load_corpus, save_corpus};
 use lego::fuzzer::{Config, LegoFuzzer};
+use lego::oracle::OracleKind;
 use lego::reduce::reduce_case;
 use lego::OracleConfig;
 use lego_baselines::engine_by_name;
@@ -79,7 +91,7 @@ fn dialect_of(arg: &str) -> Option<Dialect> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--rule-cov] [--telemetry PATH] [--heartbeat]\n                  [--oracles[=tlp,norec,differential,recovery]] [--wal-dir DIR]\n                  [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
+        "usage:\n  lego_cli fuzz   <pg|mysql|maria|comdb2> [--fuzzer NAME] [--units N] [--seed S] [--out DIR]\n                  [--corpus DIR] [--rule-cov] [--sema] [--telemetry PATH] [--heartbeat]\n                  [--oracles[=tlp,norec,differential,recovery]] [--wal-dir DIR]\n                  [--serve ADDR] [--trace PATH] [--plot-data PATH] [--plot-every MS]\n                  [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n  lego_cli replay <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli reduce <pg|mysql|maria|comdb2> <script.sql>\n  lego_cli bugs   [pg|mysql|maria|comdb2]"
     );
     ExitCode::from(2)
 }
@@ -119,6 +131,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let mut checkpoint_every: Option<usize> = None;
     let mut resume_dir: Option<PathBuf> = None;
     let mut rule_cov = false;
+    let mut sema = false;
     let mut i = 1;
     while i + 1 < args.len() + 1 {
         match args.get(i).map(String::as_str) {
@@ -183,6 +196,10 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 rule_cov = true;
                 i += 1;
             }
+            Some("--sema") => {
+                sema = true;
+                i += 1;
+            }
             Some("--oracles") => {
                 oracles = OracleConfig::all();
                 i += 1;
@@ -206,21 +223,32 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             None => break,
         }
     }
-    // Hidden smoke-test hook: `LEGO_PLANT_FAULT=wal-drop-last` plants the
+    // Hidden smoke-test hooks: `LEGO_PLANT_FAULT=wal-drop-last` plants the
     // torn-write fault so scripts/check_durability.sh can validate the whole
     // detect→dedup→reduce→artifact pipeline against a binary that is
-    // actually wrong. Deliberately env-only (not a flag): it is never part
-    // of a real campaign, and the warning keeps an inherited env var loud.
-    let _fault_guard = match std::env::var("LEGO_PLANT_FAULT").ok().as_deref() {
+    // actually wrong; `LEGO_PLANT_FAULT=sema-overaccept` plants the
+    // over-accepting analyzer bug so scripts/check_sema.sh can do the same
+    // for the conformance oracle. Deliberately env-only (not flags): they
+    // are never part of a real campaign, and the warning keeps an inherited
+    // env var loud.
+    let mut _wal_fault = None;
+    let mut _sema_fault = None;
+    match std::env::var("LEGO_PLANT_FAULT").ok().as_deref() {
         Some("wal-drop-last") => {
             eprintln!("WARNING: planted fault 'wal-drop-last' active (LEGO_PLANT_FAULT)");
-            Some(lego_dbms::faults::FaultGuard::enable_wal_drops_last_record())
+            _wal_fault = Some(lego_dbms::faults::FaultGuard::enable_wal_drops_last_record());
+        }
+        Some("sema-overaccept") => {
+            eprintln!("WARNING: planted fault 'sema-overaccept' active (LEGO_PLANT_FAULT)");
+            _sema_fault = Some(lego_sqlsema::faults::FaultGuard::enable_overaccept_commit());
         }
         Some(other) if !other.is_empty() => {
-            eprintln!("unknown LEGO_PLANT_FAULT '{other}' (supported: wal-drop-last)");
+            eprintln!(
+                "unknown LEGO_PLANT_FAULT '{other}' (supported: wal-drop-last, sema-overaccept)"
+            );
             return ExitCode::from(2);
         }
-        _ => None,
+        _ => {}
     };
     println!("fuzzing {} with {fuzzer} for {units} units (seed {seed})…", dialect.name());
     let mut engine: Box<dyn FuzzEngine> = match &corpus_dir {
@@ -230,24 +258,28 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 eprintln!("skipped {} unparseable corpus files", skipped.len());
             }
             println!("resuming from {} seeds in {}", corpus.len(), dir.display());
-            let cfg = Config { rng_seed: seed, rule_cov, ..Config::default() };
+            let cfg = Config { rng_seed: seed, rule_cov, sema, ..Config::default() };
             Box::new(LegoFuzzer::with_corpus(dialect, cfg, corpus))
         }
         Some(_) => {
             eprintln!("--corpus is only supported for the LEGO engine");
             return ExitCode::from(2);
         }
-        // The engine-side rule_cov switch (special seed pack + rule-novelty
-        // boosting) is LEGO-only; baselines still get the campaign-side
-        // rule map and corpus-admission widening.
-        None if rule_cov && fuzzer == "LEGO" => {
-            let cfg = Config { rng_seed: seed, rule_cov: true, ..Config::default() };
+        // The engine-side rule_cov/sema switches (special seed pack,
+        // rule-novelty boosting, dependency-aware mutation repair) are
+        // LEGO-only; baselines still get the campaign-side rule map,
+        // corpus-admission widening, and static skip/conformance checks.
+        None if (rule_cov || sema) && fuzzer == "LEGO" => {
+            let cfg = Config { rng_seed: seed, rule_cov, sema, ..Config::default() };
             Box::new(LegoFuzzer::new(dialect, cfg))
         }
         None => engine_by_name(&fuzzer, dialect, seed),
     };
     if rule_cov {
         println!("grammar-rule coverage feedback enabled");
+    }
+    if sema {
+        println!("static sequence analyzer enabled");
     }
     if oracles.enabled() {
         let mut kinds = Vec::new();
@@ -323,7 +355,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         plot_every_ms,
         run_name: format!("fuzz_{}", dialect.name()),
     });
-    let stats = match run_campaign_full(
+    let stats = match run_campaign_sema(
         engine.as_mut(),
         dialect,
         Budget::units(units),
@@ -332,6 +364,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         &ckpt,
         wal_dir.as_deref(),
         rule_cov,
+        sema,
     ) {
         Ok(stats) => stats,
         Err(e) => {
@@ -353,6 +386,22 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     if rule_cov {
         // Kept on its own line: scripts/check_rule_cov.sh scrapes it.
         println!("rule branches: {}", stats.rule_branches);
+    }
+    if sema {
+        // Each on its own line: scripts/check_sema.sh scrapes them.
+        println!("sema rejects: {}", stats.sema_rejects);
+        println!("sema skipped statements: {}", stats.sema_skipped_stmts);
+        println!("sema divergences: {}", stats.sema_divergences);
+        println!("raw validity: {:.1}% over all generated statements", stats.raw_validity_pct());
+        for lb in stats.logic_bugs.iter().filter(|f| f.bug.oracle == OracleKind::Sema) {
+            println!(
+                "  [{}] {} at exec #{}: {}",
+                lb.bug.oracle.name(),
+                lb.bug.identifier(),
+                lb.first_exec,
+                lb.bug.detail
+            );
+        }
     }
     for bug in &stats.bugs {
         println!(

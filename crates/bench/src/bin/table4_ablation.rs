@@ -6,14 +6,17 @@
 //! PostgreSQL / MySQL / MariaDB / Comdb2), with Comdb2's 24 types capping
 //! its headroom.
 //!
-//! Usage: `table4_ablation [UNITS] [SEEDS] [--workers N] [--rule-cov]` — the
-//! dialect×seed×variant cells run across a worker pool; results are
-//! identical for any worker count. With `--rule-cov` a third variant
-//! (LEGO plus grammar-rule coverage feedback) joins the grid and the table
-//! gains its branch and rule-edge columns — the ablation recipe from
-//! EXPERIMENTS.md §rule-coverage.
+//! Usage: `table4_ablation [UNITS] [SEEDS] [--workers N] [--rule-cov]
+//! [--sema]` — the dialect×seed×variant cells run across a worker pool;
+//! results are identical for any worker count. With `--rule-cov` a third
+//! variant (LEGO plus grammar-rule coverage feedback) joins the grid and the
+//! table gains its branch and rule-edge columns — the ablation recipe from
+//! EXPERIMENTS.md §rule-coverage. With `--sema` a variant running the static
+//! sequence analyzer joins instead/as well, adding branch, static-reject and
+//! skipped-statement columns — the ablation recipe from EXPERIMENTS.md
+//! §static-analysis.
 
-use lego::campaign::{run_campaign_full, run_campaign_observed, Budget};
+use lego::campaign::{run_campaign_full, run_campaign_observed, run_campaign_sema, Budget};
 use lego::checkpoint::CheckpointCfg;
 use lego::fuzzer::{Config, LegoFuzzer};
 use lego::OracleConfig;
@@ -22,12 +25,14 @@ use lego_bench::*;
 use lego_sqlast::Dialect;
 use serde::Serialize;
 
-/// Cell variants, in grid order. `Rule` only joins under `--rule-cov`.
+/// Cell variants, in grid order. `Rule` only joins under `--rule-cov`,
+/// `Sema` under `--sema`.
 #[derive(Clone, Copy, PartialEq)]
 enum Variant {
     Minus,
     Lego,
     Rule,
+    Sema,
 }
 
 #[derive(Serialize)]
@@ -45,6 +50,14 @@ struct Row {
     /// Mean grammar-rule edges of the rule-coverage variant (0 without
     /// `--rule-cov`).
     rule_branches: usize,
+    /// Mean branches of the static-analyzer variant (0 without `--sema`).
+    branches_sema: usize,
+    /// Mean statically-rejected statements of the static-analyzer variant
+    /// (0 without `--sema`).
+    sema_rejects: usize,
+    /// Mean statements skipped before execution by the static-analyzer
+    /// variant (0 without `--sema`).
+    sema_skipped_stmts: usize,
     wall_ms: u64,
 }
 
@@ -52,15 +65,19 @@ fn main() {
     let cli = Cli::parse();
     let units: usize = cli.arg(0, DAY_BUDGET_UNITS);
     let seeds: u64 = cli.arg(1, 3);
-    let variants: &[Variant] = if cli.rule_cov {
-        &[Variant::Minus, Variant::Lego, Variant::Rule]
-    } else {
-        &[Variant::Minus, Variant::Lego]
-    };
+    let mut variant_list = vec![Variant::Minus, Variant::Lego];
+    if cli.rule_cov {
+        variant_list.push(Variant::Rule);
+    }
+    if cli.sema {
+        variant_list.push(Variant::Sema);
+    }
+    let variants: &[Variant] = &variant_list;
     println!(
-        "Table IV — LEGO- vs LEGO ablation ({units} units, mean of {seeds} seeds, {} workers{})\n",
+        "Table IV — LEGO- vs LEGO ablation ({units} units, mean of {seeds} seeds, {} workers{}{})\n",
         cli.workers,
-        if cli.rule_cov { ", +rule-cov variant" } else { "" }
+        if cli.rule_cov { ", +rule-cov variant" } else { "" },
+        if cli.sema { ", +sema variant" } else { "" }
     );
 
     // The grid: (dialect, seed, variant) campaign cells in fixed order.
@@ -101,6 +118,22 @@ fn main() {
                         )
                         .expect("rule-cov campaign without checkpointing cannot fail")
                     }
+                    Variant::Sema => {
+                        let cfg = Config { rng_seed, sema: true, ..Config::default() };
+                        let mut engine = LegoFuzzer::new(dialect, cfg);
+                        run_campaign_sema(
+                            &mut engine,
+                            dialect,
+                            Budget::units(units),
+                            tel,
+                            OracleConfig::disabled(),
+                            &CheckpointCfg::disabled(),
+                            None,
+                            false,
+                            true,
+                        )
+                        .expect("sema campaign without checkpointing cannot fail")
+                    }
                 }
             }
         })
@@ -111,7 +144,8 @@ fn main() {
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for dialect in Dialect::ALL {
-        let mut acc = [0usize; 6]; // aff-, aff, br-, br, br+rule, rule-edges
+        let mut acc = [0usize; 9]; // aff-, aff, br-, br, br+rule, rule-edges,
+                                   // br+sema, sema-rejects, sema-skipped
         let mut wall_ms = 0u64;
         for (&(d, _, variant), s) in specs.iter().zip(&stats) {
             if d != dialect {
@@ -130,6 +164,11 @@ fn main() {
                     acc[4] += s.branches;
                     acc[5] += s.rule_branches;
                 }
+                Variant::Sema => {
+                    acc[6] += s.branches;
+                    acc[7] += s.sema_rejects;
+                    acc[8] += s.sema_skipped_stmts;
+                }
             }
             wall_ms += s.wall_ms;
         }
@@ -146,6 +185,9 @@ fn main() {
             branch_improvement_pct: pct_more(bl, bm),
             branches_rule: acc[4] / n,
             rule_branches: acc[5] / n,
+            branches_sema: acc[6] / n,
+            sema_rejects: acc[7] / n,
+            sema_skipped_stmts: acc[8] / n,
             wall_ms,
         };
         let mut cells = vec![
@@ -161,6 +203,11 @@ fn main() {
         if cli.rule_cov {
             cells.push(row.branches_rule.to_string());
             cells.push(row.rule_branches.to_string());
+        }
+        if cli.sema {
+            cells.push(row.branches_sema.to_string());
+            cells.push(row.sema_rejects.to_string());
+            cells.push(row.sema_skipped_stmts.to_string());
         }
         rows.push(cells);
         out.push(row);
@@ -178,6 +225,11 @@ fn main() {
     if cli.rule_cov {
         headers.push("Br(+rule)");
         headers.push("RuleEdges");
+    }
+    if cli.sema {
+        headers.push("Br(+sema)");
+        headers.push("SemaRejects");
+        headers.push("SemaSkipped");
     }
     print_table(&headers, &rows);
     save_json("table4_ablation", &out);

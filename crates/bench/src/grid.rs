@@ -93,6 +93,8 @@ where
 /// - `--plot-every MS` — time-series sample cadence (default 1000 ms).
 /// - `--rule-cov` — grammar-rule coverage feedback (second virgin map over
 ///   parser rule→rule edges; rule novelty widens corpus admission).
+/// - `--sema` — static sequence analyzer (pre-execution validity skip,
+///   dependency-aware mutation, analyzer-vs-engine conformance oracle).
 pub struct Cli {
     /// Positional arguments, flags removed, program name excluded.
     pub positional: Vec<String>,
@@ -114,6 +116,8 @@ pub struct Cli {
     pub plot_every_ms: u64,
     /// Grammar-rule coverage feedback (`--rule-cov`).
     pub rule_cov: bool,
+    /// Static sequence analyzer (`--sema`).
+    pub sema: bool,
 }
 
 /// Parse an `--oracles` value: a comma-separated subset of
@@ -157,6 +161,7 @@ impl Cli {
         let mut plot_data = None;
         let mut plot_every_ms = None;
         let mut rule_cov = false;
+        let mut sema = false;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             if a == "--workers" {
@@ -195,6 +200,8 @@ impl Cli {
                 plot_every_ms = v.parse().ok();
             } else if a == "--rule-cov" {
                 rule_cov = true;
+            } else if a == "--sema" {
+                sema = true;
             } else {
                 positional.push(a);
             }
@@ -215,6 +222,7 @@ impl Cli {
             plot_data: plot_data.filter(|p| !p.is_empty()),
             plot_every_ms: plot_every_ms.unwrap_or(1000).max(10),
             rule_cov,
+            sema,
         }
     }
 
@@ -341,6 +349,15 @@ mod tests {
         assert_eq!(on.positional, vec!["9000", "2"]);
         let off = Cli::from_args(["9000"].into_iter().map(String::from));
         assert!(!off.rule_cov);
+    }
+
+    #[test]
+    fn cli_extracts_sema_flag() {
+        let on = Cli::from_args(["9000", "--sema"].into_iter().map(String::from));
+        assert!(on.sema);
+        assert_eq!(on.positional, vec!["9000"]);
+        let off = Cli::from_args(["9000"].into_iter().map(String::from));
+        assert!(!off.sema);
     }
 
     #[test]

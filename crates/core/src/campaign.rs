@@ -8,10 +8,14 @@ use crate::checkpoint::{
     WorkerResume, CHECKPOINT_VERSION,
 };
 use lego_coverage::{CovMap, CovRecorder, CoverageSink, GlobalCoverage};
-use lego_dbms::{CrashReport, Dbms, ExecReport, PANIC_BUG_ID};
+use lego_dbms::{CrashReport, Dbms, ExecReport, Outcome, PANIC_BUG_ID};
 use lego_observe::{Event, Stage, StageProfile, Telemetry};
-use lego_oracle::{reduce::reduce_logic_bug, LogicBug, OracleConfig, OracleKind, OracleSuite};
+use lego_oracle::{
+    reduce::{reduce_logic_bug, reduce_with},
+    LogicBug, OracleConfig, OracleKind, OracleSuite,
+};
 use lego_sqlast::{Dialect, TestCase};
+use lego_sqlsema::{Sema, SeqReport, Verdict};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -153,6 +157,16 @@ pub struct CampaignStats {
     /// `logic_bugs` with `oracle == Recovery` (0 unless the campaign ran
     /// with `--oracles=recovery`).
     pub durability_bugs: usize,
+    /// Statements the static analyzer proved invalid before execution
+    /// (0 unless the campaign ran with `--sema`).
+    pub sema_rejects: usize,
+    /// Statements of statically-skipped cases — generated by the fuzzer but
+    /// never attempted on the engine because the analyzer rejected their
+    /// case (0 unless `--sema`).
+    pub sema_skipped_stmts: usize,
+    /// Deduplicated analyzer-vs-engine conformance divergences — the subset
+    /// of `logic_bugs` with `oracle == Sema` (0 unless `--sema`).
+    pub sema_divergences: usize,
     /// Type-affinities contained in the engine's final corpus (Table II).
     pub corpus_affinities: usize,
     pub corpus_size: usize,
@@ -189,9 +203,26 @@ impl CampaignStats {
     }
 
     /// Semantic-validity ratio in percent: binder-accepted statements over
-    /// all attempted statements.
+    /// all *attempted* statements. Statements of statically-skipped cases
+    /// (`--sema`) never reach the engine and are excluded from the
+    /// denominator — this measures how valid the work the engine actually
+    /// saw was. See [`CampaignStats::raw_validity_pct`] for the
+    /// all-generated-statements number.
     pub fn validity_pct(&self) -> f64 {
         let total = self.stmts_ok + self.stmts_err;
+        if total == 0 {
+            100.0
+        } else {
+            self.stmts_ok as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Semantic validity over *every* statement the fuzzer produced,
+    /// counting statically-skipped statements (`--sema`) in the denominator
+    /// — the pre-skip number, comparable across sema-on and sema-off runs.
+    /// Identical to [`CampaignStats::validity_pct`] when `--sema` is off.
+    pub fn raw_validity_pct(&self) -> f64 {
+        let total = self.stmts_ok + self.stmts_err + self.sema_skipped_stmts;
         if total == 0 {
             100.0
         } else {
@@ -294,6 +325,200 @@ impl OracleRuntime {
         self.seen = seen.iter().copied().collect();
         self.findings = findings;
         self.checks = checks;
+    }
+}
+
+/// Every how-many-th statically-rejected case executes anyway, as an audit
+/// of the analyzer against the real engine. A deterministic counter, not a
+/// probability, so serial and resumed runs agree on which cases audit.
+pub const SEMA_AUDIT_EVERY: usize = 16;
+
+/// Per-campaign (or per-worker) static-analysis state for `--sema` runs:
+/// the analyzer itself, the skip/audit counters, and the conformance-oracle
+/// dedup + findings. The campaign holds it as an `Option` so a sema-less run
+/// touches none of this.
+struct SemaRuntime {
+    sema: Sema,
+    /// Statically-rejected cases seen so far; every
+    /// [`SEMA_AUDIT_EVERY`]-th one executes anyway.
+    audit: usize,
+    /// Statements proven invalid across the campaign.
+    rejects: usize,
+    /// Statements of skipped cases — never attempted on the engine.
+    skipped_stmts: usize,
+    /// Divergence fingerprint → first exec.
+    seen: HashMap<u64, usize>,
+    findings: Vec<LogicBugFinding>,
+}
+
+/// The first analyzer-vs-engine disagreement in an executed case, as
+/// `(statement index, analyzer_accepted, engine error text)`. Only
+/// meaningful when the case ran to completion (`Outcome::Ok`): parse errors,
+/// crashes and aborted cases leave no trustworthy per-statement outcome.
+fn first_divergence(rep: &SeqReport, report: &ExecReport) -> Option<(usize, bool, String)> {
+    for (i, v) in rep.verdicts.iter().enumerate() {
+        if i >= report.statements_executed {
+            break;
+        }
+        let engine_err = report.stmt_errors.iter().position(|&e| e == i);
+        match (v.verdict, engine_err) {
+            (Verdict::Accept, Some(k)) => {
+                return Some((i, true, report.errors.get(k).cloned().unwrap_or_default()))
+            }
+            (Verdict::Reject, None) => {
+                return Some((i, false, v.reason.unwrap_or("rejected").to_string()))
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does `case` still exhibit a sema divergence in the given direction?
+/// Deterministic (fresh analyzer + fresh engine per candidate), as
+/// [`reduce_with`] requires.
+fn sema_still_diverges(dialect: Dialect, case: &TestCase, analyzer_accepted: bool) -> bool {
+    let rep = Sema::new(dialect).check_sequence(&case.statements);
+    let mut db = Dbms::new(dialect);
+    let out = db.execute_case(case);
+    matches!(out.outcome, Outcome::Ok)
+        && first_divergence(&rep, &out).is_some_and(|(_, acc, _)| acc == analyzer_accepted)
+}
+
+impl SemaRuntime {
+    fn new(dialect: Dialect) -> Self {
+        Self {
+            sema: Sema::new(dialect),
+            audit: 0,
+            rejects: 0,
+            skipped_stmts: 0,
+            seen: HashMap::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Conformance oracle over one *executed* case: compare the analyzer's
+    /// per-statement verdicts with what the engine actually did. A fresh
+    /// (fingerprint-deduplicated) divergence is ddmin-reduced immediately,
+    /// like crash and logic-bug triage; returns the statement units the
+    /// reduction consumed. Timed as [`Stage::Sema`].
+    #[allow(clippy::too_many_arguments)]
+    fn conformance(
+        &mut self,
+        case: &TestCase,
+        rep: &SeqReport,
+        report: &ExecReport,
+        dialect: Dialect,
+        worker: usize,
+        exec: usize,
+        tel: &Telemetry,
+    ) -> usize {
+        if !matches!(report.outcome, Outcome::Ok) {
+            return 0;
+        }
+        let Some((idx, analyzer_accepted, why)) = first_divergence(rep, report) else {
+            return 0;
+        };
+        let bug = LogicBug {
+            oracle: OracleKind::Sema,
+            dialect,
+            statement: idx,
+            query: case.statements[idx].to_string(),
+            detail: if analyzer_accepted {
+                format!("analyzer accepted statement {idx} but the engine rejected it: {why}")
+            } else {
+                format!("analyzer rejected statement {idx} ({why}) but the engine accepted it")
+            },
+        };
+        let fp = bug.fingerprint();
+        let std::collections::hash_map::Entry::Vacant(e) = self.seen.entry(fp) else {
+            return 0;
+        };
+        e.insert(exec);
+        let (reduced, evals) = tel.time(Stage::Sema, || {
+            reduce_with(case, |cand| sema_still_diverges(dialect, cand, analyzer_accepted))
+        });
+        tel.emit(|| Event::SemaDivergenceFound { worker, exec: exec as u64, fingerprint: fp });
+        self.findings.push(LogicBugFinding {
+            bug,
+            first_exec: exec,
+            case_sql: case.to_sql(),
+            reduced_sql: reduced.to_sql(),
+        });
+        evals
+    }
+
+    /// Restore counters, dedup state and re-derived findings from a
+    /// checkpoint (see [`rebuild_sema_findings`]).
+    fn restore(&mut self, w: &WorkerResume, findings: Vec<LogicBugFinding>) {
+        self.audit = w.sema_audit;
+        self.rejects = w.sema_rejects;
+        self.skipped_stmts = w.sema_skipped_stmts;
+        self.seen = w.sema_seen.iter().copied().collect();
+        self.findings = findings;
+    }
+}
+
+/// Re-derive sema-divergence [`LogicBugFinding`]s from checkpointed
+/// reproducers by replaying each case through analyzer + engine and matching
+/// the stored fingerprint. The sema conformance oracle has no
+/// [`OracleSuite`], so these cannot ride [`rebuild_logic_bugs`].
+fn rebuild_sema_findings(
+    dialect: Dialect,
+    findings: &[LogicFindingCk],
+) -> Result<Vec<LogicBugFinding>, String> {
+    let sema = Sema::new(dialect);
+    let mut db = Dbms::new(dialect);
+    findings
+        .iter()
+        .map(|f| {
+            let case = lego_sqlparser::parse_script(&f.case_sql)
+                .map_err(|e| format!("checkpointed sema case re-parse: {e:?}"))?;
+            let rep = sema.check_sequence(&case.statements);
+            db.reset();
+            let out = db.execute_case(&case);
+            let (idx, analyzer_accepted, why) = first_divergence(&rep, &out).ok_or_else(|| {
+                format!("checkpointed sema divergence no longer reproduces: {}", f.case_sql)
+            })?;
+            let bug = LogicBug {
+                oracle: OracleKind::Sema,
+                dialect,
+                statement: idx,
+                query: case.statements[idx].to_string(),
+                detail: if analyzer_accepted {
+                    format!("analyzer accepted statement {idx} but the engine rejected it: {why}")
+                } else {
+                    format!("analyzer rejected statement {idx} ({why}) but the engine accepted it")
+                },
+            };
+            if bug.fingerprint() != f.fingerprint {
+                return Err(format!(
+                    "checkpointed sema divergence {:#x} re-derived with a different fingerprint: {}",
+                    f.fingerprint, f.case_sql
+                ));
+            }
+            Ok(LogicBugFinding {
+                bug,
+                first_exec: f.first_exec,
+                case_sql: f.case_sql.clone(),
+                reduced_sql: f.reduced_sql.clone(),
+            })
+        })
+        .collect()
+}
+
+/// The synthetic report a statically-skipped case feeds back to the engine:
+/// zero statements executed, empty coverage, `Ok` outcome.
+fn skipped_report() -> ExecReport {
+    ExecReport {
+        outcome: Outcome::Ok,
+        coverage: CovMap::new(),
+        statements_executed: 0,
+        errors: Vec::new(),
+        stmt_errors: Vec::new(),
+        last_rows: 0,
+        stmts_ok: 0,
+        stmts_err: 0,
     }
 }
 
@@ -506,8 +731,32 @@ pub fn run_campaign_full(
     wal_dir: Option<&Path>,
     rule_cov: bool,
 ) -> Result<CampaignStats, String> {
+    run_campaign_sema(engine, dialect, budget, tel, oracles, ckpt, wal_dir, rule_cov, false)
+}
+
+/// [`run_campaign_full`] plus the static sequence analyzer. With `sema`,
+/// every case is classified by the `lego-sqlsema` binder before execution:
+/// provably-invalid cases skip the engine entirely (charged only their
+/// statement count, like the cheapest possible failing run), every
+/// [`SEMA_AUDIT_EVERY`]-th rejected case executes anyway as an audit, and
+/// executed cases are compared statement-by-statement against the analyzer's
+/// verdicts — disagreements become deduplicated, ddmin-reduced
+/// [`OracleKind::Sema`] findings in [`CampaignStats::logic_bugs`]. With
+/// `sema == false` this is byte-for-byte [`run_campaign_full`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_sema(
+    engine: &mut dyn FuzzEngine,
+    dialect: Dialect,
+    budget: Budget,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
+    rule_cov: bool,
+    sema: bool,
+) -> Result<CampaignStats, String> {
     let out = run_campaign_resilient_inner(
-        engine, dialect, budget, tel, oracles, ckpt, wal_dir, rule_cov,
+        engine, dialect, budget, tel, oracles, ckpt, wal_dir, rule_cov, sema,
     );
     if out.is_err() {
         // A dying campaign still owes the operator a closing heartbeat line
@@ -527,7 +776,10 @@ fn run_campaign_resilient_inner(
     ckpt: &CheckpointCfg,
     wal_dir: Option<&Path>,
     rule_cov: bool,
+    sema: bool,
 ) -> Result<CampaignStats, String> {
+    // wall-clock only: feeds wall_ms / execs_per_sec, which
+    // deterministic_json() strips. Never consulted for exploration decisions.
     let start = Instant::now();
     engine.attach_telemetry(tel.clone());
     let mut global = GlobalCoverage::new();
@@ -540,6 +792,9 @@ fn run_campaign_resilient_inner(
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
     let mut oracle_rt = OracleRuntime::new(dialect, oracles, wal_dir, 0);
+    // Static analyzer (tentpole). `None` when off so the disabled path
+    // touches no extra state.
+    let mut sema_rt: Option<SemaRuntime> = sema.then(|| SemaRuntime::new(dialect));
     let mut curve = Vec::with_capacity(budget.snapshots + 1);
     let every = (budget.units / budget.snapshots.max(1)).max(1);
 
@@ -565,6 +820,12 @@ fn run_campaign_resilient_inner(
                 resume.meta.rule_cov, rule_cov
             ));
         }
+        if resume.meta.sema != sema {
+            return Err(format!(
+                "checkpoint was taken with sema={}; resuming with sema={} would change both the unit accounting and the exploration order",
+                resume.meta.sema, sema
+            ));
+        }
         let w = &resume.workers[0];
         engine.restore(&w.engine)?;
         global = GlobalCoverage::from_sparse(&w.coverage);
@@ -575,6 +836,10 @@ fn run_campaign_resilient_inner(
         bugs = rebuild_bugs(dialect, &w.bugs)?;
         let logic = rebuild_logic_bugs(&mut oracle_rt, &w.logic_bugs)?;
         oracle_rt.restore(&w.oracle_seen, logic, w.oracle_checks);
+        if let Some(srt) = sema_rt.as_mut() {
+            let sf = rebuild_sema_findings(dialect, &w.sema_findings)?;
+            srt.restore(w, sf);
+        }
         curve = w.curve.clone();
         units = w.units;
         execs = w.execs;
@@ -599,6 +864,7 @@ fn run_campaign_resilient_inner(
                 every_units: ckpt.every_units,
                 oracles: (oracles.tlp, oracles.norec, oracles.differential, oracles.recovery),
                 rule_cov,
+                sema,
             },
         )
         .map_err(|e| format!("write checkpoint meta: {e}"))?;
@@ -610,6 +876,48 @@ fn run_campaign_resilient_inner(
     let mut db = Dbms::new(dialect);
     while units < budget.units {
         let case = tel.time(Stage::Generation, || engine.next_case());
+        // Static pre-execution verdict (`--sema`): a provably-invalid case
+        // skips engine execution entirely, charged its statement count plus
+        // the reset fee (what the cheapest failing run would have cost).
+        // Every SEMA_AUDIT_EVERY-th rejected case executes anyway, auditing
+        // the analyzer against the real engine. Snapshot and checkpoint
+        // boundaries passed during a skip fire at the next executed case —
+        // deterministic either way, since the skip decision is.
+        let mut sema_rep: Option<SeqReport> = None;
+        if let Some(srt) = sema_rt.as_mut() {
+            let rep = tel.time(Stage::Sema, || srt.sema.check_sequence(&case.statements));
+            let rejects = rep.rejects();
+            if rejects > 0 {
+                srt.rejects += rejects;
+                srt.audit += 1;
+                let audit = srt.audit % SEMA_AUDIT_EVERY == 0;
+                tel.emit(|| Event::SemaVerdict {
+                    worker: 0,
+                    exec: execs as u64,
+                    statements: case.statements.len() as u64,
+                    rejects: rejects as u64,
+                    skipped: !audit,
+                });
+                if !audit {
+                    tel.emit(|| Event::ExecStart { worker: 0, exec: execs as u64 });
+                    units += case.statements.len() + CASE_RESET_COST;
+                    srt.skipped_stmts += case.statements.len();
+                    tel.emit(|| Event::ExecEnd {
+                        worker: 0,
+                        exec: execs as u64,
+                        statements: 0,
+                        ok: 0,
+                        err: 0,
+                        new_coverage: false,
+                    });
+                    let report = skipped_report();
+                    tel.time(Stage::Feedback, || engine.feedback(&case, &report, false));
+                    execs += 1;
+                    continue;
+                }
+            }
+            sema_rep = Some(rep);
+        }
         db.reset();
         tel.emit(|| Event::ExecStart { worker: 0, exec: execs as u64 });
         let report = tel.time(Stage::Execution, || execute_case_isolated(&mut db, dialect, &case));
@@ -696,6 +1004,11 @@ fn run_campaign_resilient_inner(
         if accepted && report.crash().is_none() {
             units += oracle_rt.check(&case, 0, execs, tel);
         }
+        // Conformance oracle: every executed case (including audits of
+        // statically-rejected ones) checks the analyzer against the engine.
+        if let (Some(srt), Some(rep)) = (sema_rt.as_mut(), &sema_rep) {
+            units += srt.conformance(&case, rep, &report, dialect, 0, execs, tel);
+        }
         tel.time(Stage::Feedback, || engine.feedback(&case, &report, accepted));
         if rule_new {
             // After feedback so the just-admitted case is the newest pool
@@ -766,6 +1079,15 @@ fn run_campaign_resilient_inner(
                             .collect(),
                         oracle_seen: sorted_pairs(&oracle_rt.seen),
                         oracle_checks: oracle_rt.checks,
+                        sema_rejects: sema_rt.as_ref().map_or(0, |s| s.rejects),
+                        sema_skipped_stmts: sema_rt.as_ref().map_or(0, |s| s.skipped_stmts),
+                        sema_audit: sema_rt.as_ref().map_or(0, |s| s.audit),
+                        sema_seen: sema_rt
+                            .as_ref()
+                            .map_or_else(Vec::new, |s| sorted_pairs(&s.seen)),
+                        sema_findings: sema_rt
+                            .as_ref()
+                            .map_or_else(Vec::new, |s| logic_findings_out(&s.findings)),
                         engine: engine_snap,
                     };
                     let path = checkpoint::write_worker(dir, &ck)
@@ -784,7 +1106,20 @@ fn run_campaign_resilient_inner(
     curve.push((units, global.edges_covered()));
 
     let corpus = engine.corpus();
-    let durability_bugs = count_durability(&oracle_rt.findings);
+    // Sema divergences join the logic-bug list, merged by discovery order
+    // (stable on ties, oracle findings first). A sema-off run never enters
+    // the branch, keeping its finding order byte-identical.
+    let mut logic_bugs = oracle_rt.findings;
+    let (sema_rejects, sema_skipped_stmts) = match sema_rt {
+        Some(srt) => {
+            logic_bugs.extend(srt.findings);
+            logic_bugs.sort_by_key(|b| b.first_exec);
+            (srt.rejects, srt.skipped_stmts)
+        }
+        None => (0, 0),
+    };
+    let durability_bugs = count_durability(&logic_bugs);
+    let sema_divergences = count_sema(&logic_bugs);
     let mut stats = CampaignStats {
         fuzzer: engine.name().to_string(),
         dialect,
@@ -800,9 +1135,12 @@ fn run_campaign_resilient_inner(
         cases_aborted,
         workers_lost: 0,
         bugs,
-        logic_bugs: oracle_rt.findings,
+        logic_bugs,
         oracle_checks: oracle_rt.checks,
         durability_bugs,
+        sema_rejects,
+        sema_skipped_stmts,
+        sema_divergences,
         wall_ms: 0,
         execs_per_sec: 0.0,
         workers: 1,
@@ -816,6 +1154,24 @@ fn run_campaign_resilient_inner(
 /// How many findings are recovery-oracle durability bugs.
 fn count_durability(findings: &[LogicBugFinding]) -> usize {
     findings.iter().filter(|f| f.bug.oracle == OracleKind::Recovery).count()
+}
+
+/// How many findings are analyzer-vs-engine conformance divergences.
+fn count_sema(findings: &[LogicBugFinding]) -> usize {
+    findings.iter().filter(|f| f.bug.oracle == OracleKind::Sema).count()
+}
+
+/// Findings in their checkpoint form (reproducers + fingerprint).
+fn logic_findings_out(findings: &[LogicBugFinding]) -> Vec<LogicFindingCk> {
+    findings
+        .iter()
+        .map(|b| LogicFindingCk {
+            first_exec: b.first_exec,
+            fingerprint: b.fingerprint(),
+            case_sql: b.case_sql.clone(),
+            reduced_sql: b.reduced_sql.clone(),
+        })
+        .collect()
 }
 
 /// Hash-map dedup state as a deterministically ordered pair list.
@@ -900,6 +1256,8 @@ struct WorkerOut {
     bugs: Vec<BugFinding>,
     logic_bugs: Vec<LogicBugFinding>,
     oracle_checks: usize,
+    sema_rejects: usize,
+    sema_skipped_stmts: usize,
     corpus: Vec<Arc<TestCase>>,
 }
 
@@ -935,6 +1293,7 @@ fn run_worker(
     ckpt: &CheckpointCfg,
     wal_dir: Option<&Path>,
     resume: Option<&WorkerResume>,
+    sema: bool,
 ) -> Result<WorkerOut, String> {
     let Shard { worker, sub_units, snapshots, sync_every } = shard_cfg;
     engine.attach_telemetry(tel.clone());
@@ -948,6 +1307,7 @@ fn run_worker(
     let mut bugs: Vec<BugFinding> = Vec::new();
     let mut seen_stacks: HashMap<u64, usize> = HashMap::new();
     let mut oracle_rt = OracleRuntime::new(dialect, oracles, wal_dir, worker);
+    let mut sema_rt: Option<SemaRuntime> = sema.then(|| SemaRuntime::new(dialect));
     let mut snaps: Vec<(usize, Vec<(usize, u8)>)> = Vec::with_capacity(snapshots);
     let threshold = |i: usize| sub_units * i / snapshots.max(1);
 
@@ -974,6 +1334,10 @@ fn run_worker(
         bugs = rebuild_bugs(dialect, &w.bugs)?;
         let logic = rebuild_logic_bugs(&mut oracle_rt, &w.logic_bugs)?;
         oracle_rt.restore(&w.oracle_seen, logic, w.oracle_checks);
+        if let Some(srt) = sema_rt.as_mut() {
+            let sf = rebuild_sema_findings(dialect, &w.sema_findings)?;
+            srt.restore(w, sf);
+        }
         snaps = w.snaps.clone();
         units = w.units;
         execs = w.execs;
@@ -993,6 +1357,44 @@ fn run_worker(
     let mut db = Dbms::new(dialect);
     while units < sub_units {
         let case = tel.time(Stage::Generation, || engine.next_case());
+        // Static pre-execution verdict — same skip/audit protocol as the
+        // serial loop, judged against worker-local analyzer state only, so
+        // worker behaviour stays independent of scheduler interleaving.
+        let mut sema_rep: Option<SeqReport> = None;
+        if let Some(srt) = sema_rt.as_mut() {
+            let rep = tel.time(Stage::Sema, || srt.sema.check_sequence(&case.statements));
+            let rejects = rep.rejects();
+            if rejects > 0 {
+                srt.rejects += rejects;
+                srt.audit += 1;
+                let audit = srt.audit % SEMA_AUDIT_EVERY == 0;
+                tel.emit(|| Event::SemaVerdict {
+                    worker,
+                    exec: execs as u64,
+                    statements: case.statements.len() as u64,
+                    rejects: rejects as u64,
+                    skipped: !audit,
+                });
+                if !audit {
+                    tel.emit(|| Event::ExecStart { worker, exec: execs as u64 });
+                    units += case.statements.len() + CASE_RESET_COST;
+                    srt.skipped_stmts += case.statements.len();
+                    tel.emit(|| Event::ExecEnd {
+                        worker,
+                        exec: execs as u64,
+                        statements: 0,
+                        ok: 0,
+                        err: 0,
+                        new_coverage: false,
+                    });
+                    let report = skipped_report();
+                    tel.time(Stage::Feedback, || engine.feedback(&case, &report, false));
+                    execs += 1;
+                    continue;
+                }
+            }
+            sema_rep = Some(rep);
+        }
         db.reset();
         tel.emit(|| Event::ExecStart { worker, exec: execs as u64 });
         let report = tel.time(Stage::Execution, || execute_case_isolated(&mut db, dialect, &case));
@@ -1070,6 +1472,9 @@ fn run_worker(
         }
         if accepted && report.crash().is_none() {
             units += oracle_rt.check(&case, worker, execs, tel);
+        }
+        if let (Some(srt), Some(rep)) = (sema_rt.as_mut(), &sema_rep) {
+            units += srt.conformance(&case, rep, &report, dialect, worker, execs, tel);
         }
         tel.time(Stage::Feedback, || engine.feedback(&case, &report, accepted));
         if rule_new {
@@ -1154,6 +1559,15 @@ fn run_worker(
                             .collect(),
                         oracle_seen: sorted_pairs(&oracle_rt.seen),
                         oracle_checks: oracle_rt.checks,
+                        sema_rejects: sema_rt.as_ref().map_or(0, |s| s.rejects),
+                        sema_skipped_stmts: sema_rt.as_ref().map_or(0, |s| s.skipped_stmts),
+                        sema_audit: sema_rt.as_ref().map_or(0, |s| s.audit),
+                        sema_seen: sema_rt
+                            .as_ref()
+                            .map_or_else(Vec::new, |s| sorted_pairs(&s.seen)),
+                        sema_findings: sema_rt
+                            .as_ref()
+                            .map_or_else(Vec::new, |s| logic_findings_out(&s.findings)),
                         engine: engine_snap,
                     };
                     let path = checkpoint::write_worker(dir, &ck)
@@ -1182,6 +1596,19 @@ fn run_worker(
     }
     tel.emit(|| Event::WorkerSync { worker, execs: execs as u64 });
 
+    // Sema conformance findings ride the same logic-bug channel as the
+    // oracle findings (stable-sorted by discovery order, like the serial
+    // join), so the parallel merge dedups them by fingerprint for free.
+    let mut logic_bugs = oracle_rt.findings;
+    let (sema_rejects, sema_skipped_stmts) = match sema_rt {
+        Some(srt) => {
+            logic_bugs.extend(srt.findings);
+            logic_bugs.sort_by_key(|b| b.first_exec);
+            (srt.rejects, srt.skipped_stmts)
+        }
+        None => (0, 0),
+    };
+
     Ok(WorkerOut {
         fuzzer: engine.name().to_string(),
         execs,
@@ -1191,8 +1618,10 @@ fn run_worker(
         cases_aborted,
         snaps,
         bugs,
-        logic_bugs: oracle_rt.findings,
+        logic_bugs,
         oracle_checks: oracle_rt.checks,
+        sema_rejects,
+        sema_skipped_stmts,
         corpus: engine.corpus(),
     })
 }
@@ -1343,8 +1772,35 @@ pub fn run_campaign_parallel_full<F>(
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
 {
+    run_campaign_parallel_sema(
+        factory, dialect, budget, opts, tel, oracles, ckpt, wal_dir, rule_cov, false,
+    )
+}
+
+/// [`run_campaign_parallel_full`] plus the static sequence analyzer — the
+/// parallel counterpart of [`run_campaign_sema`]. Each worker owns a
+/// private [`Sema`] instance, so verdicts, skips and conformance findings
+/// are judged against worker-local state only and the campaign stays
+/// deterministic for a fixed seed set and worker count. With `sema = false`
+/// this is byte-identical to [`run_campaign_parallel_full`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_parallel_sema<F>(
+    factory: F,
+    dialect: Dialect,
+    budget: Budget,
+    opts: ParallelOpts,
+    tel: &Telemetry,
+    oracles: OracleConfig,
+    ckpt: &CheckpointCfg,
+    wal_dir: Option<&Path>,
+    rule_cov: bool,
+    sema: bool,
+) -> Result<CampaignStats, String>
+where
+    F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
+{
     let out = run_campaign_parallel_resilient_inner(
-        factory, dialect, budget, opts, tel, oracles, ckpt, wal_dir, rule_cov,
+        factory, dialect, budget, opts, tel, oracles, ckpt, wal_dir, rule_cov, sema,
     );
     if out.is_err() {
         // Worker-death and checkpoint-I/O exits still flush the heartbeat
@@ -1365,6 +1821,7 @@ fn run_campaign_parallel_resilient_inner<F>(
     ckpt: &CheckpointCfg,
     wal_dir: Option<&Path>,
     rule_cov: bool,
+    sema: bool,
 ) -> Result<CampaignStats, String>
 where
     F: Fn(usize) -> Box<dyn FuzzEngine + Send> + Sync,
@@ -1381,9 +1838,12 @@ where
             ckpt,
             wal_dir,
             rule_cov,
+            sema,
         );
     }
 
+    // wall-clock only: feeds wall_ms / execs_per_sec, which
+    // deterministic_json() strips. Never consulted for exploration decisions.
     let start = Instant::now();
     let snapshots = budget.snapshots.max(1);
     // Static partition: worker w gets units/N, the remainder spread over the
@@ -1404,6 +1864,12 @@ where
                 resume.meta.rule_cov, rule_cov
             ));
         }
+        if resume.meta.sema != sema {
+            return Err(format!(
+                "checkpoint was taken with sema={}; resuming with sema={} would change both the unit accounting and the exploration order",
+                resume.meta.sema, sema
+            ));
+        }
     }
     if let Some(dir) = &ckpt.dir {
         checkpoint::write_meta(
@@ -1419,6 +1885,7 @@ where
                 every_units: ckpt.every_units,
                 oracles: (oracles.tlp, oracles.norec, oracles.differential, oracles.recovery),
                 rule_cov,
+                sema,
             },
         )
         .map_err(|e| format!("write checkpoint meta: {e}"))?;
@@ -1456,6 +1923,7 @@ where
                         ckpt,
                         wal_dir,
                         resume_w,
+                        sema,
                     )
                 })
             })
@@ -1558,6 +2026,9 @@ where
         workers_lost,
         bugs,
         durability_bugs: count_durability(&logic_bugs),
+        sema_rejects: survivors().map(|o| o.sema_rejects).sum(),
+        sema_skipped_stmts: survivors().map(|o| o.sema_skipped_stmts).sum(),
+        sema_divergences: count_sema(&logic_bugs),
         logic_bugs,
         oracle_checks: survivors().map(|o| o.oracle_checks).sum(),
         wall_ms: 0,

@@ -28,16 +28,19 @@ use serde::Serialize;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Format version; bumped on any layout change. v4 records the grammar-rule
-/// coverage map per worker plus a `rule_cov` meta flag (older checkpoints
-/// parse with both empty/off, matching the runs that produced them). v3
-/// records the recovery oracle as a fourth `meta.json` oracle flag (older
-/// metas parse with it defaulted off). v2 embeds engine snapshots whose
-/// `executed_ngrams` are packed `u64` keys (see `lego::ngram`); v1 stored
-/// them as arrays of kind-code arrays. The read side accepts
+/// Format version; bumped on any layout change. v5 records the static
+/// sequence-analysis state per worker (skip/audit counters, conformance
+/// dedup, divergence findings) plus a `sema` meta flag (older checkpoints
+/// parse with all of it empty/off). v4 records the grammar-rule coverage map
+/// per worker plus a `rule_cov` meta flag (older checkpoints parse with both
+/// empty/off, matching the runs that produced them). v3 records the recovery
+/// oracle as a fourth `meta.json` oracle flag (older metas parse with it
+/// defaulted off). v2 embeds engine snapshots whose `executed_ngrams` are
+/// packed `u64` keys (see `lego::ngram`); v1 stored them as arrays of
+/// kind-code arrays. The read side accepts
 /// [`MIN_CHECKPOINT_VERSION`]..=[`CHECKPOINT_VERSION`] — v1 checkpoints are
 /// migrated on restore.
-pub const CHECKPOINT_VERSION: u64 = 4;
+pub const CHECKPOINT_VERSION: u64 = 5;
 
 /// Oldest checkpoint format this build can still restore.
 pub const MIN_CHECKPOINT_VERSION: u64 = 1;
@@ -92,6 +95,10 @@ pub struct CheckpointMeta {
     /// Whether the campaign ran with grammar-rule coverage feedback (v4;
     /// resume must be invoked with the same flag).
     pub rule_cov: bool,
+    /// Whether the campaign ran with the static sequence analyzer (v5;
+    /// resume must be invoked with the same flag — skipping changes both
+    /// the unit accounting and the exploration order).
+    pub sema: bool,
 }
 
 /// One worker's (or the serial loop's) complete persisted state.
@@ -129,6 +136,21 @@ pub struct WorkerCheckpoint {
     /// Oracle fingerprint dedup state: `(fingerprint, first_exec)`, sorted.
     pub oracle_seen: Vec<(u64, usize)>,
     pub oracle_checks: usize,
+    /// Statements the static analyzer proved invalid (v5; 0 without
+    /// `--sema`).
+    pub sema_rejects: usize,
+    /// Statements of statically-skipped cases, never attempted on the
+    /// engine (v5; 0 without `--sema`).
+    pub sema_skipped_stmts: usize,
+    /// Statically-rejected cases seen so far — drives the every-Nth
+    /// conformance-audit execution, so it must survive resume exactly (v5).
+    pub sema_audit: usize,
+    /// Conformance-divergence dedup state: `(fingerprint, first_exec)`,
+    /// sorted (v5; empty without `--sema`).
+    pub sema_seen: Vec<(u64, usize)>,
+    /// Conformance-divergence findings; re-derived on resume by replaying
+    /// each case through analyzer + engine (v5; empty without `--sema`).
+    pub sema_findings: Vec<LogicFindingCk>,
     /// Engine snapshot (`FuzzEngine::checkpoint` payload), embedded as a
     /// JSON string.
     pub engine: String,
@@ -216,6 +238,8 @@ pub struct ResumeMeta {
     pub oracles: (bool, bool, bool, bool),
     /// Grammar-rule coverage flag (v4; pre-v4 metas parse as `false`).
     pub rule_cov: bool,
+    /// Static sequence-analysis flag (v5; pre-v5 metas parse as `false`).
+    pub sema: bool,
 }
 
 /// Parsed per-worker checkpoint, ready for the campaign runner to apply.
@@ -242,6 +266,13 @@ pub struct WorkerResume {
     pub logic_bugs: Vec<LogicFindingCk>,
     pub oracle_seen: Vec<(u64, usize)>,
     pub oracle_checks: usize,
+    /// Static-analysis counters and state (v5; zero/empty for pre-v5
+    /// checkpoints and sema-off runs).
+    pub sema_rejects: usize,
+    pub sema_skipped_stmts: usize,
+    pub sema_audit: usize,
+    pub sema_seen: Vec<(u64, usize)>,
+    pub sema_findings: Vec<LogicFindingCk>,
     pub engine: String,
 }
 
@@ -318,6 +349,11 @@ fn parse_meta(src: &str) -> Result<ResumeMeta, String> {
             Some(b) => b.as_bool().ok_or("meta.json: rule_cov must be a bool")?,
             None => false,
         },
+        // Pre-v5 metas predate the static analyzer; those runs had it off.
+        sema: match v.get("sema") {
+            Some(b) => b.as_bool().ok_or("meta.json: sema must be a bool")?,
+            None => false,
+        },
     })
 }
 
@@ -357,8 +393,29 @@ fn parse_worker(src: &str) -> Result<WorkerResume, String> {
         logic_bugs: logic_findings_in(get(&v, "logic_bugs")?)?,
         oracle_seen: pairs_u64_usize(get(&v, "oracle_seen")?)?,
         oracle_checks: get_usize(&v, "oracle_checks")?,
+        // Pre-v5 checkpoints carry no static-analysis state; resume with it
+        // zeroed, matching the sema-off runs that produced them.
+        sema_rejects: opt_usize(&v, "sema_rejects")?,
+        sema_skipped_stmts: opt_usize(&v, "sema_skipped_stmts")?,
+        sema_audit: opt_usize(&v, "sema_audit")?,
+        sema_seen: match v.get("sema_seen") {
+            Some(s) => pairs_u64_usize(s)?,
+            None => Vec::new(),
+        },
+        sema_findings: match v.get("sema_findings") {
+            Some(f) => logic_findings_in(f)?,
+            None => Vec::new(),
+        },
         engine: get_string(&v, "engine")?,
     })
+}
+
+/// An integer field that pre-v5 checkpoints may omit; absent parses as 0.
+fn opt_usize(v: &serde_json::Value, key: &str) -> Result<usize, String> {
+    match v.get(key) {
+        Some(x) => x.as_usize().ok_or_else(|| format!("field '{key}' must be an integer")),
+        None => Ok(0),
+    }
 }
 
 fn findings_in(v: &serde_json::Value) -> Result<Vec<FindingCk>, String> {
@@ -496,6 +553,11 @@ mod tests {
             logic_bugs: vec![],
             oracle_seen: vec![(42, 7)],
             oracle_checks: 9,
+            sema_rejects: 4,
+            sema_skipped_stmts: 12,
+            sema_audit: 3,
+            sema_seen: vec![(77, 5)],
+            sema_findings: vec![],
             engine: "{\"rng_reseed\":18446744073709551615}".into(),
         }
     }
@@ -532,6 +594,7 @@ mod tests {
             every_units: 2_000,
             oracles: (false, true, false, false),
             rule_cov: true,
+            sema: true,
         };
         write_meta(&dir, &meta).unwrap();
         // Worker 0 reached seq 3; worker 1 only seq 2 — the consistent
@@ -563,6 +626,7 @@ mod tests {
             every_units: 1,
             oracles: (false, false, false, false),
             rule_cov: false,
+            sema: false,
         };
         write_meta(&dir, &meta).unwrap();
         write_worker(&dir, &sample_worker(0, 1)).unwrap();

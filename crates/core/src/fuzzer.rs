@@ -13,11 +13,11 @@ use crate::affinity::AffinityMap;
 use crate::campaign::FuzzEngine;
 use crate::gen::{gen_statement, SchemaModel};
 use crate::instantiate::{fix_case, instantiate, AstLibrary};
-use crate::mutation::conventional_mutate_stacked;
+use crate::mutation::{conventional_mutate_stacked, sema_repair};
 use crate::ngram::{gram2_at, gram3_at, pack2, pack3, seq_len, unpack_seq, NgramSet};
 use crate::pool::SeedPool;
 use crate::seeds::initial_corpus;
-use crate::synthesis::SequenceStore;
+use crate::synthesis::{plausible_key, SequenceStore};
 use lego_dbms::ExecReport;
 use lego_observe::{Event, MutOp, Telemetry};
 use lego_sqlast::{Dialect, StmtKind, TestCase};
@@ -26,11 +26,13 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Engine-snapshot format version. v3 adds the `rule_cov` config knob and
-/// the `rule_boosted` stats counter; v2 packs `executed_ngrams` as sorted
-/// `u64` keys (see [`crate::ngram`]); v1 stored arrays of kind-code arrays.
-/// Restore accepts all three (older snapshots imply `rule_cov = false`).
-pub const ENGINE_SNAPSHOT_VERSION: u64 = 3;
+/// Engine-snapshot format version. v4 adds the `sema` config knob (static
+/// sequence analysis); v3 adds the `rule_cov` config knob and the
+/// `rule_boosted` stats counter; v2 packs `executed_ngrams` as sorted `u64`
+/// keys (see [`crate::ngram`]); v1 stored arrays of kind-code arrays.
+/// Restore accepts all four (older snapshots imply the missing knobs are
+/// `false`).
+pub const ENGINE_SNAPSHOT_VERSION: u64 = 4;
 
 /// Tuning knobs. Defaults follow the paper where it gives numbers
 /// (`LEN = 5`; the length-ablation experiment uses 3/5/8).
@@ -76,6 +78,14 @@ pub struct Config {
     /// LAST so that v2 snapshots differ from v3 only by this field's
     /// trailing JSON fragment (see `apply_snapshot`).
     pub rule_cov: bool,
+    /// Static sequence analysis (`--sema`): dependency-aware mutation and
+    /// splicing via the `lego-sqlsema` binder, plus kind-level plausibility
+    /// filtering of synthesized drafts. The campaign layer additionally
+    /// skips engine execution of statically-invalid cases and runs the
+    /// analyzer-vs-engine conformance oracle. Kept LAST (after `rule_cov`)
+    /// so pre-v4 snapshots differ only by this field's trailing JSON
+    /// fragment (see `apply_snapshot`).
+    pub sema: bool,
 }
 
 impl Default for Config {
@@ -94,6 +104,7 @@ impl Default for Config {
             queue_cap: 20_000,
             rng_seed: 0x1e60,
             rule_cov: false,
+            sema: false,
         }
     }
 }
@@ -320,6 +331,16 @@ impl LegoFuzzer {
     fn sequence_mutants(&mut self, seed: &TestCase) -> Vec<(TestCase, Origin)> {
         let mut out = Vec::new();
         let n = seed.statements.len().min(12);
+        // Under `--sema`, deletion consults the seed's def-use graph so a
+        // removal that severs a live dependency edge gets its dangling
+        // references repaired instead of shipping a provably-dead case.
+        // Built once per seed; `None` off-path so the sema-less RNG stream
+        // and mutant set stay byte-identical.
+        let dep_graph = if self.cfg.sema {
+            Some(lego_sqlsema::DepGraph::build(&seed.statements))
+        } else {
+            None
+        };
         for i in 0..n {
             let schema = SchemaModel::of_statements(&seed.statements[..i]);
             // Substitution.
@@ -330,6 +351,9 @@ impl LegoFuzzer {
                 let mut q1 = seed.clone();
                 q1.statements[i] = stmt;
                 fix_case(&mut q1, &mut self.rng);
+                if self.cfg.sema {
+                    sema_repair(&mut q1, self.dialect);
+                }
                 out.push((q1, Origin::Substitution));
             }
             // Insertion after (unless the seed is already at the length
@@ -344,6 +368,9 @@ impl LegoFuzzer {
                 let mut q2 = seed.clone();
                 q2.statements.insert(i + 1, stmt);
                 fix_case(&mut q2, &mut self.rng);
+                if self.cfg.sema {
+                    sema_repair(&mut q2, self.dialect);
+                }
                 out.push((q2, Origin::Insertion));
             }
             // Deletion.
@@ -351,6 +378,13 @@ impl LegoFuzzer {
                 let mut q3 = seed.clone();
                 q3.statements.remove(i);
                 fix_case(&mut q3, &mut self.rng);
+                if let Some(graph) = &dep_graph {
+                    let order: Vec<usize> =
+                        (0..seed.statements.len()).filter(|&j| j != i).collect();
+                    if !graph.order_satisfied(&order) {
+                        sema_repair(&mut q3, self.dialect);
+                    }
+                }
                 out.push((q3, Origin::Deletion));
             }
         }
@@ -400,6 +434,14 @@ impl LegoFuzzer {
             let n_seqs = seqs.len() as u64;
             let mut scheduled = 0u64;
             for key in seqs {
+                // Kind-level plausibility gate (`--sema`): drafts containing
+                // an unsupported or unconditionally-rejected statement type
+                // can never execute, whatever the instantiation — skip them
+                // before the n-gram probe so they neither queue nor count as
+                // scheduled work.
+                if self.cfg.sema && !plausible_key(key, self.dialect) {
+                    continue;
+                }
                 // Queue only sequences that would execute at least one type
                 // 2-gram or 3-gram never executed before; the rest re-cover
                 // known interactions and are skipped to keep seeds cheap
@@ -691,15 +733,18 @@ impl LegoFuzzer {
         }
         let cfg = get_string(v, "cfg")?;
         let own_cfg = serde_json::to_string(&self.cfg).expect("config serialize");
-        // v2 snapshots predate `rule_cov`; since that field is declared LAST
-        // it is exactly the trailing `,"rule_cov":…}` fragment of a v3 cfg
-        // string, so a pre-v3 snapshot matches iff this engine runs with the
-        // default (`false`).
-        let cmp_cfg = if version < 3 {
-            own_cfg.replacen(",\"rule_cov\":false}", "}", 1)
-        } else {
-            own_cfg.clone()
-        };
+        // Trailing-field compatibility: `rule_cov` (v3) and `sema` (v4) are
+        // declared in order at the END of `Config`, so each pre-vN snapshot
+        // cfg is exactly the vN cfg minus the trailing `,"knob":…}`
+        // fragments. A pre-vN snapshot matches iff this engine runs with the
+        // missing knobs at their defaults (`false`).
+        let mut cmp_cfg = own_cfg.clone();
+        if version < 4 {
+            cmp_cfg = cmp_cfg.replacen(",\"sema\":false}", "}", 1);
+        }
+        if version < 3 {
+            cmp_cfg = cmp_cfg.replacen(",\"rule_cov\":false}", "}", 1);
+        }
         if cfg != cmp_cfg {
             return Err(format!(
                 "snapshot config does not match this engine's config:\n  snapshot: {cfg}\n  engine:   {own_cfg}"

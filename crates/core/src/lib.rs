@@ -45,9 +45,10 @@ pub use affinity::AffinityMap;
 pub use campaign::{
     run_campaign, run_campaign_durable, run_campaign_full, run_campaign_observed,
     run_campaign_parallel, run_campaign_parallel_durable, run_campaign_parallel_full,
-    run_campaign_parallel_observed, run_campaign_parallel_resilient,
-    run_campaign_parallel_with_oracles, run_campaign_resilient, run_campaign_with_oracles, Budget,
-    CampaignStats, FuzzEngine, LogicBugFinding, ParallelOpts,
+    run_campaign_parallel_observed, run_campaign_parallel_resilient, run_campaign_parallel_sema,
+    run_campaign_parallel_with_oracles, run_campaign_resilient, run_campaign_sema,
+    run_campaign_with_oracles, Budget, CampaignStats, FuzzEngine, LogicBugFinding, ParallelOpts,
+    SEMA_AUDIT_EVERY,
 };
 pub use checkpoint::{load_campaign_checkpoint, CheckpointCfg};
 pub use fuzzer::{Config, LegoFuzzer};

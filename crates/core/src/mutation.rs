@@ -7,7 +7,8 @@ use crate::instantiate::fix_case;
 use lego_sqlast::ast::*;
 use lego_sqlast::expr::*;
 use lego_sqlast::skeleton::rebind;
-use lego_sqlast::TestCase;
+use lego_sqlast::{Dialect, TestCase};
+use lego_sqlsema::Sema;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -39,6 +40,58 @@ pub fn conventional_mutate_stacked(case: &TestCase, rng: &mut SmallRng, stack: u
     }
     fix_case(&mut out, rng);
     out
+}
+
+/// The relation name a statement *introduces* (as opposed to references);
+/// [`sema_repair`] must not rewrite it, or a CREATE would collide with the
+/// very relation the repair redirected it to.
+fn defined_relation(stmt: &Statement) -> Option<&str> {
+    match stmt {
+        Statement::CreateTable(c) => Some(&c.name),
+        Statement::CreateView(c) => Some(&c.name),
+        Statement::CreateTableAs { name, .. } => Some(name),
+        Statement::AlterTable(a) => match &a.action {
+            AlterTableAction::RenameTo(n) => Some(n),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Dependency repair for `--sema` campaigns: walk the static binder over the
+/// case and rewrite every table reference the binder can *prove* dangling
+/// (the relation definitely does not exist at that point) to the
+/// alphabetically first relation in scope. Definition targets are exempt,
+/// and references the binder is merely unsure about are left alone — only
+/// provably-dead edges get repaired. The binder steps over each repaired
+/// statement, so later statements bind against the post-repair scope.
+///
+/// Deterministic by construction (no RNG draws), which keeps `--sema`
+/// campaigns replay-identical. Returns the number of rewritten references.
+pub fn sema_repair(case: &mut TestCase, dialect: Dialect) -> usize {
+    let mut binder = Sema::new(dialect).binder();
+    let mut repaired = 0usize;
+    for stmt in &mut case.statements {
+        let in_scope = binder.relations_in_scope();
+        if let Some(target) = in_scope.first() {
+            let defined = defined_relation(stmt).map(str::to_owned);
+            rebind(
+                stmt,
+                |t: &mut String| {
+                    if defined.as_deref() != Some(t.as_str())
+                        && binder.relation_definitely_absent(t)
+                    {
+                        *t = target.clone();
+                        repaired += 1;
+                    }
+                },
+                |_c| {},
+                |_l| {},
+            );
+        }
+        binder.step(stmt);
+    }
+    repaired
 }
 
 fn mutate_statement(stmt: &mut Statement, cols: &[(String, DataType)], rng: &mut SmallRng) {
@@ -268,6 +321,47 @@ mod tests {
         let changed =
             (0..50).map(|_| conventional_mutate(&seed, &mut rng)).filter(|m| *m != seed).count();
         assert!(changed > 30, "mutations were mostly no-ops: {changed}/50");
+    }
+
+    #[test]
+    fn sema_repair_rewrites_dangling_references() {
+        let mut case = parse_script(
+            "CREATE TABLE t1 (v1 INT);\n\
+             INSERT INTO missing VALUES (1);\n\
+             SELECT * FROM nowhere;",
+        )
+        .unwrap();
+        let n = sema_repair(&mut case, Dialect::Postgres);
+        assert_eq!(n, 2, "both dangling references repaired: {}", case.to_sql());
+        let sql = case.to_sql();
+        assert!(!sql.contains("missing") && !sql.contains("nowhere"), "{sql}");
+        // The repaired case now executes cleanly.
+        let mut db = lego_dbms::Dbms::new(lego_sqlast::Dialect::Postgres);
+        let r = db.execute_case(&case);
+        assert!(r.errors.is_empty(), "repaired case still errors: {:?}", r.errors);
+    }
+
+    #[test]
+    fn sema_repair_is_deterministic_and_leaves_valid_cases_alone() {
+        let mut a = fig1_seed();
+        let mut b = fig1_seed();
+        assert_eq!(sema_repair(&mut a, Dialect::Postgres), 0);
+        assert_eq!(sema_repair(&mut b, Dialect::Postgres), 0);
+        assert_eq!(a, b);
+        assert_eq!(a, fig1_seed(), "valid case must be untouched");
+    }
+
+    #[test]
+    fn sema_repair_exempts_definition_targets() {
+        // The CREATE's own name is absent by definition; repairing it into
+        // the in-scope relation would produce a duplicate-table collision.
+        let mut case = parse_script(
+            "CREATE TABLE t1 (v1 INT);\n\
+             CREATE TABLE t2 (v1 INT);",
+        )
+        .unwrap();
+        assert_eq!(sema_repair(&mut case, Dialect::Postgres), 0);
+        assert!(case.to_sql().contains("t2"));
     }
 
     #[test]

@@ -205,6 +205,16 @@ impl SequenceStore {
     }
 }
 
+/// Kind-level plausibility probe for `--sema` campaigns: decode the packed
+/// sequence and ask the static analyzer whether every statement type is
+/// supported by the dialect and none is unconditionally rejected by the
+/// engine. Synthesized drafts that fail this are dead on arrival — no
+/// instantiation can make them execute — so the campaign drops them before
+/// paying for AST generation.
+pub fn plausible_key(key: u128, dialect: lego_sqlast::Dialect) -> bool {
+    lego_sqlsema::plausible_sequence(&unpack_seq(key), dialect)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,182 @@
+//! Exhaustive schedule-space model check of the lock-free [`CoverageSink`].
+//!
+//! The sink's correctness argument is that every cross-thread interaction is
+//! a single relaxed `fetch_or` on one `AtomicU64`, and `fetch_or` is
+//! commutative and idempotent — so the collapsed map is the OR of every
+//! shard under *any* interleaving, and a mid-run `edges_covered` snapshot is
+//! always a subset of the final map. Plain threaded tests only ever witness
+//! the handful of schedules the OS happens to produce; this harness instead
+//! checks the claim over **every** interleaving.
+//!
+//! The harness is loom-style, not loom-backed: the vendored dependency set
+//! has no `loom` crate, so instead of intercepting atomics we exploit the
+//! sink's structure. `publish_dirty` is a loop of independent per-word
+//! `fetch_or` calls with no cross-word invariant, so an interleaving of two
+//! publishes is exactly an interleaving of their single-word steps. We split
+//! every worker's sync into single-word publishes (each one real
+//! `CoverageSink::publish_dirty` call over the worker's real, persistent
+//! `GlobalCoverage` shard — the production merge→drain-dirty→publish path),
+//! enumerate every schedule of those atomic steps, and assert the
+//! determinism contract on each. Gated behind the `loom` feature to keep
+//! the exhaustive sweep out of default test runs:
+//!
+//! ```text
+//! cargo test -p lego-coverage --features loom
+//! ```
+#![cfg(feature = "loom")]
+
+use lego_coverage::{CovRecorder, CoverageSink, GlobalCoverage, SiteId};
+
+/// A worker's script: each step merges one single-word run into the
+/// worker's persistent local shard and publishes the dirty delta — one
+/// atomic `fetch_or` (or zero, when the merge found nothing new: the
+/// idempotence case the epoch-batching optimization leans on).
+type Script = Vec<Vec<u64>>;
+
+fn run_with(sites: &[u64]) -> lego_coverage::CovMap {
+    let mut r = CovRecorder::new();
+    for &s in sites {
+        r.hit(SiteId::from_raw(s));
+    }
+    r.into_map()
+}
+
+/// Execute one schedule (a sequence of worker indexes) against a fresh sink
+/// with fresh per-worker shards, returning the collapsed result. Asserts
+/// mid-run monotonicity: a snapshot never exceeds a later snapshot.
+fn execute(schedule: &[usize], scripts: &[Script]) -> Vec<(usize, u8)> {
+    let sink = CoverageSink::new();
+    let mut shards: Vec<GlobalCoverage> = scripts.iter().map(|_| GlobalCoverage::new()).collect();
+    let mut steps: Vec<usize> = vec![0; scripts.len()];
+    let mut last_edges = 0usize;
+    for &w in schedule {
+        let sites = &scripts[w][steps[w]];
+        steps[w] += 1;
+        shards[w].merge(&run_with(sites));
+        sink.publish_dirty(&mut shards[w]);
+        let edges = sink.edges_covered();
+        assert!(edges >= last_edges, "sink shrank mid-run: {last_edges} -> {edges}");
+        last_edges = edges;
+    }
+    sink.into_global().to_sparse()
+}
+
+/// Enumerate every interleaving of the workers' scripts (all orderings that
+/// preserve each worker's program order) and run `check` on each schedule.
+fn for_each_schedule(scripts: &[Script], check: &mut dyn FnMut(&[usize])) {
+    fn recurse(
+        remaining: &mut [usize],
+        prefix: &mut Vec<usize>,
+        total: usize,
+        check: &mut dyn FnMut(&[usize]),
+    ) {
+        if prefix.len() == total {
+            check(prefix);
+            return;
+        }
+        for w in 0..remaining.len() {
+            if remaining[w] == 0 {
+                continue;
+            }
+            remaining[w] -= 1;
+            prefix.push(w);
+            recurse(remaining, prefix, total, check);
+            prefix.pop();
+            remaining[w] += 1;
+        }
+    }
+    let mut remaining: Vec<usize> = scripts.iter().map(Vec::len).collect();
+    let total: usize = remaining.iter().sum();
+    recurse(&mut remaining, &mut Vec::with_capacity(total), total, check);
+}
+
+/// The sequential reference: merge every run of every script into one map.
+fn serial_union(scripts: &[Script]) -> Vec<(usize, u8)> {
+    let mut g = GlobalCoverage::new();
+    for script in scripts {
+        for sites in script {
+            g.merge(&run_with(sites));
+        }
+    }
+    g.to_sparse()
+}
+
+fn check_all_schedules_converge(scripts: &[Script]) {
+    let expect = serial_union(scripts);
+    let mut schedules = 0usize;
+    for_each_schedule(scripts, &mut |schedule| {
+        schedules += 1;
+        let got = execute(schedule, scripts);
+        assert_eq!(got, expect, "schedule {schedule:?} diverged from the serial union");
+    });
+    assert!(schedules > 1, "degenerate model: only {schedules} schedule(s)");
+}
+
+/// Three workers, disjoint words (sites 0, 8, 16 live in words 0, 1, 2):
+/// the no-contention baseline — 90 schedules, all equal to the union.
+#[test]
+fn disjoint_words_converge_under_every_schedule() {
+    let scripts: Vec<Script> =
+        vec![vec![vec![0, 1], vec![2]], vec![vec![8], vec![9, 10]], vec![vec![16, 17]]];
+    check_all_schedules_converge(&scripts);
+}
+
+/// Two workers racing on the SAME word with overlapping bits — the
+/// commutativity/idempotence case that replaced the mutex. 924 schedules
+/// (12 steps over two 6-step workers... bounded deliberately).
+#[test]
+fn contended_word_converges_under_every_schedule() {
+    // Sites 0..8 share word 0; both workers re-hit site 3 (idempotence) and
+    // interleave first-hits of the remaining bits (commutativity).
+    let scripts: Vec<Script> =
+        vec![vec![vec![0, 3], vec![1], vec![3, 4]], vec![vec![3, 5], vec![2], vec![3, 6]]];
+    check_all_schedules_converge(&scripts);
+}
+
+/// Three workers mixing contended and private words, including novelty-free
+/// epochs (re-merging an already-seen run publishes zero atomics) — the
+/// epoch-batching fast path must not lose updates under any schedule.
+#[test]
+fn mixed_contention_with_free_epochs_converges() {
+    let scripts: Vec<Script> = vec![
+        vec![vec![0, 1], vec![0, 1], vec![64]],
+        vec![vec![1, 2], vec![1, 2]],
+        vec![vec![0, 2], vec![128]],
+    ];
+    check_all_schedules_converge(&scripts);
+}
+
+/// A resumed worker re-seeds the sink through `from_sparse` (every restored
+/// word is dirty) while a live worker publishes concurrently — the resume
+/// path must commute with ongoing syncs too.
+#[test]
+fn resume_reseed_commutes_with_live_publishes() {
+    let mut donor = GlobalCoverage::new();
+    donor.merge(&run_with(&[0, 1, 40]));
+    let dump = donor.to_sparse();
+
+    // Model: worker 0's "steps" are the single-word publishes of its
+    // restored shard; worker 1 is a live worker racing it on word 0.
+    let scripts: Vec<Script> = vec![vec![vec![0, 1], vec![40]], vec![vec![2], vec![3, 40]]];
+    let expect = serial_union(&scripts);
+    let mut schedules = 0usize;
+    for_each_schedule(&scripts, &mut |schedule| {
+        schedules += 1;
+        // Worker 0 executes against a shard rebuilt from the checkpoint
+        // dump; `from_sparse` marks everything dirty so its publishes are
+        // the production resume re-seed.
+        let sink = CoverageSink::new();
+        let mut shards =
+            [GlobalCoverage::from_sparse(&[(0, dump[0].1), (1, dump[1].1)]), GlobalCoverage::new()];
+        // Keep worker 0's restored words aligned with its script steps.
+        let mut steps = [0usize; 2];
+        for &w in schedule {
+            let sites = &scripts[w][steps[w]];
+            steps[w] += 1;
+            shards[w].merge(&run_with(sites));
+            sink.publish_dirty(&mut shards[w]);
+        }
+        assert_eq!(sink.into_global().to_sparse(), expect, "schedule {schedule:?} diverged");
+    });
+    assert!(schedules > 1);
+}

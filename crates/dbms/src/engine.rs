@@ -33,6 +33,11 @@ pub struct ExecReport {
     pub coverage: CovMap,
     pub statements_executed: usize,
     pub errors: Vec<String>,
+    /// Statement indices of the entries in [`ExecReport::errors`], parallel
+    /// to it: `stmt_errors[k]` is the 0-based position (within the executed
+    /// prefix) of the statement that produced `errors[k]`. Conformance
+    /// oracles need the per-statement mapping, not just the count.
+    pub stmt_errors: Vec<usize>,
     /// Rows returned by the last query statement.
     pub last_rows: usize,
     /// Statements the binder/executor accepted (the semantic-validity
@@ -81,6 +86,7 @@ impl ExecReport {
             coverage: CovMap::new(),
             statements_executed: 0,
             errors: vec![format!("engine panic: {message}")],
+            stmt_errors: vec![0],
             last_rows: 0,
             stmts_ok: 0,
             stmts_err: 0,
@@ -234,12 +240,14 @@ impl Dbms {
                 coverage: ctx.cov.into_map(),
                 statements_executed: 0,
                 errors: vec!["server is down".into()],
+                stmt_errors: vec![0],
                 last_rows: 0,
                 stmts_ok: 0,
                 stmts_err: 0,
             };
         }
         let mut errors = Vec::new();
+        let mut stmt_errors = Vec::new();
         let mut executed = 0usize;
         let mut ok_count = 0usize;
         for stmt in &case.statements {
@@ -252,7 +260,10 @@ impl Dbms {
             ctx.trace.push(kind);
             match self.session.exec_statement(&mut ctx, stmt) {
                 Ok(_) => ok_count += 1,
-                Err(e) => errors.push(e),
+                Err(e) => {
+                    errors.push(e);
+                    stmt_errors.push(executed);
+                }
             }
             executed += 1;
             if let Some(wal) = self.wal.as_mut() {
@@ -277,6 +288,7 @@ impl Dbms {
                     stmts_ok: ok_count,
                     stmts_err: executed - ok_count,
                     errors,
+                    stmt_errors,
                 };
             }
             if ctx.crash.is_none() {
@@ -296,6 +308,7 @@ impl Dbms {
                     stmts_ok: ok_count,
                     stmts_err: executed - ok_count,
                     errors,
+                    stmt_errors,
                 };
             }
         }
@@ -307,6 +320,7 @@ impl Dbms {
             stmts_ok: ok_count,
             stmts_err: executed - ok_count,
             errors,
+            stmt_errors,
         }
     }
 
@@ -343,6 +357,7 @@ impl Dbms {
                     coverage: ctx.cov.into_map(),
                     statements_executed: 0,
                     errors: vec![e.to_string()],
+                    stmt_errors: vec![0],
                     last_rows: 0,
                     stmts_ok: 0,
                     stmts_err: 0,

@@ -97,6 +97,13 @@ pub enum Event {
     WorkerSync { worker: usize, execs: u64 },
     /// A campaign checkpoint was persisted to disk.
     CheckpointWritten { worker: usize, seq: u64, units: u64, path: String },
+    /// The static analyzer classified a case (`--sema` campaigns only).
+    /// `rejects` counts provably-failing statements; `skipped` is true when
+    /// the campaign skipped engine execution because of them.
+    SemaVerdict { worker: usize, exec: u64, statements: u64, rejects: u64, skipped: bool },
+    /// The conformance oracle flagged a deduplicated analyzer-vs-engine
+    /// disagreement (analyzer-accept but engine-error, or the reverse).
+    SemaDivergenceFound { worker: usize, exec: u64, fingerprint: u64 },
 }
 
 impl Event {
@@ -117,6 +124,8 @@ impl Event {
             Event::WorkerDied { .. } => "WorkerDied",
             Event::WorkerSync { .. } => "WorkerSync",
             Event::CheckpointWritten { .. } => "CheckpointWritten",
+            Event::SemaVerdict { .. } => "SemaVerdict",
+            Event::SemaDivergenceFound { .. } => "SemaDivergenceFound",
         }
     }
 
@@ -197,6 +206,19 @@ impl Event {
                 push_num(&mut s, "seq", *seq);
                 push_num(&mut s, "units", *units);
                 push_str(&mut s, "path", path);
+            }
+            Event::SemaVerdict { worker, exec, statements, rejects, skipped } => {
+                push_num(&mut s, "worker", *worker as u64);
+                push_num(&mut s, "exec", *exec);
+                push_num(&mut s, "statements", *statements);
+                push_num(&mut s, "rejects", *rejects);
+                s.push_str(",\"skipped\":");
+                s.push_str(if *skipped { "true" } else { "false" });
+            }
+            Event::SemaDivergenceFound { worker, exec, fingerprint } => {
+                push_num(&mut s, "worker", *worker as u64);
+                push_num(&mut s, "exec", *exec);
+                push_num(&mut s, "fingerprint", *fingerprint);
             }
         }
         s.push('}');

@@ -47,6 +47,15 @@ fn metric_meta(base: &str) -> Option<(&'static str, &'static str)> {
         "lego_rule_edges_total" => {
             ("counter", "New grammar-rule edges covered (--rule-cov campaigns).")
         }
+        "lego_sema_rejects_total" => {
+            ("counter", "Statements proven invalid by the static analyzer (--sema campaigns).")
+        }
+        "lego_sema_skipped_cases_total" => {
+            ("counter", "Cases whose engine execution was skipped as statically invalid.")
+        }
+        "lego_sema_divergences_total" => {
+            ("counter", "Deduplicated analyzer-vs-engine conformance divergences.")
+        }
         "lego_bugs_total" => ("counter", "Deduplicated crash bugs."),
         "lego_logic_bugs_total" => ("counter", "Deduplicated oracle-flagged wrong-result bugs."),
         "lego_durability_bugs_total" => {
@@ -207,6 +216,13 @@ impl MetricsRegistry {
             Event::WorkerDied { .. } => self.inc("lego_worker_deaths_total", 1),
             Event::WorkerSync { .. } => self.inc("lego_worker_syncs_total", 1),
             Event::CheckpointWritten { .. } => self.inc("lego_checkpoints_written_total", 1),
+            Event::SemaVerdict { rejects, skipped, .. } => {
+                self.inc("lego_sema_rejects_total", *rejects);
+                if *skipped {
+                    self.inc("lego_sema_skipped_cases_total", 1);
+                }
+            }
+            Event::SemaDivergenceFound { .. } => self.inc("lego_sema_divergences_total", 1),
             Event::ExecStart { .. } => {}
         }
     }

@@ -39,9 +39,12 @@ pub enum Stage {
     Recovery,
     /// Campaign snapshot serialization + checkpoint file I/O.
     Checkpoint,
+    /// Static sequence analysis (`lego_sqlsema`) under `--sema`: binder
+    /// verdicts plus the analyzer-vs-engine conformance comparison.
+    Sema,
 }
 
-pub const STAGE_COUNT: usize = 9;
+pub const STAGE_COUNT: usize = 10;
 
 impl Stage {
     pub const ALL: [Stage; STAGE_COUNT] = [
@@ -54,6 +57,7 @@ impl Stage {
         Stage::Oracle,
         Stage::Recovery,
         Stage::Checkpoint,
+        Stage::Sema,
     ];
 
     pub fn name(self) -> &'static str {
@@ -67,6 +71,7 @@ impl Stage {
             Stage::Oracle => "oracle",
             Stage::Recovery => "recovery",
             Stage::Checkpoint => "checkpoint",
+            Stage::Sema => "sema",
         }
     }
 
@@ -81,6 +86,7 @@ impl Stage {
             Stage::Oracle => 6,
             Stage::Recovery => 7,
             Stage::Checkpoint => 8,
+            Stage::Sema => 9,
         }
     }
 

@@ -46,6 +46,9 @@ pub enum OracleKind {
     Differential,
     /// WAL crash-recovery oracle (durability, not wrong results).
     Recovery,
+    /// Analyzer-vs-engine conformance oracle (`--sema` campaigns): the
+    /// static analyzer and the engine disagreed on a statement's validity.
+    Sema,
 }
 
 impl OracleKind {
@@ -55,6 +58,7 @@ impl OracleKind {
             OracleKind::Norec => "NoREC",
             OracleKind::Differential => "differential",
             OracleKind::Recovery => "recovery",
+            OracleKind::Sema => "sema",
         }
     }
 }
@@ -79,6 +83,7 @@ impl LogicBug {
     pub fn identifier(&self) -> String {
         match self.oracle {
             OracleKind::Recovery => "recovery durability loss".to_string(),
+            OracleKind::Sema => "sema conformance divergence".to_string(),
             _ => format!("{} wrong result", self.oracle.name()),
         }
     }

@@ -1,0 +1,46 @@
+//! Test-only fault injection for the analyzer itself.
+//!
+//! The conformance oracle (analyzer-says-valid but engine-rejects, or the
+//! reverse) can only be integration-tested against an analyzer that is
+//! actually wrong. This module provides a process-global switch that plants
+//! a deliberate over-acceptance bug: with the fault enabled, the binder
+//! accepts `COMMIT` even when it has proven no transaction is open — the
+//! engine then rejects the statement at runtime and the campaign must
+//! surface exactly one deduped `SemaDivergence` finding.
+//!
+//! Same contract as `lego_dbms::faults`: off by default, flipped only from
+//! tests (keep fault-enabled tests in their own test binary — the flag is
+//! global to the process), one relaxed atomic load per guarded site when
+//! disabled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static OVERACCEPT_COMMIT: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the planted analyzer bug: wrongly accept `COMMIT`
+/// outside a transaction (test-only).
+pub fn set_overaccept_commit(enabled: bool) {
+    OVERACCEPT_COMMIT.store(enabled, Ordering::Relaxed);
+}
+
+/// Is the planted over-acceptance bug enabled?
+pub(crate) fn overaccept_commit() -> bool {
+    OVERACCEPT_COMMIT.load(Ordering::Relaxed)
+}
+
+/// RAII guard that enables the fault for a scope and always disables it on
+/// drop, so a panicking test cannot leak the fault into later tests.
+pub struct FaultGuard(());
+
+impl FaultGuard {
+    pub fn enable_overaccept_commit() -> Self {
+        set_overaccept_commit(true);
+        FaultGuard(())
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        set_overaccept_commit(false);
+    }
+}

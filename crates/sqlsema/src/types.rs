@@ -1,0 +1,99 @@
+//! Expression- and query-level static checks.
+//!
+//! The binder only claims [`Verdict::Accept`](crate::Verdict::Accept) or
+//! [`Verdict::Reject`](crate::Verdict::Reject) when the engine outcome is
+//! provable, so everything in this module errs on the side of "don't know":
+//! `expr_infallible` is an under-approximation of "evaluation cannot fail",
+//! `query_always_ok` an under-approximation of "this query succeeds in any
+//! session state", and `single_named_from` only fires on the one FROM shape
+//! whose resolution the engine performs eagerly.
+
+use lego_sqlast::ast::{Query, SelectItem, SetExpr, TableRef};
+use lego_sqlast::expr::{BinOp, DataType, Expr};
+
+/// Static type of an expression, when it can be inferred without a schema.
+///
+/// Literal-only inference: anything touching a column, function, subquery,
+/// or window returns `None` (the engine's runtime coercion rules are the
+/// source of truth there, and the analyzer must not guess).
+pub fn infer_type(e: &Expr) -> Option<DataType> {
+    match e {
+        Expr::Null => None, // NULL adopts the context's type
+        Expr::Bool(_) => Some(DataType::Bool),
+        Expr::Integer(_) => Some(DataType::BigInt),
+        Expr::Float(_) => Some(DataType::Double),
+        Expr::Str(_) => Some(DataType::Text),
+        Expr::Cast { ty, .. } => Some(*ty),
+        Expr::Unary(_, inner) => infer_type(inner),
+        Expr::Binary(l, op, r) => match op {
+            BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or => Some(DataType::Bool),
+            BinOp::Concat => Some(DataType::Text),
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                match (infer_type(l)?, infer_type(r)?) {
+                    (DataType::Double | DataType::Float, _)
+                    | (_, DataType::Double | DataType::Float) => Some(DataType::Double),
+                    _ => Some(DataType::BigInt),
+                }
+            }
+        },
+        Expr::Like { .. } | Expr::IsNull { .. } | Expr::Between { .. } | Expr::InList { .. } => {
+            Some(DataType::Bool)
+        }
+        _ => None,
+    }
+}
+
+/// Can evaluating `e` be statically proven not to produce a semantic error
+/// in *any* row context? Only plain literals qualify: they need no column
+/// resolution, no function dispatch, and no arithmetic that could divide by
+/// zero or overflow-check.
+pub fn expr_infallible(e: &Expr) -> bool {
+    e.is_literal()
+}
+
+/// If the query's FROM clause is exactly one plain named relation (no join,
+/// no subquery, no set operation), return that name. This is the one shape
+/// where the engine resolves the relation eagerly, so a definitely-absent
+/// name is a provable error.
+pub fn single_named_from(q: &Query) -> Option<&str> {
+    match &q.body {
+        SetExpr::Select(s) => match s.from.as_slice() {
+            [TableRef::Named { name, .. }] => Some(name.as_str()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Does this query provably succeed regardless of catalog and session state?
+/// True only for `SELECT <literals...>` with no FROM and no other clauses —
+/// nothing to resolve, nothing to evaluate per-row, nothing to sort. Pinned
+/// against the real engine by `literal_select_is_always_ok` in the crate
+/// tests; if the engine ever disagrees, tighten this, not the binder.
+pub fn query_always_ok(q: &Query) -> bool {
+    if !q.order_by.is_empty() || q.limit.is_some() || q.offset.is_some() {
+        return false;
+    }
+    match &q.body {
+        SetExpr::Select(s) => {
+            s.from.is_empty()
+                && !s.distinct
+                && s.where_.is_none()
+                && s.group_by.is_empty()
+                && s.having.is_none()
+                && !s.projection.is_empty()
+                && s.projection.iter().all(|item| match item {
+                    SelectItem::Expr { expr, .. } => expr_infallible(expr),
+                    SelectItem::Star | SelectItem::QualifiedStar(_) => false,
+                })
+        }
+        _ => false,
+    }
+}

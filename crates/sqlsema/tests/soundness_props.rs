@@ -1,0 +1,87 @@
+//! Property-based soundness: Sema-accepts ⇒ engine-accepts.
+//!
+//! The campaign's skip decision (`--sema`) discards statically-rejected
+//! cases without executing them, and the conformance oracle turns any
+//! analyzer-accepted-but-engine-rejected statement into a finding. Both
+//! lean on one direction of the agreement contract: an `Accept` verdict
+//! must never be contradicted by the engine. These properties sweep
+//! proptest-chosen generator seeds and sequence lengths across all four
+//! dialect profiles — unlike the fixed-seed sweeps in `agreement.rs`, every
+//! CI run explores fresh sequences (with proptest's failure persistence
+//! pinning any regression it ever finds).
+
+use lego::gen::{gen_statement, SchemaModel};
+use lego_dbms::engine::Outcome;
+use lego_dbms::Dbms;
+use lego_sqlast::{Dialect, Statement, TestCase};
+use lego_sqlsema::{Sema, Verdict};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const DIALECTS: [Dialect; 4] =
+    [Dialect::Postgres, Dialect::MySql, Dialect::MariaDb, Dialect::Comdb2];
+
+fn random_sequence(dialect: Dialect, seed: u64, len: usize) -> Vec<Statement> {
+    let kinds = dialect.supported_kinds();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut schema = SchemaModel::new();
+    let mut stmts = Vec::with_capacity(len);
+    for _ in 0..len {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let stmt = gen_statement(kind, &schema, dialect, &mut rng);
+        schema.observe(&stmt);
+        stmts.push(stmt);
+    }
+    stmts
+}
+
+/// One soundness check: every analyzer-`Accept`ed statement the engine got
+/// to execute must have run without error. (`Reject` and `Unknown` make no
+/// claim here — the reject direction is completeness, pinned separately in
+/// `agreement.rs`.)
+fn assert_accepts_execute(dialect: Dialect, stmts: &[Statement]) -> Result<(), TestCaseError> {
+    let sema = Sema::new(dialect);
+    let report = sema.check_sequence(stmts);
+    let case = TestCase::new(stmts.to_vec());
+    let mut db = Dbms::new(dialect);
+    let exec = db.execute_case(&case);
+    if !matches!(exec.outcome, Outcome::Ok) {
+        // Budget-tripped / crashed: the conformance contract makes no claim.
+        return Ok(());
+    }
+    for (i, v) in report.verdicts.iter().enumerate().take(exec.statements_executed) {
+        if v.verdict == Verdict::Accept {
+            prop_assert!(
+                !exec.stmt_errors.contains(&i),
+                "stmt {i} ({}) analyzer-Accept but engine errored on {dialect:?}\ncase:\n{}\nengine errors: {:?}",
+                stmts[i],
+                case,
+                exec.errors
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Short sequences, all four dialects per proptest case.
+    #[test]
+    fn accepted_statements_execute_cleanly(seed in any::<u64>(), len in 1usize..16) {
+        for dialect in DIALECTS {
+            assert_accepts_execute(dialect, &random_sequence(dialect, seed, len))?;
+        }
+    }
+
+    /// Long sequences reach deeper abstract states (fog after uncertain
+    /// rollbacks, savepoint stacks, implicit-commit interleavings) where an
+    /// unsound shortcut would hide from the short sweep.
+    #[test]
+    fn accepted_statements_execute_cleanly_in_long_sequences(seed in any::<u64>()) {
+        for dialect in DIALECTS {
+            assert_accepts_execute(dialect, &random_sequence(dialect, seed, 48))?;
+        }
+    }
+}

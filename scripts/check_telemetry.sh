@@ -17,7 +17,7 @@ jq -e -s '
   (map(.type) - ["ExecStart","ExecEnd","MutationApplied","AffinityDiscovered",
                  "SynthesisStep","CoverageGain","RuleCoverageGain","BugFound","LogicBugFound",
                  "WorkerSync","CaseAborted","WorkerDied","CheckpointWritten",
-                 "DurabilityBugFound"] == [])
+                 "DurabilityBugFound","SemaVerdict","SemaDivergenceFound"] == [])
 ' "$log" >/dev/null || { echo "check_telemetry: malformed or unknown events in $log" >&2; exit 1; }
 
 # 2. Per-type invariants: paired exec markers, statement counters that add
@@ -33,6 +33,8 @@ jq -e -s '
   (map(select(.type == "BugFound")) | map((.identifier | length) > 0) | all) and
   (map(select(.type == "LogicBugFound")) | map((.oracle | length) > 0) | all) and
   (map(select(.type == "DurabilityBugFound")) | map(.worker >= 0 and ((.fingerprint | tostring | length) > 0)) | all) and
+  (map(select(.type == "SemaVerdict")) | map(.worker >= 0 and .rejects >= 1 and .statements >= .rejects) | all) and
+  (map(select(.type == "SemaDivergenceFound")) | map(.worker >= 0 and ((.fingerprint | tostring | length) > 0)) | all) and
   (map(select(.type == "CaseAborted")) | map((.reason | length) > 0 and .worker >= 0) | all) and
   (map(select(.type == "WorkerDied")) | map((.error | length) > 0 and .worker >= 0) | all) and
   (map(select(.type == "CheckpointWritten")) | map(.seq >= 1 and (.path | length) > 0) | all)

@@ -17,6 +17,7 @@ pub use lego_dbms as dbms;
 pub use lego_observe as observe;
 pub use lego_sqlast as sqlast;
 pub use lego_sqlparser as sqlparser;
+pub use lego_sqlsema as sqlsema;
 
 /// The items a typical user needs to run a fuzzing campaign.
 pub mod prelude {
